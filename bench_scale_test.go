@@ -1,0 +1,86 @@
+package emgo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"emgo/internal/block"
+	"emgo/internal/umetrics"
+)
+
+// Scalability sweep: blocking and rule application across generator
+// scales (0.25x to 2x the paper's table sizes), with candidate counts
+// reported per run. Fixtures are built once per scale, outside the
+// timers.
+type scaleFixture struct {
+	proj *umetrics.Projected
+}
+
+var (
+	scaleMu       sync.Mutex
+	scaleFixtures = map[float64]*scaleFixture{}
+)
+
+func fixtureAtScale(b *testing.B, scale float64) *scaleFixture {
+	b.Helper()
+	scaleMu.Lock()
+	defer scaleMu.Unlock()
+	if f, ok := scaleFixtures[scale]; ok {
+		return f
+	}
+	ds, err := umetrics.Generate(umetrics.TestParams(scale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	proj, _, err := umetrics.Preprocess(ds.AwardAgg, ds.Employees, ds.USDA, "u", "s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := umetrics.AddProjectNumber(proj, ds.USDA); err != nil {
+		b.Fatal(err)
+	}
+	f := &scaleFixture{proj: proj}
+	scaleFixtures[scale] = f
+	return f
+}
+
+var sweepScales = []float64{0.25, 0.5, 1.0, 2.0}
+
+// BenchmarkScale_Blocking sweeps the Section 7 blocking pipeline across
+// data scales.
+func BenchmarkScale_Blocking(b *testing.B) {
+	for _, scale := range sweepScales {
+		b.Run(fmt.Sprintf("scale=%.2g", scale), func(b *testing.B) {
+			f := fixtureAtScale(b, scale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cand, err := block.UnionBlock(f.proj.UMETRICS, f.proj.USDA, benchBlockers()...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cand.Len()), "candidates")
+				b.ReportMetric(float64(f.proj.UMETRICS.Len()*f.proj.USDA.Len()), "cartesian")
+			}
+		})
+	}
+}
+
+// BenchmarkScale_SureRules sweeps the positive-rule Cartesian scan (the
+// Figure 9 sure-match step) across data scales.
+func BenchmarkScale_SureRules(b *testing.B) {
+	for _, scale := range sweepScales {
+		b.Run(fmt.Sprintf("scale=%.2g", scale), func(b *testing.B) {
+			f := fixtureAtScale(b, scale)
+			engine, err := umetrics.SureMatchEngine(f.proj.UMETRICS, f.proj.USDA, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sure := engine.SureMatches(f.proj.UMETRICS, f.proj.USDA)
+				b.ReportMetric(float64(sure.Len()), "sure_matches")
+			}
+		})
+	}
+}

@@ -1,0 +1,140 @@
+// Command emgen generates the synthetic UMETRICS/USDA dataset as CSV
+// files — the seven raw tables of Figure 2, the extra UMETRICS slice of
+// Section 10, and a ground-truth file for evaluation.
+//
+// Usage:
+//
+//	emgen [-scale 1.0] [-seed 1] [-full] [-out data/]
+//
+// With -full the auxiliary tables are generated at the exact Figure 2 row
+// counts (1.45M employee rows, 378K vendor rows, ...); the default keeps
+// them compact, which is all the matching pipeline needs.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"emgo/internal/table"
+	"emgo/internal/umetrics"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "data scale relative to the paper (1.0 = Figure 2 sizes)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	full := flag.Bool("full", false, "generate auxiliary tables at full Figure 2 size")
+	projected := flag.Bool("projected", false, "also run the Section 6 pre-processing and write the projected matching tables")
+	out := flag.String("out", "data", "output directory")
+	flag.Parse()
+
+	var params umetrics.Params
+	if *scale == 1.0 && *full {
+		params = umetrics.PaperParams()
+	} else {
+		params = umetrics.TestParams(*scale)
+		if *full {
+			pp := umetrics.PaperParams()
+			params.EmployeeRows = int(float64(pp.EmployeeRows) * *scale)
+			params.VendorRows = int(float64(pp.VendorRows) * *scale)
+			params.SubAwardRows = int(float64(pp.SubAwardRows) * *scale)
+		}
+	}
+	params.Seed = *seed
+
+	ds, err := umetrics.Generate(params)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	tables := map[string]*table.Table{
+		"UMETRICSAwardAggMatching.csv":    ds.AwardAgg,
+		"UMETRICSAwardAggExtra.csv":       ds.ExtraAwardAgg,
+		"UMETRICSEmployeesMatching.csv":   ds.Employees,
+		"UMETRICSObjectCodesMatching.csv": ds.ObjectCodes,
+		"UMETRICSOrgUnitsMatching.csv":    ds.OrgUnits,
+		"UMETRICSSubAwardMatching.csv":    ds.SubAward,
+		"UMETRICSVendorMatching.csv":      ds.Vendor,
+		"USDAAwardMatching.csv":           ds.USDA,
+	}
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := tables[name]
+		path := filepath.Join(*out, name)
+		if err := t.WriteCSVFile(path); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-36s %9d rows x %2d cols\n", name, t.Len(), t.Schema().Len())
+	}
+	if err := writeTruth(filepath.Join(*out, "ground_truth.csv"), ds); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-36s %9d true match pairs\n", "ground_truth.csv", ds.Truth.NumMatches())
+
+	if *projected {
+		proj, _, err := umetrics.Preprocess(ds.AwardAgg, ds.Employees, ds.USDA, "u", "s")
+		if err != nil {
+			fail(err)
+		}
+		if err := umetrics.AddProjectNumber(proj, ds.USDA); err != nil {
+			fail(err)
+		}
+		for name, t := range map[string]*table.Table{
+			"UMETRICSProjected.csv": proj.UMETRICS,
+			"USDAProjected.csv":     proj.USDA,
+		} {
+			if err := t.WriteCSVFile(filepath.Join(*out, name)); err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-36s %9d rows x %2d cols\n", name, t.Len(), t.Schema().Len())
+		}
+	}
+}
+
+// writeTruth dumps the true (UniqueAwardNumber, AccessionNumber) pairs
+// and their classes.
+func writeTruth(path string, ds *umetrics.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"UniqueAwardNumber", "AccessionNumber", "Class"}); err != nil {
+		f.Close()
+		return err
+	}
+	keys := ds.Truth.Matches()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].UAN != keys[j].UAN {
+			return keys[i].UAN < keys[j].UAN
+		}
+		return keys[i].Accession < keys[j].Accession
+	})
+	for _, k := range keys {
+		class := ds.Truth.MatchClass(k.UAN, k.Accession)
+		if err := w.Write([]string{k.UAN, k.Accession, class.String()}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "emgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,190 @@
+// Command emlabel is the labeling tool of the EM process (the Section 8
+// "cloud-based labeling tool with a good UI", as a terminal program): it
+// blocks two CSV tables on a column, samples candidate pairs, shows each
+// pair side by side, and records Yes/No/Unsure judgments to a CSV the
+// pipeline can train on.
+//
+// Usage:
+//
+//	emlabel -left a.csv -right b.csv -on Title [-n 20] [-seed 1] \
+//	        [-left-id RecordId] [-right-id RecordId] [-out labels.csv]
+//
+// Keys: y = match, n = non-match, u = unsure, s = skip, q = quit.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"emgo/internal/block"
+	"emgo/internal/label"
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+)
+
+func main() {
+	leftPath := flag.String("left", "", "left table CSV")
+	rightPath := flag.String("right", "", "right table CSV")
+	on := flag.String("on", "", "column to block on (word overlap, K=2)")
+	n := flag.Int("n", 20, "how many pairs to sample")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	leftID := flag.String("left-id", "", "left ID column for the output (default: row index)")
+	rightID := flag.String("right-id", "", "right ID column for the output (default: row index)")
+	out := flag.String("out", "labels.csv", "output CSV (left,right,label)")
+	flag.Parse()
+
+	if *leftPath == "" || *rightPath == "" || *on == "" {
+		fmt.Fprintln(os.Stderr, "usage: emlabel -left a.csv -right b.csv -on Column")
+		os.Exit(2)
+	}
+	left, err := table.ReadCSVFile(*leftPath, nil)
+	if err != nil {
+		fail(err)
+	}
+	right, err := table.ReadCSVFile(*rightPath, nil)
+	if err != nil {
+		fail(err)
+	}
+	cand, err := (block.Overlap{
+		LeftCol: *on, RightCol: *on,
+		Tokenizer: tokenize.Word{}, Threshold: 2, Normalize: true,
+	}).Block(left, right)
+	if err != nil {
+		fail(err)
+	}
+	if cand.Len() == 0 {
+		fail(fmt.Errorf("no candidate pairs; try a different -on column"))
+	}
+	count := *n
+	if count > cand.Len() {
+		count = cand.Len()
+	}
+	pairs, err := cand.Sample(count, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fail(err)
+	}
+
+	store := label.NewStore()
+	fmt.Printf("labeling %d of %d candidate pairs (y/n/u, s=skip, q=quit)\n\n", count, cand.Len())
+	if err := labelLoop(os.Stdin, os.Stdout, left, right, pairs, store); err != nil {
+		fail(err)
+	}
+
+	if err := writeLabels(*out, left, right, *leftID, *rightID, store); err != nil {
+		fail(err)
+	}
+	c := store.Counts()
+	fmt.Printf("wrote %d labels (%d Yes / %d No / %d Unsure) to %s\n",
+		c.Total(), c.Yes, c.No, c.Unsure, *out)
+}
+
+// labelLoop drives the interactive session: render each pair, read a
+// judgment, store it. It is separated from main for testing.
+func labelLoop(in io.Reader, out io.Writer, left, right *table.Table, pairs []block.Pair, store *label.Store) error {
+	reader := bufio.NewScanner(in)
+	for i, p := range pairs {
+		fmt.Fprintf(out, "--- pair %d/%d ---\n", i+1, len(pairs))
+		renderPair(out, left, right, p)
+		for {
+			fmt.Fprint(out, "match? [y/n/u/s/q] ")
+			if !reader.Scan() {
+				return nil // EOF ends the session gracefully
+			}
+			switch strings.TrimSpace(strings.ToLower(reader.Text())) {
+			case "y":
+				store.Set(p, label.Yes)
+			case "n":
+				store.Set(p, label.No)
+			case "u":
+				store.Set(p, label.Unsure)
+			case "s":
+				// skip: no label
+			case "q":
+				return nil
+			default:
+				fmt.Fprintln(out, "please answer y, n, u, s, or q")
+				continue
+			}
+			break
+		}
+	}
+	return reader.Err()
+}
+
+// renderPair prints the two records side by side, one attribute per line.
+func renderPair(out io.Writer, left, right *table.Table, p block.Pair) {
+	names := left.Schema().Names()
+	for _, col := range names {
+		lv := left.Get(p.A, col)
+		var rv string
+		if right.Schema().Has(col) {
+			rv = right.Get(p.B, col).String()
+		} else {
+			rv = "(no column)"
+		}
+		fmt.Fprintf(out, "  %-20s %-38q %q\n", col, lv.String(), rv)
+	}
+	// Right-only columns.
+	for _, col := range right.Schema().Names() {
+		if !left.Schema().Has(col) {
+			fmt.Fprintf(out, "  %-20s %-38q %q\n", col, "(no column)", right.Get(p.B, col).String())
+		}
+	}
+}
+
+// writeLabels persists the session as (left,right,label) rows, using ID
+// columns when given and row indices otherwise.
+func writeLabels(path string, left, right *table.Table, leftID, rightID string, store *label.Store) error {
+	idOf := func(t *table.Table, col string, row int) (string, error) {
+		if col == "" {
+			return fmt.Sprint(row), nil
+		}
+		v, err := t.Value(row, col)
+		if err != nil {
+			return "", err
+		}
+		return v.Str(), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"left", "right", "label"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, p := range store.Pairs() {
+		l, err := idOf(left, leftID, p.A)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		r, err := idOf(right, rightID, p.B)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Write([]string{l, r, store.Get(p).String()}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "emlabel:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emgo/internal/block"
+	"emgo/internal/label"
+	"emgo/internal/table"
+)
+
+func labelFixture() (*table.Table, *table.Table) {
+	schema := table.MustSchema(
+		table.Field{Name: "ID", Kind: table.String},
+		table.Field{Name: "Title", Kind: table.String},
+	)
+	l := table.New("L", schema)
+	l.MustAppend(table.Row{table.S("l0"), table.S("corn fungicide")})
+	l.MustAppend(table.Row{table.S("l1"), table.S("swamp dodder")})
+	r := table.New("R", schema)
+	r.MustAppend(table.Row{table.S("r0"), table.S("Corn Fungicide")})
+	r.MustAppend(table.Row{table.S("r1"), table.S("Swamp Dodder")})
+	return l, r
+}
+
+func TestLabelLoop(t *testing.T) {
+	l, r := labelFixture()
+	pairs := []block.Pair{{A: 0, B: 0}, {A: 1, B: 1}, {A: 0, B: 1}}
+	store := label.NewStore()
+	// y, garbage then u, then quit before the third pair.
+	in := strings.NewReader("y\nmaybe\nu\nq\n")
+	var out bytes.Buffer
+	if err := labelLoop(in, &out, l, r, pairs, store); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("labels stored = %d", store.Len())
+	}
+	if store.Get(block.Pair{A: 0, B: 0}) != label.Yes {
+		t.Fatal("first pair should be Yes")
+	}
+	if store.Get(block.Pair{A: 1, B: 1}) != label.Unsure {
+		t.Fatal("second pair should be Unsure after the retry prompt")
+	}
+	text := out.String()
+	if !strings.Contains(text, "pair 1/3") || !strings.Contains(text, "corn fungicide") {
+		t.Fatalf("rendering: %s", text)
+	}
+	if !strings.Contains(text, "please answer") {
+		t.Fatal("invalid input should re-prompt")
+	}
+}
+
+func TestLabelLoopSkipAndEOF(t *testing.T) {
+	l, r := labelFixture()
+	pairs := []block.Pair{{A: 0, B: 0}, {A: 1, B: 1}}
+	store := label.NewStore()
+	// Skip the first; EOF before answering the second.
+	in := strings.NewReader("s\n")
+	var out bytes.Buffer
+	if err := labelLoop(in, &out, l, r, pairs, store); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Fatal("skip and EOF must store nothing")
+	}
+}
+
+func TestWriteLabels(t *testing.T) {
+	l, r := labelFixture()
+	store := label.NewStore()
+	store.Set(block.Pair{A: 0, B: 0}, label.Yes)
+	store.Set(block.Pair{A: 1, B: 1}, label.No)
+	path := filepath.Join(t.TempDir(), "labels.csv")
+
+	if err := writeLabels(path, l, r, "ID", "ID", store); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "l0,r0,Yes") || !strings.Contains(got, "l1,r1,No") {
+		t.Fatalf("output: %s", got)
+	}
+
+	// Row-index fallback when no ID columns given.
+	if err := writeLabels(path, l, r, "", "", store); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if !strings.Contains(string(data), "0,0,Yes") {
+		t.Fatalf("index output: %s", data)
+	}
+
+	// Unknown ID column errors.
+	if err := writeLabels(path, l, r, "Nope", "ID", store); err == nil {
+		t.Fatal("unknown ID column should error")
+	}
+}
+
+func TestRenderPairRightOnlyColumns(t *testing.T) {
+	l, _ := labelFixture()
+	r := table.New("R", table.MustSchema(
+		table.Field{Name: "ID", Kind: table.String},
+		table.Field{Name: "Extra", Kind: table.String},
+	))
+	r.MustAppend(table.Row{table.S("r0"), table.S("bonus")})
+	var out bytes.Buffer
+	renderPair(&out, l, r, block.Pair{A: 0, B: 0})
+	text := out.String()
+	if !strings.Contains(text, "Extra") || !strings.Contains(text, "bonus") {
+		t.Fatalf("right-only column missing: %s", text)
+	}
+	if !strings.Contains(text, "(no column)") {
+		t.Fatalf("missing-column marker absent: %s", text)
+	}
+}

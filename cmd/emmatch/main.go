@@ -1,0 +1,121 @@
+// Command emmatch is the production matcher: it loads a packaged workflow
+// spec (JSON, as produced by the development process — see
+// examples/production), rebuilds the workflow against two CSV tables, and
+// writes the predicted matches. It is the "move it into the repository to
+// do matching for other data slices" binary of Section 12.
+//
+// Usage:
+//
+//	emmatch -spec workflow.json -left UMETRICSProjected.csv -right USDAProjected.csv \
+//	        [-left-id RecordId] [-right-id RecordId] [-out matches.csv] [-transforms umetrics]
+//
+// The -transforms flag selects the registered transform set the spec's
+// rules reference ("umetrics" or "none").
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"emgo/internal/table"
+	"emgo/internal/umetrics"
+	"emgo/internal/workflow"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "packaged workflow spec (JSON)")
+	leftPath := flag.String("left", "", "left table CSV")
+	rightPath := flag.String("right", "", "right table CSV")
+	leftID := flag.String("left-id", "RecordId", "left record-ID column for the output")
+	rightID := flag.String("right-id", "RecordId", "right record-ID column for the output")
+	out := flag.String("out", "", "output CSV (default: stdout)")
+	transformSet := flag.String("transforms", "umetrics", "transform registry the spec references: umetrics | none")
+	dateCols := flag.String("date-cols", "FirstTransDate,LastTransDate",
+		"comma-separated columns parsed as dates (needed by date features)")
+	flag.Parse()
+
+	if *specPath == "" || *leftPath == "" || *rightPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: emmatch -spec workflow.json -left a.csv -right b.csv")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := workflow.ParseSpec(data)
+	if err != nil {
+		fail(err)
+	}
+
+	var transforms workflow.Transforms
+	switch *transformSet {
+	case "umetrics":
+		transforms = umetrics.DeployTransforms()
+	case "none":
+		transforms = workflow.Transforms{}
+	default:
+		fail(fmt.Errorf("unknown transform set %q", *transformSet))
+	}
+
+	kinds := map[string]table.Kind{}
+	for _, c := range strings.Split(*dateCols, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			kinds[c] = table.Date
+		}
+	}
+	left, err := table.ReadCSVFile(*leftPath, kinds)
+	if err != nil {
+		fail(err)
+	}
+	right, err := table.ReadCSVFile(*rightPath, kinds)
+	if err != nil {
+		fail(err)
+	}
+
+	w, err := spec.Build(left, right, transforms)
+	if err != nil {
+		fail(err)
+	}
+	res, err := w.Run(left, right)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s", res.Log)
+
+	ids, err := res.MatchIDs(*leftID, *rightID)
+	if err != nil {
+		fail(err)
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	cw := csv.NewWriter(dst)
+	if err := cw.Write([]string{*leftID, *rightID}); err != nil {
+		fail(err)
+	}
+	for _, m := range ids {
+		if err := cw.Write([]string{m.Left, m.Right}); err != nil {
+			fail(err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "emmatch: %d matches\n", len(ids))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "emmatch:", err)
+	os.Exit(1)
+}

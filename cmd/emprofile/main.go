@@ -1,0 +1,67 @@
+// Command emprofile prints per-column statistics of CSV tables — the
+// exploration step of Section 4 (the pandas-profiling role): missing and
+// unique counts, numeric statistics, and the most frequent values.
+//
+// Usage:
+//
+//	emprofile [-top] file.csv [file2.csv ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emgo/internal/profile"
+	"emgo/internal/rules"
+	"emgo/internal/table"
+)
+
+func main() {
+	top := flag.Bool("top", false, "also print each column's most frequent values")
+	patterns := flag.Bool("patterns", false, "also print each string column's identifier shapes (digits→#, letters→X, years→YYYY)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: emprofile [-top] file.csv ...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		t, err := table.ReadCSVFile(path, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emprofile:", err)
+			os.Exit(1)
+		}
+		rep := profile.Profile(t)
+		fmt.Print(rep)
+		if *top {
+			for _, c := range rep.Columns {
+				if len(c.Top) == 0 {
+					continue
+				}
+				fmt.Printf("  %s top values:", c.Name)
+				for _, tv := range c.Top {
+					fmt.Printf(" %q×%d", tv.Value, tv.Count)
+				}
+				fmt.Println()
+			}
+		}
+		if *patterns {
+			gen := func(s string) string { return string(rules.Generalize(s)) }
+			for _, c := range rep.Columns {
+				if c.Kind != table.String {
+					continue
+				}
+				shapes, err := profile.Patterns(t, c.Name, 5, gen)
+				if err != nil || len(shapes) == 0 {
+					continue
+				}
+				fmt.Printf("  %s shapes:", c.Name)
+				for _, s := range shapes {
+					fmt.Printf(" %q×%d", s.Pattern, s.Count)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}

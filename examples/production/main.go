@@ -1,0 +1,197 @@
+// Production example: the Section 12 "Next Steps" lifecycle. Development
+// trains the Figure 10 workflow and packages it as a JSON spec; production
+// loads the spec, rebuilds the workflow against each incoming data slice,
+// and monitors accuracy by sampling and labeling predicted matches
+// (footnote 11). A dirty slice trips the precision alarm — the signal to
+// go back to development. Run with:
+//
+//	go run ./examples/production
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"emgo/internal/block"
+	"emgo/internal/feature"
+	"emgo/internal/label"
+	"emgo/internal/ml"
+	"emgo/internal/tokenize"
+	"emgo/internal/umetrics"
+	"emgo/internal/workflow"
+)
+
+func main() {
+	// ---- Development: train and package the workflow. ----
+	spec := develop()
+	data, err := spec.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "umetrics-workflow.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("development: packaged workflow spec (%d bytes) -> %s\n", len(data), path)
+
+	// ---- Production: load the spec and process data slices. ----
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := workflow.ParseSpec(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor := &workflow.Monitor{
+		SampleSize:   80,
+		MinPrecision: 0.75,
+		Rng:          rand.New(rand.NewSource(100)),
+	}
+
+	// Two quarterly slices: a clean one, then one whose labels expose a
+	// precision collapse (simulated by a hostile labeler standing in for
+	// genuinely dirty data).
+	for _, batch := range []struct {
+		name  string
+		seed  int64
+		dirty bool
+	}{
+		{"2016-Q1", 41, false},
+		{"2016-Q2", 42, true},
+	} {
+		res, labeler := runSlice(loaded, batch.seed, batch.dirty)
+		check, err := monitor.Check(batch.name, res.Final, labeler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if check.Alarm {
+			status = "ALARM — send the workflow back to development"
+		}
+		fmt.Printf("production %s: %d matches, precision %s over %d labeled -> %s\n",
+			batch.name, res.Final.Len(), check.Precision, check.Labeled, status)
+	}
+	fmt.Printf("monitoring history: %d checks, %d alarms\n",
+		len(monitor.History()), len(monitor.Alarms()))
+}
+
+// develop trains the matcher on the development world and returns the
+// packaged Figure 10 spec.
+func develop() *workflow.Spec {
+	ds, err := umetrics.Generate(umetrics.TestParams(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	proj, _, err := umetrics.Preprocess(ds.AwardAgg, ds.Employees, ds.USDA, "u", "s")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := umetrics.AddProjectNumber(proj, ds.USDA); err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := umetrics.NewTruthOracle(ds.Truth, proj.UMETRICS, proj.USDA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cand, err := block.UnionBlock(proj.UMETRICS, proj.USDA,
+		block.Overlap{LeftCol: "AwardTitle", RightCol: "AwardTitle",
+			Tokenizer: tokenize.Word{}, Threshold: 3, Normalize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pairs []block.Pair
+	var y []int
+	for _, p := range cand.Pairs() {
+		if oracle.IsHard(p) {
+			continue
+		}
+		pairs = append(pairs, p)
+		if oracle.IsMatch(p) {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	corr := map[string]string{"AwardNumber": "AwardNumber", "AwardTitle": "AwardTitle", "EmployeeName": "EmployeeName"}
+	fs, err := feature.Generate(proj.UMETRICS, proj.USDA, corr, []string{"AwardNumber", "AwardTitle", "EmployeeName"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := feature.AddCaseInsensitive(fs, proj.UMETRICS, corr, []string{"AwardTitle", "EmployeeName"}); err != nil {
+		log.Fatal(err)
+	}
+	x, err := fs.Vectorize(proj.UMETRICS, proj.USDA, pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := feature.FitImputer(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if x, err = im.Transform(x); err != nil {
+		log.Fatal(err)
+	}
+	dset, err := ml.NewDataset(fs.Names(), x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := &ml.DecisionTree{}
+	if err := tree.Fit(dset); err != nil {
+		log.Fatal(err)
+	}
+	spec, err := umetrics.BuildDeploymentSpec(fs, im, tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return spec
+}
+
+// runSlice builds the deployed workflow for a fresh data slice and
+// returns its result plus the labeler the monitor uses.
+func runSlice(spec *workflow.Spec, seed int64, dirty bool) (*workflow.Result, func(block.Pair) label.Label) {
+	params := umetrics.TestParams(0.25)
+	params.Seed = seed
+	ds, err := umetrics.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proj, _, err := umetrics.Preprocess(ds.AwardAgg, ds.Employees, ds.USDA, "u", "s")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := umetrics.AddProjectNumber(proj, ds.USDA); err != nil {
+		log.Fatal(err)
+	}
+	w, err := spec.Build(proj.UMETRICS, proj.USDA, umetrics.DeployTransforms())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := w.Run(proj.UMETRICS, proj.USDA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := umetrics.NewTruthOracle(ds.Truth, proj.UMETRICS, proj.USDA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noise := rand.New(rand.NewSource(seed * 7))
+	labeler := func(p block.Pair) label.Label {
+		if dirty && noise.Float64() < 0.5 {
+			// The dirty slice's matches fail human review half the time.
+			return label.No
+		}
+		switch {
+		case oracle.IsHard(p):
+			return label.Unsure
+		case oracle.IsMatch(p):
+			return label.Yes
+		default:
+			return label.No
+		}
+	}
+	return res, labeler
+}

@@ -1,0 +1,3 @@
+module emgo
+
+go 1.22

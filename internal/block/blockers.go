@@ -1,0 +1,294 @@
+package block
+
+import (
+	"fmt"
+	"sort"
+
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+)
+
+// AttrEquiv is the attribute-equivalence blocker: a pair survives only when
+// the (non-null) blocking attributes of both records are exactly equal. A
+// Transform, when set, is applied to the raw attribute text of each side
+// before comparison — this is how the case study extracts the suffix of
+// "UniqueAwardNumber" before the equality check (Section 7 step 1).
+type AttrEquiv struct {
+	LeftCol, RightCol string
+	// LeftTransform/RightTransform map the attribute text to the blocking
+	// key; a nil transform is the identity. Returning "" drops the record
+	// from the index (treated as null).
+	LeftTransform  func(string) string
+	RightTransform func(string) string
+}
+
+// Name implements Blocker.
+func (b AttrEquiv) Name() string {
+	return fmt.Sprintf("attr_equiv(%s=%s)", b.LeftCol, b.RightCol)
+}
+
+// Block implements Blocker with a hash join on the blocking key.
+func (b AttrEquiv) Block(left, right *table.Table) (*CandidateSet, error) {
+	lj, err := left.Col(b.LeftCol)
+	if err != nil {
+		return nil, err
+	}
+	rj, err := right.Col(b.RightCol)
+	if err != nil {
+		return nil, err
+	}
+	key := func(v table.Value, transform func(string) string) string {
+		if v.IsNull() {
+			return ""
+		}
+		s := v.Str()
+		if transform != nil {
+			s = transform(s)
+		}
+		return s
+	}
+	index := make(map[string][]int)
+	for i := 0; i < right.Len(); i++ {
+		k := key(right.Row(i)[rj], b.RightTransform)
+		if k == "" {
+			continue
+		}
+		index[k] = append(index[k], i)
+	}
+	out := NewCandidateSet(left, right)
+	for i := 0; i < left.Len(); i++ {
+		k := key(left.Row(i)[lj], b.LeftTransform)
+		if k == "" {
+			continue
+		}
+		for _, ri := range index[k] {
+			out.Add(Pair{A: i, B: ri})
+		}
+	}
+	return out, nil
+}
+
+// Overlap is the overlap blocker of Section 7 step 2: a pair survives when
+// the blocking attributes share at least Threshold distinct tokens. When
+// Normalize is true the attribute text is lowercased and special characters
+// stripped first (the paper's pre-blocking normalization). The blocker is
+// implemented with an inverted index over the right table so runtime is
+// proportional to the number of token collisions, not |left|×|right|.
+type Overlap struct {
+	LeftCol, RightCol string
+	Tokenizer         tokenize.Tokenizer
+	Threshold         int
+	Normalize         bool
+}
+
+// Name implements Blocker.
+func (b Overlap) Name() string {
+	return fmt.Sprintf("overlap(%s~%s,K=%d)", b.LeftCol, b.RightCol, b.Threshold)
+}
+
+// tokensOf extracts the (distinct) blocking tokens of a value.
+func (b Overlap) tokensOf(v table.Value) []string {
+	if v.IsNull() {
+		return nil
+	}
+	s := v.Str()
+	if b.Normalize {
+		s = tokenize.Normalize(s)
+	}
+	return tokenize.SortedSet(b.Tokenizer.Tokens(s))
+}
+
+// Block implements Blocker.
+func (b Overlap) Block(left, right *table.Table) (*CandidateSet, error) {
+	if b.Tokenizer == nil {
+		return nil, fmt.Errorf("block: overlap blocker needs a tokenizer")
+	}
+	if b.Threshold < 1 {
+		return nil, fmt.Errorf("block: overlap threshold must be >= 1, got %d", b.Threshold)
+	}
+	lj, err := left.Col(b.LeftCol)
+	if err != nil {
+		return nil, err
+	}
+	rj, err := right.Col(b.RightCol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Inverted index: token -> right row ids containing it.
+	index := make(map[string][]int)
+	for i := 0; i < right.Len(); i++ {
+		for _, t := range b.tokensOf(right.Row(i)[rj]) {
+			index[t] = append(index[t], i)
+		}
+	}
+
+	out := NewCandidateSet(left, right)
+	counts := make(map[int]int)
+	for i := 0; i < left.Len(); i++ {
+		toks := b.tokensOf(left.Row(i)[lj])
+		if len(toks) < b.Threshold {
+			// Size filter: fewer tokens than the threshold can never
+			// reach the required overlap.
+			continue
+		}
+		clear(counts)
+		for _, t := range toks {
+			for _, ri := range index[t] {
+				counts[ri]++
+			}
+		}
+		for _, ri := range sortedKeys(counts) {
+			if counts[ri] >= b.Threshold {
+				out.Add(Pair{A: i, B: ri})
+			}
+		}
+	}
+	return out, nil
+}
+
+// sortedKeys returns the keys of a row-count map in ascending order so
+// blockers emit pairs deterministically (map iteration order would leak
+// into candidate-set order and, through sampling, into every downstream
+// artifact).
+func sortedKeys(counts map[int]int) []int {
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// OverlapCoefficient is the overlap-coefficient blocker of Section 7 step
+// 3: a pair survives when |A∩B| / min(|A|,|B|) >= Threshold over the
+// distinct tokens of the blocking attributes. It handles short strings
+// that the raw overlap blocker's absolute threshold cannot.
+type OverlapCoefficient struct {
+	LeftCol, RightCol string
+	Tokenizer         tokenize.Tokenizer
+	Threshold         float64
+	Normalize         bool
+}
+
+// Name implements Blocker.
+func (b OverlapCoefficient) Name() string {
+	return fmt.Sprintf("overlap_coeff(%s~%s,t=%.2f)", b.LeftCol, b.RightCol, b.Threshold)
+}
+
+func (b OverlapCoefficient) tokensOf(v table.Value) []string {
+	if v.IsNull() {
+		return nil
+	}
+	s := v.Str()
+	if b.Normalize {
+		s = tokenize.Normalize(s)
+	}
+	return tokenize.SortedSet(b.Tokenizer.Tokens(s))
+}
+
+// Block implements Blocker.
+func (b OverlapCoefficient) Block(left, right *table.Table) (*CandidateSet, error) {
+	if b.Tokenizer == nil {
+		return nil, fmt.Errorf("block: overlap-coefficient blocker needs a tokenizer")
+	}
+	if b.Threshold <= 0 || b.Threshold > 1 {
+		return nil, fmt.Errorf("block: overlap-coefficient threshold must be in (0,1], got %v", b.Threshold)
+	}
+	lj, err := left.Col(b.LeftCol)
+	if err != nil {
+		return nil, err
+	}
+	rj, err := right.Col(b.RightCol)
+	if err != nil {
+		return nil, err
+	}
+
+	rightTokens := make([][]string, right.Len())
+	index := make(map[string][]int)
+	for i := 0; i < right.Len(); i++ {
+		toks := b.tokensOf(right.Row(i)[rj])
+		rightTokens[i] = toks
+		for _, t := range toks {
+			index[t] = append(index[t], i)
+		}
+	}
+
+	out := NewCandidateSet(left, right)
+	counts := make(map[int]int)
+	for i := 0; i < left.Len(); i++ {
+		toks := b.tokensOf(left.Row(i)[lj])
+		if len(toks) == 0 {
+			continue
+		}
+		clear(counts)
+		for _, t := range toks {
+			for _, ri := range index[t] {
+				counts[ri]++
+			}
+		}
+		for _, ri := range sortedKeys(counts) {
+			inter := counts[ri]
+			m := len(toks)
+			if len(rightTokens[ri]) < m {
+				m = len(rightTokens[ri])
+			}
+			if m == 0 {
+				continue
+			}
+			if float64(inter)/float64(m) >= b.Threshold {
+				out.Add(Pair{A: i, B: ri})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Func is a black-box blocker evaluating a predicate over the full
+// Cartesian product. It is the escape hatch PyMatcher's scripting
+// environment provides; only suitable for small inputs.
+type Func struct {
+	Label string
+	Keep  func(left, right table.Row) bool
+}
+
+// Name implements Blocker.
+func (b Func) Name() string {
+	if b.Label != "" {
+		return "func(" + b.Label + ")"
+	}
+	return "func"
+}
+
+// Block implements Blocker.
+func (b Func) Block(left, right *table.Table) (*CandidateSet, error) {
+	if b.Keep == nil {
+		return nil, fmt.Errorf("block: func blocker needs a predicate")
+	}
+	out := NewCandidateSet(left, right)
+	for i := 0; i < left.Len(); i++ {
+		for j := 0; j < right.Len(); j++ {
+			if b.Keep(left.Row(i), right.Row(j)) {
+				out.Add(Pair{A: i, B: j})
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnionBlock runs each blocker and unions the results — the Section 7 step
+// 4 consolidation of C1 ∪ C2 ∪ C3.
+func UnionBlock(left, right *table.Table, blockers ...Blocker) (*CandidateSet, error) {
+	out := NewCandidateSet(left, right)
+	for _, b := range blockers {
+		c, err := b.Block(left, right)
+		if err != nil {
+			return nil, fmt.Errorf("block: %s: %w", b.Name(), err)
+		}
+		out, err = out.Union(c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package block implements blocking for entity matching: the attribute
+// equivalence, overlap, and overlap-coefficient blockers used in Section 7
+// of the case study, candidate-set algebra (union, minus, intersection),
+// and a MatchCatcher-style blocking debugger that surfaces likely matches
+// the blocking pipeline may have killed off.
+package block
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"emgo/internal/table"
+)
+
+// Pair identifies a candidate record pair by row index into the left and
+// right tables.
+type Pair struct {
+	A int // row index in the left table
+	B int // row index in the right table
+}
+
+// CandidateSet is a deduplicated set of record pairs over a fixed pair of
+// tables. The zero value is not usable; create with NewCandidateSet.
+type CandidateSet struct {
+	Left  *table.Table
+	Right *table.Table
+	pairs []Pair
+	seen  map[Pair]struct{}
+}
+
+// NewCandidateSet returns an empty candidate set over left and right.
+func NewCandidateSet(left, right *table.Table) *CandidateSet {
+	return &CandidateSet{
+		Left:  left,
+		Right: right,
+		seen:  make(map[Pair]struct{}),
+	}
+}
+
+// Add inserts a pair; duplicates are ignored. It reports whether the pair
+// was new.
+func (c *CandidateSet) Add(p Pair) bool {
+	if _, dup := c.seen[p]; dup {
+		return false
+	}
+	c.seen[p] = struct{}{}
+	c.pairs = append(c.pairs, p)
+	return true
+}
+
+// Contains reports whether the pair is present.
+func (c *CandidateSet) Contains(p Pair) bool {
+	_, ok := c.seen[p]
+	return ok
+}
+
+// Len returns the number of pairs.
+func (c *CandidateSet) Len() int { return len(c.pairs) }
+
+// Pairs returns the pairs in insertion order. Callers must not mutate the
+// returned slice.
+func (c *CandidateSet) Pairs() []Pair { return c.pairs }
+
+// Pair returns the i-th pair.
+func (c *CandidateSet) Pair(i int) Pair { return c.pairs[i] }
+
+// sameTables guards the set algebra: operands must be over the same
+// two tables for row indices to be comparable.
+func (c *CandidateSet) sameTables(o *CandidateSet) error {
+	if c.Left != o.Left || c.Right != o.Right {
+		return fmt.Errorf("block: candidate sets are over different tables")
+	}
+	return nil
+}
+
+// Union returns a new set with all pairs of c and o.
+func (c *CandidateSet) Union(o *CandidateSet) (*CandidateSet, error) {
+	if err := c.sameTables(o); err != nil {
+		return nil, err
+	}
+	out := NewCandidateSet(c.Left, c.Right)
+	for _, p := range c.pairs {
+		out.Add(p)
+	}
+	for _, p := range o.pairs {
+		out.Add(p)
+	}
+	return out, nil
+}
+
+// Minus returns a new set with the pairs of c not in o.
+func (c *CandidateSet) Minus(o *CandidateSet) (*CandidateSet, error) {
+	if err := c.sameTables(o); err != nil {
+		return nil, err
+	}
+	out := NewCandidateSet(c.Left, c.Right)
+	for _, p := range c.pairs {
+		if !o.Contains(p) {
+			out.Add(p)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns a new set with the pairs present in both c and o.
+func (c *CandidateSet) Intersect(o *CandidateSet) (*CandidateSet, error) {
+	if err := c.sameTables(o); err != nil {
+		return nil, err
+	}
+	out := NewCandidateSet(c.Left, c.Right)
+	for _, p := range c.pairs {
+		if o.Contains(p) {
+			out.Add(p)
+		}
+	}
+	return out, nil
+}
+
+// Sample returns n pairs drawn uniformly without replacement.
+func (c *CandidateSet) Sample(n int, rng *rand.Rand) ([]Pair, error) {
+	if n < 0 || n > len(c.pairs) {
+		return nil, fmt.Errorf("block: sample %d of %d pairs", n, len(c.pairs))
+	}
+	perm := rng.Perm(len(c.pairs))
+	out := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.pairs[perm[i]]
+	}
+	return out, nil
+}
+
+// Filter returns a new set with the pairs for which keep returns true.
+func (c *CandidateSet) Filter(keep func(Pair) bool) *CandidateSet {
+	out := NewCandidateSet(c.Left, c.Right)
+	for _, p := range c.pairs {
+		if keep(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Sorted returns the pairs ordered by (A, B); used for deterministic
+// output in reports.
+func (c *CandidateSet) Sorted() []Pair {
+	out := make([]Pair, len(c.pairs))
+	copy(out, c.pairs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Blocker produces a candidate set from two tables.
+type Blocker interface {
+	// Block computes the candidate pairs of left × right that survive
+	// the blocker.
+	Block(left, right *table.Table) (*CandidateSet, error)
+	// Name identifies the blocker for provenance logs.
+	Name() string
+}

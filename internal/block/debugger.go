@@ -1,0 +1,141 @@
+package block
+
+import (
+	"fmt"
+	"sort"
+
+	"emgo/internal/parallel"
+	"emgo/internal/simfunc"
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+)
+
+// DebugPair is one pair the blocking debugger flags as a potential match
+// that blocking discarded.
+type DebugPair struct {
+	Pair  Pair
+	Score float64
+}
+
+// Debugger is a MatchCatcher-style blocking debugger (Section 7 step 5,
+// [Li et al., EDBT 2018]): it ranks the record pairs that are in the
+// Cartesian product but NOT in the candidate set by a similarity score and
+// returns the top K, so a user can eyeball whether blocking killed off true
+// matches. Similarity is the maximum Jaccard (word tokens, normalized) over
+// the configured column pairs — using the max lets a pair surface when any
+// one attribute is suspiciously similar.
+type Debugger struct {
+	// Cols maps a left column to the right column it is compared with.
+	Cols map[string]string
+	// K is how many top pairs to return (default 100, the number the case
+	// study manually examined).
+	K int
+}
+
+// Run returns the top-K likely matches outside cand, most similar first.
+//
+// The search is pruned with a token inverted index: a pair with zero shared
+// tokens on every compared column has score 0 and cannot enter a non-empty
+// top-K, so only colliding pairs are scored.
+func (d Debugger) Run(cand *CandidateSet) ([]DebugPair, error) {
+	if len(d.Cols) == 0 {
+		return nil, fmt.Errorf("block: debugger needs at least one column pair")
+	}
+	k := d.K
+	if k <= 0 {
+		k = 100
+	}
+	left, right := cand.Left, cand.Right
+
+	type colPair struct{ lj, rj int }
+	var cols []colPair
+	// Deterministic column order.
+	names := make([]string, 0, len(d.Cols))
+	for l := range d.Cols {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	for _, l := range names {
+		lj, err := left.Col(l)
+		if err != nil {
+			return nil, err
+		}
+		rj, err := right.Col(d.Cols[l])
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, colPair{lj, rj})
+	}
+
+	tok := tokenize.Word{}
+	tokensOf := func(v table.Value) []string {
+		if v.IsNull() {
+			return nil
+		}
+		return tok.Tokens(tokenize.Normalize(v.Str()))
+	}
+
+	// Candidate generation: any pair sharing a token on any compared
+	// column.
+	collide := make(map[Pair]struct{})
+	for _, cp := range cols {
+		index := make(map[string][]int)
+		for j := 0; j < right.Len(); j++ {
+			for _, t := range tokenize.SortedSet(tokensOf(right.Row(j)[cp.rj])) {
+				index[t] = append(index[t], j)
+			}
+		}
+		for i := 0; i < left.Len(); i++ {
+			for _, t := range tokenize.SortedSet(tokensOf(left.Row(i)[cp.lj])) {
+				for _, j := range index[t] {
+					p := Pair{A: i, B: j}
+					if !cand.Contains(p) {
+						collide[p] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+
+	// Score the colliding pairs in parallel (deterministic: results land
+	// by index, then one sort below).
+	pairs := make([]Pair, 0, len(collide))
+	for p := range collide {
+		pairs = append(pairs, p)
+	}
+	scores := make([]float64, len(pairs))
+	parallel.For(len(pairs), func(i int) {
+		p := pairs[i]
+		best := 0.0
+		for _, cp := range cols {
+			a := tokensOf(left.Row(p.A)[cp.lj])
+			b := tokensOf(right.Row(p.B)[cp.rj])
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			if s := simfunc.Jaccard(a, b); s > best {
+				best = s
+			}
+		}
+		scores[i] = best
+	})
+	scored := make([]DebugPair, 0, len(pairs))
+	for i, p := range pairs {
+		if scores[i] > 0 {
+			scored = append(scored, DebugPair{Pair: p, Score: scores[i]})
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		if scored[i].Pair.A != scored[j].Pair.A {
+			return scored[i].Pair.A < scored[j].Pair.A
+		}
+		return scored[i].Pair.B < scored[j].Pair.B
+	})
+	if len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored, nil
+}

@@ -1,0 +1,115 @@
+package block
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+)
+
+// DownSample implements Magellan's down_sample operation for EM
+// development on large tables: sample sizeB rows of the right table, then
+// keep the left rows most likely to match them — the rows sharing the
+// most (rare-ish) tokens with the sampled right rows — so that the
+// down-sampled pair of tables still contains matches to work with.
+// Plain independent random samples of two large tables would share almost
+// no matching pairs; this keeps the development loop meaningful.
+//
+// cols names the textual columns to compare (they must exist in both
+// tables). Returns the down-sampled left and right tables.
+func DownSample(left, right *table.Table, cols []string, sizeLeft, sizeB int, rng *rand.Rand) (*table.Table, *table.Table, error) {
+	if len(cols) == 0 {
+		return nil, nil, fmt.Errorf("block: down-sample needs at least one column")
+	}
+	if sizeB <= 0 || sizeB > right.Len() {
+		return nil, nil, fmt.Errorf("block: down-sample sizeB %d out of range (right has %d rows)", sizeB, right.Len())
+	}
+	if sizeLeft <= 0 || sizeLeft > left.Len() {
+		return nil, nil, fmt.Errorf("block: down-sample sizeLeft %d out of range (left has %d rows)", sizeLeft, left.Len())
+	}
+	var lcols, rcols []int
+	for _, c := range cols {
+		lj, err := left.Col(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		rj, err := right.Col(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		lcols = append(lcols, lj)
+		rcols = append(rcols, rj)
+	}
+
+	sampledB, err := right.Sample(right.Name()+"_sample", sizeB, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Token inventory of the sampled right rows.
+	word := tokenize.Word{}
+	tokensOf := func(r table.Row, cols []int) []string {
+		var out []string
+		for _, j := range cols {
+			if r[j].IsNull() {
+				continue
+			}
+			out = append(out, word.Tokens(tokenize.Normalize(r[j].Str()))...)
+		}
+		return out
+	}
+	inB := make(map[string]struct{})
+	for i := 0; i < sampledB.Len(); i++ {
+		for _, t := range tokensOf(sampledB.Row(i), rcols) {
+			inB[t] = struct{}{}
+		}
+	}
+
+	// Score left rows by shared distinct tokens; keep the top sizeLeft
+	// (ties broken by row order; zero-score rows fill up from a shuffled
+	// remainder so the sample is not all near-matches).
+	type scored struct {
+		row   int
+		score int
+	}
+	var hits []scored
+	var misses []int
+	for i := 0; i < left.Len(); i++ {
+		score := 0
+		for _, t := range tokenize.SortedSet(tokensOf(left.Row(i), lcols)) {
+			if _, ok := inB[t]; ok {
+				score++
+			}
+		}
+		if score > 0 {
+			hits = append(hits, scored{row: i, score: score})
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].score > hits[b].score })
+
+	keep := make([]int, 0, sizeLeft)
+	for _, h := range hits {
+		if len(keep) == sizeLeft {
+			break
+		}
+		keep = append(keep, h.row)
+	}
+	rng.Shuffle(len(misses), func(a, b int) { misses[a], misses[b] = misses[b], misses[a] })
+	for _, m := range misses {
+		if len(keep) == sizeLeft {
+			break
+		}
+		keep = append(keep, m)
+	}
+	sort.Ints(keep)
+
+	outLeft := table.New(left.Name()+"_sample", left.Schema())
+	for _, i := range keep {
+		outLeft.MustAppend(left.Row(i).Clone())
+	}
+	return outLeft, sampledB, nil
+}

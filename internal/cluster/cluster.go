@@ -1,0 +1,218 @@
+// Package cluster analyzes and post-processes match sets at the entity
+// level — the Section 10 discussion of the case study ("Should We Match
+// at the Cluster Level?"): counting one-to-one / one-to-many /
+// many-to-one predictions (the analysis the EM team shared with the
+// UMETRICS team), enforcing a one-to-one constraint when the domain
+// demands it, and grouping matches into entity clusters via connected
+// components (the sub-award clustering the UMETRICS team originally had
+// in mind).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"emgo/internal/block"
+)
+
+// DegreeStats summarizes the multiplicity structure of a match set.
+type DegreeStats struct {
+	// OneToOne counts pairs whose left AND right records appear in
+	// exactly one match.
+	OneToOne int
+	// OneToMany counts pairs whose left record matches several right
+	// records (but the right record has only this match).
+	OneToMany int
+	// ManyToOne is the mirror image.
+	ManyToOne int
+	// ManyToMany counts pairs where both sides are shared.
+	ManyToMany int
+	// MaxLeftDegree / MaxRightDegree are the largest fan-outs observed.
+	MaxLeftDegree  int
+	MaxRightDegree int
+}
+
+// Total returns the number of pairs classified.
+func (s DegreeStats) Total() int {
+	return s.OneToOne + s.OneToMany + s.ManyToOne + s.ManyToMany
+}
+
+// String renders the stats the way the teams discussed them.
+func (s DegreeStats) String() string {
+	return fmt.Sprintf("1:1=%d 1:n=%d n:1=%d n:m=%d (max left fan-out %d, right %d)",
+		s.OneToOne, s.OneToMany, s.ManyToOne, s.ManyToMany,
+		s.MaxLeftDegree, s.MaxRightDegree)
+}
+
+// Degrees classifies every pair of a match set by the multiplicity of its
+// endpoints — the analysis Section 10 reports ("we analyzed the
+// one-to-one, one-to-many, and many-to-one match predictions ... to show
+// examples of these and their frequency").
+func Degrees(matches *block.CandidateSet) DegreeStats {
+	leftDeg := make(map[int]int)
+	rightDeg := make(map[int]int)
+	for _, p := range matches.Pairs() {
+		leftDeg[p.A]++
+		rightDeg[p.B]++
+	}
+	var s DegreeStats
+	for _, d := range leftDeg {
+		if d > s.MaxLeftDegree {
+			s.MaxLeftDegree = d
+		}
+	}
+	for _, d := range rightDeg {
+		if d > s.MaxRightDegree {
+			s.MaxRightDegree = d
+		}
+	}
+	for _, p := range matches.Pairs() {
+		l, r := leftDeg[p.A], rightDeg[p.B]
+		switch {
+		case l == 1 && r == 1:
+			s.OneToOne++
+		case l > 1 && r == 1:
+			s.OneToMany++
+		case l == 1 && r > 1:
+			s.ManyToOne++
+		default:
+			s.ManyToMany++
+		}
+	}
+	return s
+}
+
+// Scored pairs drive the one-to-one reduction; higher scores win.
+type Scored struct {
+	Pair  block.Pair
+	Score float64
+}
+
+// OneToOne reduces a match set to at most one match per left record and
+// one per right record, keeping higher-scored pairs first (greedy maximum
+// weight matching; ties broken by pair order for determinism). scores may
+// be nil, in which case earlier pairs win. This is the constraint the
+// UMETRICS team initially wanted ("a record in UMETRICSProjected should
+// match at most one record in USDAProjected").
+func OneToOne(matches *block.CandidateSet, scores map[block.Pair]float64) *block.CandidateSet {
+	ranked := make([]Scored, 0, matches.Len())
+	for _, p := range matches.Pairs() {
+		ranked = append(ranked, Scored{Pair: p, Score: scores[p]})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		if ranked[i].Pair.A != ranked[j].Pair.A {
+			return ranked[i].Pair.A < ranked[j].Pair.A
+		}
+		return ranked[i].Pair.B < ranked[j].Pair.B
+	})
+	usedLeft := make(map[int]bool)
+	usedRight := make(map[int]bool)
+	out := block.NewCandidateSet(matches.Left, matches.Right)
+	for _, s := range ranked {
+		if usedLeft[s.Pair.A] || usedRight[s.Pair.B] {
+			continue
+		}
+		usedLeft[s.Pair.A] = true
+		usedRight[s.Pair.B] = true
+		out.Add(s.Pair)
+	}
+	return out
+}
+
+// Cluster is one entity cluster: the left and right record indices that
+// the match set transitively connects (e.g. all annual sub-award records
+// of the same grant).
+type Cluster struct {
+	Left  []int
+	Right []int
+}
+
+// Size returns the number of records in the cluster.
+func (c Cluster) Size() int { return len(c.Left) + len(c.Right) }
+
+// ConnectedComponents groups a match set into entity clusters: two
+// records are in the same cluster when a chain of matches connects them.
+// Clusters are returned in deterministic order (by smallest left index,
+// then smallest right index), with sorted member lists.
+func ConnectedComponents(matches *block.CandidateSet) []Cluster {
+	// Union-find over a combined id space: left i -> 2i, right j -> 2j+1.
+	parent := make(map[int]int)
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Deterministic: smaller root wins.
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, p := range matches.Pairs() {
+		union(2*p.A, 2*p.B+1)
+	}
+
+	members := make(map[int][]int)
+	keys := make([]int, 0, len(parent))
+	for x := range parent {
+		keys = append(keys, x)
+	}
+	sort.Ints(keys)
+	for _, x := range keys {
+		root := find(x)
+		members[root] = append(members[root], x)
+	}
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	out := make([]Cluster, 0, len(roots))
+	for _, r := range roots {
+		var c Cluster
+		for _, x := range members[r] {
+			if x%2 == 0 {
+				c.Left = append(c.Left, x/2)
+			} else {
+				c.Right = append(c.Right, x/2)
+			}
+		}
+		sort.Ints(c.Left)
+		sort.Ints(c.Right)
+		out = append(out, c)
+	}
+	return out
+}
+
+// ClusterMatches converts entity clusters back into a pair set containing
+// the full bipartite product within each cluster — matching "at the
+// cluster level" as the UMETRICS team wanted, where every sub-award
+// record of a grant matches every record of its counterpart.
+func ClusterMatches(matches *block.CandidateSet) *block.CandidateSet {
+	out := block.NewCandidateSet(matches.Left, matches.Right)
+	for _, c := range ConnectedComponents(matches) {
+		for _, a := range c.Left {
+			for _, b := range c.Right {
+				out.Add(block.Pair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}

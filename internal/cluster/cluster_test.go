@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emgo/internal/block"
+	"emgo/internal/table"
+)
+
+func tables(n, m int) (*table.Table, *table.Table) {
+	schema := table.MustSchema(table.Field{Name: "X", Kind: table.Int})
+	l := table.New("L", schema)
+	for i := 0; i < n; i++ {
+		l.MustAppend(table.Row{table.I(int64(i))})
+	}
+	r := table.New("R", schema)
+	for i := 0; i < m; i++ {
+		r.MustAppend(table.Row{table.I(int64(i))})
+	}
+	return l, r
+}
+
+func setOf(l, r *table.Table, pairs ...block.Pair) *block.CandidateSet {
+	c := block.NewCandidateSet(l, r)
+	for _, p := range pairs {
+		c.Add(p)
+	}
+	return c
+}
+
+func TestDegrees(t *testing.T) {
+	l, r := tables(10, 10)
+	m := setOf(l, r,
+		block.Pair{A: 0, B: 0},                         // 1:1
+		block.Pair{A: 1, B: 1}, block.Pair{A: 1, B: 2}, // 1:n (left 1 fans out)
+		block.Pair{A: 2, B: 3}, block.Pair{A: 3, B: 3}, // n:1 (right 3 shared)
+		block.Pair{A: 4, B: 4}, block.Pair{A: 4, B: 5}, // mixed component
+		block.Pair{A: 5, B: 5},
+	)
+	s := Degrees(m)
+	if s.OneToOne != 1 {
+		t.Errorf("1:1 = %d", s.OneToOne)
+	}
+	if s.OneToMany != 3 { // (1,1),(1,2),(4,4)
+		t.Errorf("1:n = %d", s.OneToMany)
+	}
+	if s.ManyToOne != 3 { // (2,3),(3,3),(5,5)
+		t.Errorf("n:1 = %d", s.ManyToOne)
+	}
+	if s.ManyToMany != 1 { // (4,5): left 4 deg 2, right 5 deg 2
+		t.Errorf("n:m = %d", s.ManyToMany)
+	}
+	if s.Total() != m.Len() {
+		t.Errorf("total %d != %d", s.Total(), m.Len())
+	}
+	if s.MaxLeftDegree != 2 || s.MaxRightDegree != 2 {
+		t.Errorf("max degrees %d/%d", s.MaxLeftDegree, s.MaxRightDegree)
+	}
+	if s.String() == "" {
+		t.Error("string rendering")
+	}
+}
+
+func TestDegreesEmpty(t *testing.T) {
+	l, r := tables(1, 1)
+	s := Degrees(setOf(l, r))
+	if s.Total() != 0 || s.MaxLeftDegree != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestOneToOneByScore(t *testing.T) {
+	l, r := tables(5, 5)
+	m := setOf(l, r,
+		block.Pair{A: 0, B: 0},
+		block.Pair{A: 0, B: 1},
+		block.Pair{A: 1, B: 1},
+	)
+	scores := map[block.Pair]float64{
+		{A: 0, B: 0}: 0.9,
+		{A: 0, B: 1}: 0.95, // best, but consumes both 0 and 1's options
+		{A: 1, B: 1}: 0.8,
+	}
+	out := OneToOne(m, scores)
+	if out.Len() != 1 || !out.Contains(block.Pair{A: 0, B: 1}) {
+		t.Fatalf("greedy by score: %v", out.Pairs())
+	}
+	// Without scores, insertion/sorted order wins: (0,0) then (1,1).
+	out = OneToOne(m, nil)
+	if out.Len() != 2 || !out.Contains(block.Pair{A: 0, B: 0}) || !out.Contains(block.Pair{A: 1, B: 1}) {
+		t.Fatalf("greedy by order: %v", out.Pairs())
+	}
+}
+
+func TestOneToOneProperty(t *testing.T) {
+	l, r := tables(8, 8)
+	f := func(raw []uint8) bool {
+		m := block.NewCandidateSet(l, r)
+		for i := 0; i+1 < len(raw); i += 2 {
+			m.Add(block.Pair{A: int(raw[i]) % 8, B: int(raw[i+1]) % 8})
+		}
+		out := OneToOne(m, nil)
+		seenL := map[int]bool{}
+		seenR := map[int]bool{}
+		for _, p := range out.Pairs() {
+			if seenL[p.A] || seenR[p.B] {
+				return false // constraint violated
+			}
+			seenL[p.A] = true
+			seenR[p.B] = true
+			if !m.Contains(p) {
+				return false // invented a pair
+			}
+		}
+		// Maximality: no remaining pair could be added.
+		for _, p := range m.Pairs() {
+			if !seenL[p.A] && !seenR[p.B] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	l, r := tables(10, 10)
+	m := setOf(l, r,
+		block.Pair{A: 0, B: 0},
+		block.Pair{A: 1, B: 0}, // joins component of 0
+		block.Pair{A: 1, B: 1},
+		block.Pair{A: 5, B: 7}, // separate component
+	)
+	cs := ConnectedComponents(m)
+	if len(cs) != 2 {
+		t.Fatalf("components = %d: %+v", len(cs), cs)
+	}
+	c0 := cs[0]
+	if len(c0.Left) != 2 || len(c0.Right) != 2 || c0.Size() != 4 {
+		t.Fatalf("component 0: %+v", c0)
+	}
+	if c0.Left[0] != 0 || c0.Left[1] != 1 || c0.Right[0] != 0 || c0.Right[1] != 1 {
+		t.Fatalf("component 0 members: %+v", c0)
+	}
+	c1 := cs[1]
+	if len(c1.Left) != 1 || c1.Left[0] != 5 || len(c1.Right) != 1 || c1.Right[0] != 7 {
+		t.Fatalf("component 1: %+v", c1)
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	l, r := tables(1, 1)
+	if cs := ConnectedComponents(setOf(l, r)); len(cs) != 0 {
+		t.Fatalf("empty: %+v", cs)
+	}
+}
+
+func TestClusterMatches(t *testing.T) {
+	l, r := tables(10, 10)
+	// A chain: left0-right0, left1-right0, left1-right1. Cluster-level
+	// matching should add the missing (0,1) pair.
+	m := setOf(l, r,
+		block.Pair{A: 0, B: 0},
+		block.Pair{A: 1, B: 0},
+		block.Pair{A: 1, B: 1},
+	)
+	out := ClusterMatches(m)
+	if out.Len() != 4 || !out.Contains(block.Pair{A: 0, B: 1}) {
+		t.Fatalf("cluster closure: %v", out.Pairs())
+	}
+}
+
+// Property: ClusterMatches is a closure — idempotent and a superset of
+// the input.
+func TestClusterMatchesClosureProperty(t *testing.T) {
+	l, r := tables(6, 6)
+	f := func(raw []uint8) bool {
+		m := block.NewCandidateSet(l, r)
+		for i := 0; i+1 < len(raw); i += 2 {
+			m.Add(block.Pair{A: int(raw[i]) % 6, B: int(raw[i+1]) % 6})
+		}
+		once := ClusterMatches(m)
+		for _, p := range m.Pairs() {
+			if !once.Contains(p) {
+				return false
+			}
+		}
+		twice := ClusterMatches(once)
+		return twice.Len() == once.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"emgo/internal/block"
+	"emgo/internal/cluster"
+	"emgo/internal/table"
+)
+
+func ExampleDegrees() {
+	schema := table.MustSchema(table.Field{Name: "X", Kind: table.Int})
+	l, r := table.New("L", schema), table.New("R", schema)
+	for i := 0; i < 4; i++ {
+		l.MustAppend(table.Row{table.I(int64(i))})
+		r.MustAppend(table.Row{table.I(int64(i))})
+	}
+	matches := block.NewCandidateSet(l, r)
+	matches.Add(block.Pair{A: 0, B: 0}) // one-to-one
+	matches.Add(block.Pair{A: 1, B: 1}) // left 1 matches two
+	matches.Add(block.Pair{A: 1, B: 2}) // annual reports
+	fmt.Println(cluster.Degrees(matches))
+	// Output: 1:1=1 1:n=2 n:1=0 n:m=0 (max left fan-out 2, right 1)
+}

@@ -1,0 +1,159 @@
+// Package estimate implements the Corleone-style accuracy estimation of
+// Section 11: given a labeled random sample of the consolidated candidate
+// set, it estimates the precision and recall of any matcher's predicted
+// match set as binomial confidence intervals, without needing labels for
+// the whole Cartesian product.
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"emgo/internal/block"
+	"emgo/internal/label"
+)
+
+// Interval is a point estimate with a confidence interval, all in [0,1].
+type Interval struct {
+	Lo, Point, Hi float64
+}
+
+// String renders the interval as the paper reports them, e.g.
+// "(75.2%, 80.3%)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("(%.1f%%, %.1f%%)", iv.Lo*100, iv.Hi*100)
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Estimate is the estimated accuracy of a predicted match set.
+type Estimate struct {
+	Precision Interval
+	Recall    Interval
+	// SamplePredicted is how many decided sample pairs the matcher
+	// predicted as matches (the precision denominator).
+	SamplePredicted int
+	// SampleMatches is how many decided sample pairs are labeled Yes (the
+	// recall denominator).
+	SampleMatches int
+	// Ignored is how many sample pairs were Unsure and skipped (footnote
+	// 10: "the estimation procedure ignores the Unsure pairs").
+	Ignored int
+}
+
+// z95 is the two-sided 95% normal quantile used for the intervals.
+const z95 = 1.96
+
+// binomialInterval returns the normal-approximation 95% CI for k successes
+// out of n, clamped to [0,1]. With n == 0 the estimate is vacuous: (1,1)
+// — the convention under which a matcher with no predicted matches in the
+// sample reports perfect precision (this is how IRIS reports (100%,100%)).
+func binomialInterval(k, n int) Interval {
+	if n == 0 {
+		return Interval{Lo: 1, Point: 1, Hi: 1}
+	}
+	p := float64(k) / float64(n)
+	half := z95 * math.Sqrt(p*(1-p)/float64(n))
+	lo := p - half
+	hi := p + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Point: p, Hi: hi}
+}
+
+// WilsonInterval returns the Wilson-score 95% CI for k successes out of
+// n. Unlike the normal approximation (which collapses to a zero-width
+// interval at p̂ = 0 or 1, exactly how the paper's IRIS precision reads
+// (100%, 100%)), Wilson stays honest near the boundaries; it is offered
+// for users who prefer it over the paper-faithful default.
+func WilsonInterval(k, n int) Interval {
+	if n == 0 {
+		return Interval{Lo: 1, Point: 1, Hi: 1}
+	}
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z95 * z95
+	denom := 1 + z2/nn
+	center := (p + z2/(2*nn)) / denom
+	half := z95 * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn)) / denom
+	lo := center - half
+	hi := center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Point: p, Hi: hi}
+}
+
+// PrecisionRecall estimates the accuracy of the predicted match set pred
+// from a labeled random sample of the candidate universe. The sample must
+// have been drawn uniformly from the same candidate set that pred was
+// predicted over (the Section 11 step-1 requirement); pairs labeled Unsure
+// are ignored.
+func PrecisionRecall(pred *block.CandidateSet, sample *label.Store) (Estimate, error) {
+	pairs := sample.Pairs()
+	predicted := make([]bool, len(pairs))
+	labels := make([]label.Label, len(pairs))
+	for i, p := range pairs {
+		predicted[i] = pred.Contains(p)
+		labels[i] = sample.Get(p)
+	}
+	return FromLabels(predicted, labels)
+}
+
+// FromLabels is the sample-level form of PrecisionRecall for callers whose
+// candidate universe spans multiple table slices (the Figure 9
+// consolidated set E = C1 ∪ C2 ∪ D1 ∪ D2): element i of predicted says
+// whether the matcher predicted sampled pair i as a match, and labels[i]
+// is the expert's label for it.
+func FromLabels(predicted []bool, labels []label.Label) (Estimate, error) {
+	if len(predicted) != len(labels) {
+		return Estimate{}, fmt.Errorf("estimate: %d predictions vs %d labels", len(predicted), len(labels))
+	}
+	if len(labels) == 0 {
+		return Estimate{}, fmt.Errorf("estimate: empty sample")
+	}
+	var est Estimate
+	var predYes, matchCaught int
+	for i, l := range labels {
+		switch l {
+		case label.Unsure:
+			est.Ignored++
+			continue
+		case label.Yes:
+			est.SampleMatches++
+			if predicted[i] {
+				matchCaught++
+			}
+		}
+		if predicted[i] {
+			est.SamplePredicted++
+			if l == label.Yes {
+				predYes++
+			}
+		}
+	}
+	est.Precision = binomialInterval(predYes, est.SamplePredicted)
+	est.Recall = binomialInterval(matchCaught, est.SampleMatches)
+	return est, nil
+}
+
+// MissingFromCandidates returns the pairs in pred that are NOT in the
+// candidate universe cand — the Section 11 step-1 sanity check that found
+// one terminated IRIS award outside the consolidated candidate set.
+func MissingFromCandidates(pred, cand *block.CandidateSet) []block.Pair {
+	var out []block.Pair
+	for _, p := range pred.Pairs() {
+		if !cand.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package estimate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"emgo/internal/block"
+	"emgo/internal/label"
+	"emgo/internal/table"
+)
+
+func tinyTables() (*table.Table, *table.Table) {
+	l := table.New("L", table.MustSchema(table.Field{Name: "X", Kind: table.Int}))
+	r := table.New("R", table.MustSchema(table.Field{Name: "X", Kind: table.Int}))
+	for i := 0; i < 100; i++ {
+		l.MustAppend(table.Row{table.I(int64(i))})
+		r.MustAppend(table.Row{table.I(int64(i))})
+	}
+	return l, r
+}
+
+func TestBinomialInterval(t *testing.T) {
+	iv := binomialInterval(0, 0)
+	if iv.Lo != 1 || iv.Hi != 1 || iv.Point != 1 {
+		t.Fatalf("vacuous interval: %+v", iv)
+	}
+	// Perfect precision has zero width (the IRIS (100%,100%) case).
+	iv = binomialInterval(50, 50)
+	if iv.Lo != 1 || iv.Hi != 1 {
+		t.Fatalf("all-correct interval: %+v", iv)
+	}
+	iv = binomialInterval(0, 50)
+	if iv.Lo != 0 || iv.Hi != 0 {
+		t.Fatalf("all-wrong interval: %+v", iv)
+	}
+	iv = binomialInterval(25, 50)
+	if iv.Point != 0.5 {
+		t.Fatalf("point = %v", iv.Point)
+	}
+	want := 1.96 * math.Sqrt(0.25/50)
+	if math.Abs((iv.Hi-iv.Lo)/2-want) > 1e-12 {
+		t.Fatalf("half width = %v want %v", (iv.Hi-iv.Lo)/2, want)
+	}
+	// Clamping.
+	iv = binomialInterval(49, 50)
+	if iv.Hi > 1 || iv.Lo < 0 {
+		t.Fatalf("unclamped: %+v", iv)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 0.752, Point: 0.78, Hi: 0.803}
+	if got := iv.String(); !strings.Contains(got, "75.2%") || !strings.Contains(got, "80.3%") {
+		t.Fatalf("string: %s", got)
+	}
+	if math.Abs(iv.Width()-0.051) > 1e-12 {
+		t.Fatalf("width: %v", iv.Width())
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	l, r := tinyTables()
+	// Predicted matches: diagonal pairs 0..49.
+	pred := block.NewCandidateSet(l, r)
+	for i := 0; i < 50; i++ {
+		pred.Add(block.Pair{A: i, B: i})
+	}
+	// Sample: 20 predicted pairs of which 15 true, plus 10 unpredicted
+	// true matches, plus 5 unsures.
+	sample := label.NewStore()
+	for i := 0; i < 15; i++ {
+		sample.Set(block.Pair{A: i, B: i}, label.Yes)
+	}
+	for i := 15; i < 20; i++ {
+		sample.Set(block.Pair{A: i, B: i}, label.No) // false positives
+	}
+	for i := 50; i < 60; i++ {
+		sample.Set(block.Pair{A: i, B: i}, label.Yes) // missed matches
+	}
+	for i := 60; i < 65; i++ {
+		sample.Set(block.Pair{A: i, B: i}, label.Unsure)
+	}
+
+	est, err := PrecisionRecall(pred, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SamplePredicted != 20 || est.SampleMatches != 25 || est.Ignored != 5 {
+		t.Fatalf("denominators: %+v", est)
+	}
+	if math.Abs(est.Precision.Point-0.75) > 1e-12 {
+		t.Fatalf("precision point = %v", est.Precision.Point)
+	}
+	if math.Abs(est.Recall.Point-0.6) > 1e-12 {
+		t.Fatalf("recall point = %v", est.Recall.Point)
+	}
+	if est.Precision.Lo >= est.Precision.Point || est.Precision.Hi <= est.Precision.Point {
+		t.Fatal("precision interval should straddle point")
+	}
+}
+
+func TestPrecisionRecallMoreLabelsNarrowerInterval(t *testing.T) {
+	l, r := tinyTables()
+	pred := block.NewCandidateSet(l, r)
+	for i := 0; i < 100; i++ {
+		pred.Add(block.Pair{A: i, B: i})
+	}
+	small, large := label.NewStore(), label.NewStore()
+	// Same 3:1 yes/no composition, different sizes (Section 11 step 3:
+	// 200 -> 400 labels shrank the intervals).
+	for i := 0; i < 20; i++ {
+		lab := label.Yes
+		if i%4 == 0 {
+			lab = label.No
+		}
+		small.Set(block.Pair{A: i, B: i}, lab)
+	}
+	for i := 0; i < 80; i++ {
+		lab := label.Yes
+		if i%4 == 0 {
+			lab = label.No
+		}
+		large.Set(block.Pair{A: i, B: i}, lab)
+	}
+	e1, err := PrecisionRecall(pred, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := PrecisionRecall(pred, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Precision.Width() >= e1.Precision.Width() {
+		t.Fatalf("more labels should narrow the interval: %v vs %v",
+			e2.Precision.Width(), e1.Precision.Width())
+	}
+}
+
+func TestPrecisionRecallEmptySample(t *testing.T) {
+	l, r := tinyTables()
+	pred := block.NewCandidateSet(l, r)
+	if _, err := PrecisionRecall(pred, label.NewStore()); err == nil {
+		t.Fatal("empty sample should error")
+	}
+}
+
+func TestPrecisionRecallVacuousMatcher(t *testing.T) {
+	l, r := tinyTables()
+	pred := block.NewCandidateSet(l, r) // predicts nothing
+	sample := label.NewStore()
+	sample.Set(block.Pair{A: 0, B: 0}, label.Yes)
+	sample.Set(block.Pair{A: 1, B: 1}, label.No)
+	est, err := PrecisionRecall(pred, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Precision.Lo != 1 || est.Precision.Hi != 1 {
+		t.Fatalf("vacuous precision: %+v", est.Precision)
+	}
+	if est.Recall.Point != 0 {
+		t.Fatalf("recall of empty predictor: %+v", est.Recall)
+	}
+}
+
+func TestMissingFromCandidates(t *testing.T) {
+	l, r := tinyTables()
+	cand := block.NewCandidateSet(l, r)
+	cand.Add(block.Pair{A: 0, B: 0})
+	pred := block.NewCandidateSet(l, r)
+	pred.Add(block.Pair{A: 0, B: 0})
+	pred.Add(block.Pair{A: 5, B: 5}) // the "terminated award" case
+	missing := MissingFromCandidates(pred, cand)
+	if len(missing) != 1 || missing[0] != (block.Pair{A: 5, B: 5}) {
+		t.Fatalf("missing: %v", missing)
+	}
+}

@@ -1,0 +1,24 @@
+package estimate_test
+
+import (
+	"fmt"
+
+	"emgo/internal/estimate"
+	"emgo/internal/label"
+)
+
+func ExampleFromLabels() {
+	// A labeled random sample of the candidate set: whether the matcher
+	// predicted each sampled pair, and what the expert said.
+	predicted := []bool{true, true, true, true, false, false}
+	labels := []label.Label{
+		label.Yes, label.Yes, label.Yes, label.No, // 3 of 4 predictions correct
+		label.Yes,    // one missed match
+		label.Unsure, // ignored
+	}
+	est, _ := estimate.FromLabels(predicted, labels)
+	fmt.Printf("precision %.2f over %d, recall %.2f over %d\n",
+		est.Precision.Point, est.SamplePredicted,
+		est.Recall.Point, est.SampleMatches)
+	// Output: precision 0.75 over 4, recall 0.75 over 4
+}

@@ -1,0 +1,54 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	// Vacuous case matches the normal convention.
+	iv := WilsonInterval(0, 0)
+	if iv.Lo != 1 || iv.Hi != 1 {
+		t.Fatalf("vacuous: %+v", iv)
+	}
+	// Unlike the normal approximation, Wilson does NOT collapse at p=1:
+	// 50/50 successes still leaves honest uncertainty.
+	iv = WilsonInterval(50, 50)
+	if iv.Lo >= 1 {
+		t.Fatalf("Wilson at p=1 should keep width: %+v", iv)
+	}
+	if iv.Hi != 1 || iv.Point != 1 {
+		t.Fatalf("Wilson upper/point at p=1: %+v", iv)
+	}
+	// Reference value: k=8, n=10 → Wilson 95% ≈ (0.490, 0.943).
+	iv = WilsonInterval(8, 10)
+	if math.Abs(iv.Lo-0.490) > 0.01 || math.Abs(iv.Hi-0.943) > 0.01 {
+		t.Fatalf("Wilson(8,10) = %+v", iv)
+	}
+}
+
+// Properties: the interval contains the point estimate, stays in [0,1],
+// and narrows as n grows at fixed p.
+func TestWilsonProperties(t *testing.T) {
+	f := func(k, n uint8) bool {
+		kk, nn := int(k), int(n)
+		if nn == 0 {
+			nn = 1
+		}
+		kk %= nn + 1
+		iv := WilsonInterval(kk, nn)
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+			return false
+		}
+		return iv.Point >= iv.Lo-1e-12 && iv.Point <= iv.Hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	small := WilsonInterval(5, 10)
+	large := WilsonInterval(500, 1000)
+	if large.Width() >= small.Width() {
+		t.Fatalf("more data should narrow the interval: %v vs %v", large.Width(), small.Width())
+	}
+}

@@ -1,0 +1,357 @@
+// Package feature implements PyMatcher's automatic feature generation
+// (Section 9, footnote 7): given two tables and a correspondence between
+// their columns, it infers each attribute's type and instantiates a set of
+// similarity features appropriate for that type (Jaccard over 3-grams,
+// edit distance, word-level set similarities, numeric differences, ...).
+// It also provides the case-insensitive feature extension added while
+// debugging the matcher (Section 9) and mean imputation of missing values
+// (the scikit-learn NaN workaround of Section 9).
+package feature
+
+import (
+	"fmt"
+	"math"
+
+	"emgo/internal/block"
+	"emgo/internal/parallel"
+	"emgo/internal/simfunc"
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+)
+
+// AttrType classifies an attribute for feature selection.
+type AttrType int
+
+const (
+	// ShortString is a string attribute averaging at most 3 word tokens
+	// (codes, names, identifiers).
+	ShortString AttrType = iota
+	// MediumString averages at most 10 word tokens (titles).
+	MediumString
+	// LongString is free text beyond 10 tokens.
+	LongString
+	// Numeric covers int and float attributes.
+	Numeric
+	// DateAttr covers date attributes.
+	DateAttr
+	// BoolAttr covers booleans.
+	BoolAttr
+)
+
+// String returns a readable name for the attribute type.
+func (a AttrType) String() string {
+	switch a {
+	case ShortString:
+		return "short_string"
+	case MediumString:
+		return "medium_string"
+	case LongString:
+		return "long_string"
+	case Numeric:
+		return "numeric"
+	case DateAttr:
+		return "date"
+	case BoolAttr:
+		return "bool"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(a))
+	}
+}
+
+// InferType classifies the named column of t. String columns are
+// classified by their average word-token count over non-null values.
+func InferType(t *table.Table, col string) (AttrType, error) {
+	j, err := t.Col(col)
+	if err != nil {
+		return 0, err
+	}
+	switch t.Schema().Field(j).Kind {
+	case table.Int, table.Float:
+		return Numeric, nil
+	case table.Date:
+		return DateAttr, nil
+	case table.Bool:
+		return BoolAttr, nil
+	}
+	tok := tokenize.Word{}
+	total, n := 0, 0
+	for i := 0; i < t.Len(); i++ {
+		v := t.Row(i)[j]
+		if v.IsNull() {
+			continue
+		}
+		total += len(tok.Tokens(v.Str()))
+		n++
+	}
+	if n == 0 {
+		return ShortString, nil
+	}
+	avg := float64(total) / float64(n)
+	switch {
+	case avg <= 3:
+		return ShortString, nil
+	case avg <= 10:
+		return MediumString, nil
+	default:
+		return LongString, nil
+	}
+}
+
+// Feature computes one similarity value for a record pair. A NaN result
+// means the feature is missing for that pair (one side null).
+type Feature struct {
+	// Name is unique within a feature set, e.g. "AwardTitle_jaccard_word".
+	Name string
+	// LeftCol and RightCol are the compared columns.
+	LeftCol, RightCol string
+	// Func is the registry key of the similarity ("jaccard_word",
+	// "lev_sim", ...); empty for custom closures, which cannot be
+	// serialized.
+	Func string
+	// Compute maps the two cell values to a similarity; it must return
+	// NaN when either value is null.
+	Compute func(a, b table.Value) float64
+}
+
+// Set is an ordered collection of features bound to a left/right table
+// pair's schemas.
+type Set struct {
+	Features []Feature
+}
+
+// Names returns the feature names in order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.Features))
+	for i, f := range s.Features {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Len returns the feature count.
+func (s *Set) Len() int { return len(s.Features) }
+
+// Add appends a feature, rejecting duplicate names.
+func (s *Set) Add(f Feature) error {
+	for _, g := range s.Features {
+		if g.Name == f.Name {
+			return fmt.Errorf("feature: duplicate feature %q", f.Name)
+		}
+	}
+	s.Features = append(s.Features, f)
+	return nil
+}
+
+// strSim wraps a string similarity into a Feature compute func.
+func strSim(fn func(a, b string) float64) func(a, b table.Value) float64 {
+	return func(a, b table.Value) float64 {
+		if a.IsNull() || b.IsNull() {
+			return math.NaN()
+		}
+		return fn(a.Str(), b.Str())
+	}
+}
+
+// tokSim wraps a token-set similarity with the given tokenizer.
+func tokSim(tok tokenize.Tokenizer, fn func(a, b []string) float64) func(a, b table.Value) float64 {
+	return func(a, b table.Value) float64 {
+		if a.IsNull() || b.IsNull() {
+			return math.NaN()
+		}
+		return fn(tok.Tokens(a.Str()), tok.Tokens(b.Str()))
+	}
+}
+
+// lowerTokSim is tokSim over lowercased text — the case-insensitive
+// variants added in Section 9.
+func lowerTokSim(tok tokenize.Tokenizer, fn func(a, b []string) float64) func(a, b table.Value) float64 {
+	return func(a, b table.Value) float64 {
+		if a.IsNull() || b.IsNull() {
+			return math.NaN()
+		}
+		return fn(tok.Tokens(tokenize.Lower(a.Str())), tok.Tokens(tokenize.Lower(b.Str())))
+	}
+}
+
+// numSim wraps a numeric comparator.
+func numSim(fn func(a, b float64) float64) func(a, b table.Value) float64 {
+	return func(a, b table.Value) float64 {
+		if a.IsNull() || b.IsNull() {
+			return math.NaN()
+		}
+		return fn(a.Float(), b.Float())
+	}
+}
+
+// yearSim compares dates by year.
+func yearSim(fn func(a, b float64) float64) func(a, b table.Value) float64 {
+	return func(a, b table.Value) float64 {
+		if a.IsNull() || b.IsNull() {
+			return math.NaN()
+		}
+		return fn(float64(a.Date().Year()), float64(b.Date().Year()))
+	}
+}
+
+// Registry of named similarity computations. Every auto-generated
+// feature references one of these by key, which is what makes feature
+// sets serializable for deployment (internal/workflow's Spec).
+var computeRegistry = func() map[string]func(a, b table.Value) float64 {
+	word := tokenize.Word{}
+	qg3 := tokenize.QGram{Q: 3}
+	return map[string]func(a, b table.Value) float64{
+		"lev_sim":                  strSim(simfunc.LevenshteinSim),
+		"jaro":                     strSim(simfunc.Jaro),
+		"jaro_winkler":             strSim(simfunc.JaroWinkler),
+		"exact":                    strSim(simfunc.ExactString),
+		"exact_fold":               strSim(simfunc.ExactStringFold),
+		"jaccard_qgram3":           tokSim(qg3, simfunc.Jaccard),
+		"jaccard_word":             tokSim(word, simfunc.Jaccard),
+		"cosine_word":              tokSim(word, simfunc.Cosine),
+		"dice_word":                tokSim(word, simfunc.Dice),
+		"overlap_coeff_word":       tokSim(word, simfunc.OverlapCoefficient),
+		"monge_elkan":              tokSim(word, simfunc.MongeElkan),
+		"jaccard_word_lower":       lowerTokSim(word, simfunc.Jaccard),
+		"jaccard_qgram3_lower":     lowerTokSim(qg3, simfunc.Jaccard),
+		"exact_num":                numSim(simfunc.ExactNumeric),
+		"abs_diff":                 numSim(simfunc.AbsDiff),
+		"rel_diff":                 numSim(simfunc.RelDiff),
+		"year_diff":                yearSim(simfunc.YearDiff),
+		"year_exact":               yearSim(simfunc.ExactNumeric),
+		"generalized_jaccard_word": tokSim(word, simfunc.GeneralizedJaccard),
+		"prefix_sim":               strSim(simfunc.PrefixSim),
+		"affine_gap":               strSim(simfunc.AffineGap),
+	}
+}()
+
+// Compute returns the registered similarity computation for key, and
+// whether it exists.
+func Compute(key string) (func(a, b table.Value) float64, bool) {
+	fn, ok := computeRegistry[key]
+	return fn, ok
+}
+
+// New builds a registry-backed feature; the feature name is
+// "<leftCol>_<funcKey>".
+func New(leftCol, rightCol, funcKey string) (Feature, error) {
+	fn, ok := computeRegistry[funcKey]
+	if !ok {
+		return Feature{}, fmt.Errorf("feature: unknown similarity %q", funcKey)
+	}
+	return Feature{
+		Name:    leftCol + "_" + funcKey,
+		LeftCol: leftCol, RightCol: rightCol,
+		Func:    funcKey,
+		Compute: fn,
+	}, nil
+}
+
+// featuresForType maps an attribute type to the similarity keys
+// instantiated for it, mirroring PyMatcher's get_features_for_matching.
+func featuresForType(at AttrType) []string {
+	switch at {
+	case ShortString:
+		return []string{"lev_sim", "jaro", "jaro_winkler", "exact", "jaccard_qgram3"}
+	case MediumString:
+		return []string{"jaccard_word", "cosine_word", "overlap_coeff_word", "jaccard_qgram3", "exact"}
+	case LongString:
+		return []string{"jaccard_word", "cosine_word", "overlap_coeff_word", "monge_elkan"}
+	case Numeric:
+		return []string{"exact_num", "abs_diff", "rel_diff"}
+	case DateAttr:
+		return []string{"year_diff", "year_exact"}
+	case BoolAttr:
+		return []string{"exact_num"}
+	}
+	return nil
+}
+
+// Generate builds the automatic feature set for the given column
+// correspondences (left column → right column). The features instantiated
+// per column pair depend on the inferred attribute type of the left
+// column.
+func Generate(left, right *table.Table, corr map[string]string, order []string) (*Set, error) {
+	if len(order) == 0 {
+		return nil, fmt.Errorf("feature: empty column order")
+	}
+	set := &Set{}
+	for _, lcol := range order {
+		rcol, ok := corr[lcol]
+		if !ok {
+			return nil, fmt.Errorf("feature: column %q missing from correspondence", lcol)
+		}
+		if _, err := right.Col(rcol); err != nil {
+			return nil, err
+		}
+		at, err := InferType(left, lcol)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range featuresForType(at) {
+			f, err := New(lcol, rcol, key)
+			if err != nil {
+				return nil, err
+			}
+			if err := set.Add(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return set, nil
+}
+
+// caseInsensitiveKeys are the Section 9 debugging-fix features.
+var caseInsensitiveKeys = []string{"jaccard_word_lower", "jaccard_qgram3_lower", "exact_fold"}
+
+// AddCaseInsensitive appends the case-insensitive feature variants for the
+// given string column pairs — the Section 9 debugging fix for "award
+// titles having different letter cases".
+func AddCaseInsensitive(set *Set, left *table.Table, corr map[string]string, cols []string) error {
+	for _, lcol := range cols {
+		rcol, ok := corr[lcol]
+		if !ok {
+			return fmt.Errorf("feature: column %q missing from correspondence", lcol)
+		}
+		if _, err := left.Col(lcol); err != nil {
+			return err
+		}
+		for _, key := range caseInsensitiveKeys {
+			f, err := New(lcol, rcol, key)
+			if err != nil {
+				return err
+			}
+			if err := set.Add(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Vectorize converts each candidate pair into a feature vector (NaN marks
+// missing values). Rows align with pairs.
+func (s *Set) Vectorize(left, right *table.Table, pairs []block.Pair) ([][]float64, error) {
+	type cols struct{ lj, rj int }
+	resolved := make([]cols, len(s.Features))
+	for k, f := range s.Features {
+		lj, err := left.Col(f.LeftCol)
+		if err != nil {
+			return nil, err
+		}
+		rj, err := right.Col(f.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		resolved[k] = cols{lj, rj}
+	}
+	out := make([][]float64, len(pairs))
+	parallel.For(len(pairs), func(i int) {
+		p := pairs[i]
+		row := make([]float64, len(s.Features))
+		for k, f := range s.Features {
+			row[k] = f.Compute(left.Row(p.A)[resolved[k].lj], right.Row(p.B)[resolved[k].rj])
+		}
+		out[i] = row
+	})
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package label
+
+import (
+	"math/rand"
+
+	"emgo/internal/block"
+)
+
+// Expert simulates a domain-expert labeler over a ground-truth oracle.
+// The disagreement model reproduces the labeling pathologies of Section 8:
+// some truly matching pairs are labeled Unsure or No on first pass (titles
+// "not unique enough"), some pairs are inherently undecidable (dirty or
+// cryptic data) and stay Unsure, and revision sessions flip earlier calls.
+type Expert struct {
+	// Truth returns whether the pair is a true match.
+	Truth func(block.Pair) bool
+	// Hard reports whether the pair is inherently undecidable; hard pairs
+	// are always labeled Unsure regardless of truth.
+	Hard func(block.Pair) bool
+	// Tricky reports whether the pair is a lookalike the expert initially
+	// waffles on (the Section 8 "similar award titles ... labeled as a
+	// mix of match, non-match, and primarily unsures" episode). On first
+	// pass a tricky pair is labeled Unsure with TrickyUnsureRate, the
+	// wrong label with TrickyWrongRate, and the truth otherwise; Revise
+	// returns the truth (the D2 resolution).
+	Tricky           func(block.Pair) bool
+	TrickyUnsureRate float64
+	TrickyWrongRate  float64
+	// HesitateRate is the probability a true match is initially labeled
+	// Unsure instead of Yes (first-pass conservatism).
+	HesitateRate float64
+	// MistakeRate is the probability a pair gets the opposite label on
+	// first pass (plain labeling error).
+	MistakeRate float64
+	// Rng drives the noise; a nil Rng makes the expert deterministic
+	// (truth plus Hard only).
+	Rng *rand.Rand
+}
+
+// Label returns the expert's first-pass label for p.
+func (e *Expert) Label(p block.Pair) Label {
+	if e.Hard != nil && e.Hard(p) {
+		return Unsure
+	}
+	truth := e.Truth(p)
+	if e.Tricky != nil && e.Tricky(p) && e.Rng != nil {
+		r := e.Rng.Float64()
+		switch {
+		case r < e.TrickyUnsureRate:
+			return Unsure
+		case r < e.TrickyUnsureRate+e.TrickyWrongRate:
+			truth = !truth
+		}
+		if truth {
+			return Yes
+		}
+		return No
+	}
+	if e.Rng != nil {
+		if truth && e.HesitateRate > 0 && e.Rng.Float64() < e.HesitateRate {
+			return Unsure
+		}
+		if e.MistakeRate > 0 && e.Rng.Float64() < e.MistakeRate {
+			truth = !truth
+		}
+	}
+	if truth {
+		return Yes
+	}
+	return No
+}
+
+// Revise is the expert's second look at a disputed pair (the Section 8
+// mismatch-resolution meetings): hard pairs stay Unsure, everything else
+// gets the ground-truth label.
+func (e *Expert) Revise(p block.Pair) Label {
+	if e.Hard != nil && e.Hard(p) {
+		return Unsure
+	}
+	if e.Truth(p) {
+		return Yes
+	}
+	return No
+}
+
+// TruthLabel returns the noiseless label (for building gold evaluation
+// sets).
+func (e *Expert) TruthLabel(p block.Pair) Label {
+	if e.Truth(p) {
+		return Yes
+	}
+	return No
+}

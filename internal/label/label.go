@@ -1,0 +1,309 @@
+// Package label implements the labeling side of the EM process (Section
+// 8): the Yes/No/Unsure label domain, a label store with CSV persistence,
+// a simulation of the single-writer cloud labeling tool the EM team built,
+// a simulated domain expert with a configurable disagreement model, and
+// cross-checking of two labelers' work.
+package label
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"emgo/internal/block"
+)
+
+// Label is a human judgment about a record pair.
+type Label int
+
+const (
+	// Unknown means the pair has not been labeled.
+	Unknown Label = iota
+	// Yes marks a match.
+	Yes
+	// No marks a non-match.
+	No
+	// Unsure marks a pair even the domain expert cannot decide (dirty,
+	// incomplete, or cryptic data — footnote 5 of the paper).
+	Unsure
+)
+
+// String renders the label as the tool shows it.
+func (l Label) String() string {
+	switch l {
+	case Yes:
+		return "Yes"
+	case No:
+		return "No"
+	case Unsure:
+		return "Unsure"
+	default:
+		return "Unknown"
+	}
+}
+
+// ParseLabel converts the textual form back to a Label.
+func ParseLabel(s string) (Label, error) {
+	switch s {
+	case "Yes":
+		return Yes, nil
+	case "No":
+		return No, nil
+	case "Unsure":
+		return Unsure, nil
+	case "Unknown":
+		return Unknown, nil
+	}
+	return Unknown, fmt.Errorf("label: unknown label %q", s)
+}
+
+// Counts tallies a label set.
+type Counts struct {
+	Yes, No, Unsure int
+}
+
+// Total returns the number of labeled pairs.
+func (c Counts) Total() int { return c.Yes + c.No + c.Unsure }
+
+// Revision is one change to a pair's label — the audit trail behind the
+// Section 8 revision meetings (cross-check flips, the D1-D3 updates).
+type Revision struct {
+	Pair     block.Pair
+	From, To Label
+}
+
+// Store holds labels for record pairs, preserving labeling order and a
+// revision history.
+type Store struct {
+	labels    map[block.Pair]Label
+	order     []block.Pair
+	revisions []Revision
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{labels: make(map[block.Pair]Label)}
+}
+
+// Set records (or revises) the label of p. Unknown removes nothing but is
+// rejected — use stores for decided labels.
+func (s *Store) Set(p block.Pair, l Label) error {
+	if l == Unknown {
+		return fmt.Errorf("label: cannot store Unknown")
+	}
+	prev, seen := s.labels[p]
+	if !seen {
+		s.order = append(s.order, p)
+	} else if prev != l {
+		s.revisions = append(s.revisions, Revision{Pair: p, From: prev, To: l})
+	}
+	s.labels[p] = l
+	return nil
+}
+
+// Revisions returns the label-change history, in order.
+func (s *Store) Revisions() []Revision {
+	out := make([]Revision, len(s.revisions))
+	copy(out, s.revisions)
+	return out
+}
+
+// Get returns the label of p (Unknown when absent).
+func (s *Store) Get(p block.Pair) Label { return s.labels[p] }
+
+// Has reports whether p is labeled.
+func (s *Store) Has(p block.Pair) bool {
+	_, ok := s.labels[p]
+	return ok
+}
+
+// Len returns the number of labeled pairs.
+func (s *Store) Len() int { return len(s.labels) }
+
+// Pairs returns the labeled pairs in labeling order.
+func (s *Store) Pairs() []block.Pair {
+	out := make([]block.Pair, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Counts tallies the store.
+func (s *Store) Counts() Counts {
+	var c Counts
+	for _, l := range s.labels {
+		switch l {
+		case Yes:
+			c.Yes++
+		case No:
+			c.No++
+		case Unsure:
+			c.Unsure++
+		}
+	}
+	return c
+}
+
+// Decided returns the pairs labeled Yes or No (Unsure pairs are excluded
+// from training and evaluation per footnote 5), in labeling order, with
+// their binary labels (1 for Yes).
+func (s *Store) Decided() ([]block.Pair, []int) {
+	var pairs []block.Pair
+	var y []int
+	for _, p := range s.order {
+		switch s.labels[p] {
+		case Yes:
+			pairs = append(pairs, p)
+			y = append(y, 1)
+		case No:
+			pairs = append(pairs, p)
+			y = append(y, 0)
+		}
+	}
+	return pairs, y
+}
+
+// Clone returns a deep copy of the store, including the revision history.
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for _, p := range s.order {
+		out.Set(p, s.labels[p])
+	}
+	out.revisions = make([]Revision, len(s.revisions))
+	copy(out.revisions, s.revisions)
+	return out
+}
+
+// WriteCSV persists the store as (left,right,label) rows sorted by pair
+// for deterministic output.
+func (s *Store) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"left", "right", "label"}); err != nil {
+		return err
+	}
+	pairs := s.Pairs()
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, p := range pairs {
+		rec := []string{strconv.Itoa(p.A), strconv.Itoa(p.B), s.labels[p].String()}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a store written by WriteCSV.
+func ReadCSV(r io.Reader) (*Store, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("label: read header: %w", err)
+	}
+	if len(header) != 3 {
+		return nil, fmt.Errorf("label: want 3 columns, got %d", len(header))
+	}
+	s := NewStore()
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("label: line %d: %w", line, err)
+		}
+		a, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("label: line %d: %w", line, err)
+		}
+		b, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("label: line %d: %w", line, err)
+		}
+		l, err := ParseLabel(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("label: line %d: %w", line, err)
+		}
+		if err := s.Set(block.Pair{A: a, B: b}, l); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Conflict is one pair two labelers disagree on.
+type Conflict struct {
+	Pair block.Pair
+	A, B Label
+}
+
+// Merge combines several labelers' stores into one — the collaboration
+// primitive Section 13 asks for. Pairs labeled identically (or by only
+// one labeler) merge cleanly; disagreements are returned as conflicts
+// and left OUT of the merged store, to be resolved in a revision meeting
+// and Set explicitly.
+func Merge(stores ...*Store) (*Store, []Conflict) {
+	merged := NewStore()
+	conflicted := make(map[block.Pair]bool)
+	var conflicts []Conflict
+	for _, s := range stores {
+		for _, p := range s.Pairs() {
+			l := s.Get(p)
+			if conflicted[p] {
+				continue
+			}
+			if !merged.Has(p) {
+				merged.Set(p, l)
+				continue
+			}
+			if existing := merged.Get(p); existing != l {
+				conflicts = append(conflicts, Conflict{Pair: p, A: existing, B: l})
+				conflicted[p] = true
+				// Remove from the merged view by rebuilding lazily:
+				// mark and filter below.
+			}
+		}
+	}
+	if len(conflicted) == 0 {
+		return merged, conflicts
+	}
+	clean := NewStore()
+	for _, p := range merged.Pairs() {
+		if !conflicted[p] {
+			clean.Set(p, merged.Get(p))
+		}
+	}
+	sort.Slice(conflicts, func(i, j int) bool {
+		if conflicts[i].Pair.A != conflicts[j].Pair.A {
+			return conflicts[i].Pair.A < conflicts[j].Pair.A
+		}
+		return conflicts[i].Pair.B < conflicts[j].Pair.B
+	})
+	return clean, conflicts
+}
+
+// CrossCheck compares two labelers' stores over the pairs both labeled
+// and returns the disagreeing pairs (sorted) — the Section 8 step where
+// the EM team's labels were checked against the UMETRICS team's and 22
+// mismatches surfaced.
+func CrossCheck(a, b *Store) []block.Pair {
+	var out []block.Pair
+	for _, p := range a.Pairs() {
+		if b.Has(p) && a.Get(p) != b.Get(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

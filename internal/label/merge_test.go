@@ -1,0 +1,63 @@
+package label
+
+import (
+	"testing"
+
+	"emgo/internal/block"
+)
+
+func TestMergeCleanAndConflicted(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	p1 := block.Pair{A: 0, B: 0} // both agree Yes
+	p2 := block.Pair{A: 0, B: 1} // only a labeled
+	p3 := block.Pair{A: 0, B: 2} // only b labeled
+	p4 := block.Pair{A: 0, B: 3} // conflict
+	a.Set(p1, Yes)
+	b.Set(p1, Yes)
+	a.Set(p2, No)
+	b.Set(p3, Unsure)
+	a.Set(p4, Yes)
+	b.Set(p4, No)
+
+	merged, conflicts := Merge(a, b)
+	if merged.Len() != 3 {
+		t.Fatalf("merged len = %d", merged.Len())
+	}
+	if merged.Get(p1) != Yes || merged.Get(p2) != No || merged.Get(p3) != Unsure {
+		t.Fatal("clean labels wrong")
+	}
+	if merged.Has(p4) {
+		t.Fatal("conflicted pair must be excluded")
+	}
+	if len(conflicts) != 1 || conflicts[0].Pair != p4 || conflicts[0].A != Yes || conflicts[0].B != No {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+}
+
+func TestMergeThreeWay(t *testing.T) {
+	a, b, c := NewStore(), NewStore(), NewStore()
+	p := block.Pair{A: 1, B: 1}
+	a.Set(p, Yes)
+	b.Set(p, Yes)
+	c.Set(p, No) // third labeler disagrees
+	merged, conflicts := Merge(a, b, c)
+	if merged.Has(p) {
+		t.Fatal("three-way conflict must exclude the pair")
+	}
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	merged, conflicts := Merge()
+	if merged.Len() != 0 || len(conflicts) != 0 {
+		t.Fatal("empty merge")
+	}
+	s := NewStore()
+	s.Set(block.Pair{A: 0, B: 0}, Yes)
+	merged, conflicts = Merge(s)
+	if merged.Len() != 1 || len(conflicts) != 0 {
+		t.Fatal("single merge")
+	}
+}

@@ -1,0 +1,52 @@
+package label
+
+import (
+	"testing"
+
+	"emgo/internal/block"
+)
+
+func TestStoreRevisionHistory(t *testing.T) {
+	s := NewStore()
+	p := block.Pair{A: 1, B: 2}
+	s.Set(p, Yes)
+	if len(s.Revisions()) != 0 {
+		t.Fatal("first label is not a revision")
+	}
+	s.Set(p, Yes) // no-op re-set
+	if len(s.Revisions()) != 0 {
+		t.Fatal("same-label re-set is not a revision")
+	}
+	s.Set(p, Unsure)
+	s.Set(p, No)
+	revs := s.Revisions()
+	if len(revs) != 2 {
+		t.Fatalf("revisions = %d", len(revs))
+	}
+	if revs[0] != (Revision{Pair: p, From: Yes, To: Unsure}) {
+		t.Fatalf("rev 0 = %+v", revs[0])
+	}
+	if revs[1] != (Revision{Pair: p, From: Unsure, To: No}) {
+		t.Fatalf("rev 1 = %+v", revs[1])
+	}
+	// Returned slice is a copy.
+	revs[0].To = Yes
+	if s.Revisions()[0].To != Unsure {
+		t.Fatal("Revisions must return a copy")
+	}
+}
+
+func TestCloneCopiesRevisions(t *testing.T) {
+	s := NewStore()
+	p := block.Pair{A: 0, B: 0}
+	s.Set(p, Yes)
+	s.Set(p, No)
+	c := s.Clone()
+	if len(c.Revisions()) != 1 {
+		t.Fatalf("clone revisions = %d", len(c.Revisions()))
+	}
+	c.Set(p, Unsure)
+	if len(s.Revisions()) != 1 || len(c.Revisions()) != 2 {
+		t.Fatal("clone history not independent")
+	}
+}

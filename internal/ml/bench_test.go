@@ -1,0 +1,64 @@
+package ml
+
+import "testing"
+
+func benchData(b *testing.B, n int) *Dataset {
+	b.Helper()
+	return synthDataset(n, 99)
+}
+
+func BenchmarkDecisionTreeFit(b *testing.B) {
+	ds := benchData(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := &DecisionTree{}
+		if err := tree.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	ds := benchData(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &RandomForest{Trees: 10, Seed: 1}
+		if err := f.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogisticRegressionFit(b *testing.B) {
+	ds := benchData(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &LogisticRegression{}
+		if err := m.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	ds := benchData(b, 500)
+	tree := &DecisionTree{}
+	if err := tree.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(ds.X[i%ds.Len()])
+	}
+}
+
+func BenchmarkCrossValidateTree(b *testing.B) {
+	ds := benchData(b, 300)
+	f := Factory{Name: "decision_tree", New: func() Matcher { return &DecisionTree{} }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectMatcher([]Factory{f}, ds, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"emgo/internal/parallel"
+)
+
+// Factory constructs fresh, unfitted matchers so cross-validation can train
+// one per fold.
+type Factory struct {
+	Name string
+	New  func() Matcher
+}
+
+// DefaultFactories returns the six matchers the case study compares in
+// Section 9: decision tree, SVM, random forest, logistic regression, naive
+// Bayes, and linear regression. seed makes the stochastic ones
+// deterministic.
+func DefaultFactories(seed int64) []Factory {
+	return []Factory{
+		{Name: "decision_tree", New: func() Matcher { return &DecisionTree{} }},
+		{Name: "svm", New: func() Matcher { return &SVM{Seed: seed} }},
+		{Name: "random_forest", New: func() Matcher { return &RandomForest{Seed: seed} }},
+		{Name: "logistic_regression", New: func() Matcher { return &LogisticRegression{} }},
+		{Name: "naive_bayes", New: func() Matcher { return &NaiveBayes{} }},
+		{Name: "linear_regression", New: func() Matcher { return &LinearRegression{} }},
+	}
+}
+
+// CVResult is the cross-validated accuracy of one matcher.
+type CVResult struct {
+	Name      string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Folds     int
+}
+
+// KFold splits indices 0..n-1 into k shuffled folds of near-equal size.
+func KFold(n, k int, rng *rand.Rand) ([][]int, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("ml: k-fold with k=%d over %d examples", k, n)
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	return folds, nil
+}
+
+// CrossValidate trains and evaluates the factory's matcher with k-fold
+// cross-validation, returning precision/recall/F1 averaged over folds —
+// the Section 9 matcher-selection procedure.
+func CrossValidate(f Factory, ds *Dataset, k int, rng *rand.Rand) (CVResult, error) {
+	folds, err := KFold(ds.Len(), k, rng)
+	if err != nil {
+		return CVResult{}, err
+	}
+	res := CVResult{Name: f.Name, Folds: k}
+	for fi := range folds {
+		var trainIdx []int
+		for fj := range folds {
+			if fj != fi {
+				trainIdx = append(trainIdx, folds[fj]...)
+			}
+		}
+		train := ds.Subset(trainIdx)
+		test := ds.Subset(folds[fi])
+		m := f.New()
+		if err := m.Fit(train); err != nil {
+			return CVResult{}, fmt.Errorf("ml: cv %s fold %d: %w", f.Name, fi, err)
+		}
+		conf, err := Confuse(test.Y, PredictAll(m, test.X))
+		if err != nil {
+			return CVResult{}, err
+		}
+		res.Precision += conf.Precision()
+		res.Recall += conf.Recall()
+		res.F1 += conf.F1()
+	}
+	res.Precision /= float64(k)
+	res.Recall /= float64(k)
+	res.F1 /= float64(k)
+	return res, nil
+}
+
+// SelectMatcher cross-validates every factory and returns all results
+// sorted by F1 descending (ties broken by name for determinism); the first
+// entry is the selected matcher. Each factory sees an identically seeded
+// fold split so the comparison is paired.
+func SelectMatcher(factories []Factory, ds *Dataset, k int, seed int64) ([]CVResult, error) {
+	if len(factories) == 0 {
+		return nil, fmt.Errorf("ml: no matchers to select from")
+	}
+	results := make([]CVResult, 0, len(factories))
+	for _, f := range factories {
+		r, err := CrossValidate(f, ds, k, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].F1 != results[j].F1 {
+			return results[i].F1 > results[j].F1
+		}
+		return results[i].Name < results[j].Name
+	})
+	return results, nil
+}
+
+// Mismatch is one example where a matcher's prediction disagrees with its
+// gold label — the unit of both label debugging (Section 8) and matcher
+// debugging (Section 9).
+type Mismatch struct {
+	Index     int // example index in the dataset
+	Gold      int
+	Predicted int
+}
+
+// LeaveOneOutDebug trains the factory's matcher on all examples but one,
+// predicts the left-out example, and reports every disagreement — the
+// label-debugging procedure of Section 8 ("Debugging the Labeled Sample").
+func LeaveOneOutDebug(f Factory, ds *Dataset) ([]Mismatch, error) {
+	if ds.Len() < 2 {
+		return nil, fmt.Errorf("ml: leave-one-out needs at least 2 examples")
+	}
+	preds := make([]int, ds.Len())
+	errs := make([]error, ds.Len())
+	parallel.For(ds.Len(), func(leave int) {
+		idx := make([]int, 0, ds.Len()-1)
+		for i := 0; i < ds.Len(); i++ {
+			if i != leave {
+				idx = append(idx, i)
+			}
+		}
+		m := f.New()
+		if err := m.Fit(ds.Subset(idx)); err != nil {
+			errs[leave] = fmt.Errorf("ml: loocv at %d: %w", leave, err)
+			return
+		}
+		preds[leave] = m.Predict(ds.X[leave])
+	})
+	var out []Mismatch
+	for leave := 0; leave < ds.Len(); leave++ {
+		if errs[leave] != nil {
+			return nil, errs[leave]
+		}
+		if preds[leave] != ds.Y[leave] {
+			out = append(out, Mismatch{Index: leave, Gold: ds.Y[leave], Predicted: preds[leave]})
+		}
+	}
+	return out, nil
+}
+
+// SplitDebug implements the Section 9 matcher-debugging procedure: split
+// the labeled data in half, train on each half and predict the other,
+// reporting all mismatches (indices refer to the full dataset).
+func SplitDebug(f Factory, ds *Dataset, rng *rand.Rand) ([]Mismatch, error) {
+	if ds.Len() < 4 {
+		return nil, fmt.Errorf("ml: split debug needs at least 4 examples")
+	}
+	perm := rng.Perm(ds.Len())
+	half := ds.Len() / 2
+	i1, i2 := perm[:half], perm[half:]
+	var out []Mismatch
+	for _, pass := range [][2][]int{{i1, i2}, {i2, i1}} {
+		trainIdx, testIdx := pass[0], pass[1]
+		m := f.New()
+		if err := m.Fit(ds.Subset(trainIdx)); err != nil {
+			return nil, err
+		}
+		for _, i := range testIdx {
+			pred := m.Predict(ds.X[i])
+			if pred != ds.Y[i] {
+				out = append(out, Mismatch{Index: i, Gold: ds.Y[i], Predicted: pred})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out, nil
+}

@@ -1,0 +1,297 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// standardizer rescales features to zero mean / unit variance; the linear
+// models fit it on training data and apply it at prediction time so
+// features with large ranges (e.g. year differences) do not dominate.
+type standardizer struct {
+	mean, std []float64
+}
+
+func fitStandardizer(ds *Dataset) *standardizer {
+	nf := ds.NumFeatures()
+	s := &standardizer{mean: make([]float64, nf), std: make([]float64, nf)}
+	for j := 0; j < nf; j++ {
+		var sum float64
+		for i := range ds.X {
+			sum += ds.X[i][j]
+		}
+		m := sum / float64(ds.Len())
+		var ss float64
+		for i := range ds.X {
+			d := ds.X[i][j] - m
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(ds.Len()))
+		if sd == 0 {
+			sd = 1
+		}
+		s.mean[j] = m
+		s.std[j] = sd
+	}
+	return s
+}
+
+func (s *standardizer) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// LogisticRegression is an L2-regularized logistic-regression matcher
+// trained with gradient descent.
+type LogisticRegression struct {
+	// Epochs is the number of full gradient-descent passes (default 200).
+	Epochs int
+	// LearningRate is the step size (default 0.1).
+	LearningRate float64
+	// L2 is the regularization strength (default 1e-3).
+	L2 float64
+
+	w     []float64
+	bias  float64
+	scale *standardizer
+}
+
+// Name implements Matcher.
+func (m *LogisticRegression) Name() string { return "logistic_regression" }
+
+// Fit implements Matcher.
+func (m *LogisticRegression) Fit(ds *Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("ml: logistic regression: empty dataset")
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	lr := m.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	l2 := m.L2
+	if l2 < 0 {
+		l2 = 0
+	} else if m.L2 == 0 {
+		l2 = 1e-3
+	}
+	m.scale = fitStandardizer(ds)
+	x := make([][]float64, ds.Len())
+	for i := range ds.X {
+		x[i] = m.scale.apply(ds.X[i])
+	}
+	nf := ds.NumFeatures()
+	m.w = make([]float64, nf)
+	m.bias = 0
+	n := float64(ds.Len())
+	gw := make([]float64, nf)
+	for e := 0; e < epochs; e++ {
+		for j := range gw {
+			gw[j] = 0
+		}
+		gb := 0.0
+		for i := range x {
+			p := sigmoid(dot(m.w, x[i]) + m.bias)
+			err := p - float64(ds.Y[i])
+			for j := range gw {
+				gw[j] += err * x[i][j]
+			}
+			gb += err
+		}
+		for j := range m.w {
+			m.w[j] -= lr * (gw[j]/n + l2*m.w[j])
+		}
+		m.bias -= lr * gb / n
+	}
+	return nil
+}
+
+// Proba implements ProbabilisticMatcher.
+func (m *LogisticRegression) Proba(x []float64) float64 {
+	if m.w == nil {
+		panic("ml: logistic regression used before Fit")
+	}
+	return sigmoid(dot(m.w, m.scale.apply(x)) + m.bias)
+}
+
+// Predict implements Matcher.
+func (m *LogisticRegression) Predict(x []float64) int {
+	if m.Proba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// LinearRegression fits least squares by gradient descent and classifies
+// by thresholding the regression output at 0.5 — the "linear regression
+// matcher" PyMatcher exposes.
+type LinearRegression struct {
+	// Epochs is the number of gradient passes (default 200).
+	Epochs int
+	// LearningRate is the step size (default 0.1).
+	LearningRate float64
+
+	w     []float64
+	bias  float64
+	scale *standardizer
+}
+
+// Name implements Matcher.
+func (m *LinearRegression) Name() string { return "linear_regression" }
+
+// Fit implements Matcher.
+func (m *LinearRegression) Fit(ds *Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("ml: linear regression: empty dataset")
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	lr := m.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	m.scale = fitStandardizer(ds)
+	x := make([][]float64, ds.Len())
+	for i := range ds.X {
+		x[i] = m.scale.apply(ds.X[i])
+	}
+	nf := ds.NumFeatures()
+	m.w = make([]float64, nf)
+	m.bias = 0
+	n := float64(ds.Len())
+	gw := make([]float64, nf)
+	for e := 0; e < epochs; e++ {
+		for j := range gw {
+			gw[j] = 0
+		}
+		gb := 0.0
+		for i := range x {
+			err := dot(m.w, x[i]) + m.bias - float64(ds.Y[i])
+			for j := range gw {
+				gw[j] += err * x[i][j]
+			}
+			gb += err
+		}
+		for j := range m.w {
+			m.w[j] -= lr * gw[j] / n
+		}
+		m.bias -= lr * gb / n
+	}
+	return nil
+}
+
+// Score returns the raw regression output.
+func (m *LinearRegression) Score(x []float64) float64 {
+	if m.w == nil {
+		panic("ml: linear regression used before Fit")
+	}
+	return dot(m.w, m.scale.apply(x)) + m.bias
+}
+
+// Predict implements Matcher.
+func (m *LinearRegression) Predict(x []float64) int {
+	if m.Score(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// SVM is a linear support-vector machine trained with the Pegasos
+// stochastic sub-gradient algorithm.
+type SVM struct {
+	// Epochs is the number of passes over the data (default 50).
+	Epochs int
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+	// Seed drives the example order.
+	Seed int64
+
+	w     []float64
+	bias  float64
+	scale *standardizer
+}
+
+// Name implements Matcher.
+func (m *SVM) Name() string { return "svm" }
+
+// Fit implements Matcher.
+func (m *SVM) Fit(ds *Dataset) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("ml: svm: empty dataset")
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 50
+	}
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	m.scale = fitStandardizer(ds)
+	x := make([][]float64, ds.Len())
+	for i := range ds.X {
+		x[i] = m.scale.apply(ds.X[i])
+	}
+	nf := ds.NumFeatures()
+	m.w = make([]float64, nf)
+	m.bias = 0
+	rng := rand.New(rand.NewSource(m.Seed))
+	t := 0
+	order := rng.Perm(ds.Len())
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			t++
+			eta := 1 / (lambda * float64(t))
+			yi := float64(2*ds.Y[i] - 1) // {-1,+1}
+			margin := yi * (dot(m.w, x[i]) + m.bias)
+			for j := range m.w {
+				m.w[j] *= 1 - eta*lambda
+			}
+			if margin < 1 {
+				for j := range m.w {
+					m.w[j] += eta * yi * x[i][j]
+				}
+				m.bias += eta * yi
+			}
+		}
+	}
+	return nil
+}
+
+// Margin returns the signed distance proxy w·x + b.
+func (m *SVM) Margin(x []float64) float64 {
+	if m.w == nil {
+		panic("ml: svm used before Fit")
+	}
+	return dot(m.w, m.scale.apply(x)) + m.bias
+}
+
+// Predict implements Matcher.
+func (m *SVM) Predict(x []float64) int {
+	if m.Margin(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func sigmoid(z float64) float64 {
+	return 1 / (1 + math.Exp(-z))
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

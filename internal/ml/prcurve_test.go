@@ -1,0 +1,62 @@
+package ml
+
+import "testing"
+
+func TestPRCurve(t *testing.T) {
+	ds := synthDataset(300, 31)
+	tree := &DecisionTree{MaxDepth: 3}
+	if err := tree.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	curve, err := PRCurve(tree, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	// Thresholds ascend; recall is non-increasing along the curve.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Threshold <= curve[i-1].Threshold {
+			t.Fatal("thresholds must ascend")
+		}
+		if curve[i].Confusion.Recall() > curve[i-1].Confusion.Recall()+1e-12 {
+			t.Fatal("recall must not increase with threshold")
+		}
+	}
+	// The lowest threshold predicts everything positive: recall 1.
+	if r := curve[0].Confusion.Recall(); r != 1 {
+		t.Fatalf("lowest threshold recall = %v", r)
+	}
+}
+
+func TestPRCurveEmptyDataset(t *testing.T) {
+	ds, _ := NewDataset([]string{"a"}, nil, nil)
+	tree := &DecisionTree{}
+	tree.Fit(synthDataset(50, 1))
+	if _, err := PRCurve(tree, ds); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestOperatingPointFor(t *testing.T) {
+	ds := synthDataset(300, 32)
+	tree := &DecisionTree{MaxDepth: 4}
+	if err := tree.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	curve, err := PRCurve(tree, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ok := OperatingPointFor(curve, 0.9)
+	if !ok {
+		t.Fatal("a 0.9-precision point should exist on training data")
+	}
+	if pt.Confusion.Precision() < 0.9 {
+		t.Fatalf("operating point precision %v", pt.Confusion.Precision())
+	}
+	if _, ok := OperatingPointFor(nil, 0.5); ok {
+		t.Fatal("empty curve has no operating point")
+	}
+}

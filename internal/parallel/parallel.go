@@ -1,0 +1,51 @@
+// Package parallel provides the deterministic fan-out helper the
+// compute-heavy stages share (vectorization, forest training,
+// leave-one-out debugging): work is split by index across workers and
+// results land in preallocated slots, so concurrency never changes any
+// output.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n) workers.
+// fn must only write to state owned by index i (e.g. out[i]); For returns
+// when all calls finish. n <= 0 is a no-op.
+func For(n int, fn func(i int)) {
+	ForWorkers(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForWorkers is For with an explicit worker count (values below 2 run
+// serially).
+func ForWorkers(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

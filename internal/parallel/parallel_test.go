@@ -1,0 +1,61 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	f := func(n uint8) bool {
+		nn := int(n)
+		counts := make([]int32, nn)
+		For(nn, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-3, func(int) { called = true })
+	if called {
+		t.Fatal("fn must not be called for n <= 0")
+	}
+}
+
+func TestForWorkersBothPaths(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		out := make([]int32, 50)
+		ForWorkers(50, workers, func(i int) {
+			atomic.AddInt32(&out[i], 1)
+		})
+		for i, c := range out {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForDeterministicOutput(t *testing.T) {
+	out1 := make([]int, 1000)
+	out2 := make([]int, 1000)
+	For(1000, func(i int) { out1[i] = i * i })
+	For(1000, func(i int) { out2[i] = i * i })
+	for i := range out1 {
+		if out1[i] != out2[i] || out1[i] != i*i {
+			t.Fatal("per-index results must be deterministic")
+		}
+	}
+}

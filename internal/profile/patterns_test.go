@@ -1,0 +1,52 @@
+package profile
+
+import (
+	"testing"
+
+	"emgo/internal/rules"
+	"emgo/internal/table"
+)
+
+func TestPatterns(t *testing.T) {
+	tab := table.New("ids", table.MustSchema(table.Field{Name: "Num", Kind: table.String}))
+	for _, s := range []string{
+		"2008-34103-19449",
+		"2001-34101-10526",
+		"WIS01040",
+		"WIS04509",
+		"WIS01560",
+		"03-CS-112313000-031",
+	} {
+		tab.MustAppend(table.Row{table.S(s)})
+	}
+	tab.MustAppend(table.Row{table.Null(table.String)})
+
+	gen := func(s string) string { return string(rules.Generalize(s)) }
+	got, err := Patterns(tab, "Num", 2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("top-k not applied: %+v", got)
+	}
+	if got[0].Pattern != "XXX#####" || got[0].Count != 3 {
+		t.Fatalf("top pattern = %+v", got[0])
+	}
+	if got[1].Pattern != "YYYY-#####-#####" || got[1].Count != 2 {
+		t.Fatalf("second pattern = %+v", got[1])
+	}
+
+	all, err := Patterns(tab, "Num", 0, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("all patterns = %+v", all)
+	}
+	if _, err := Patterns(tab, "Nope", 5, gen); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, err := Patterns(tab, "Num", 5, nil); err == nil {
+		t.Fatal("nil generalize should error")
+	}
+}

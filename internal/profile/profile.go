@@ -1,0 +1,284 @@
+// Package profile computes per-column statistics for exploring and
+// understanding tables — the role pandas-profiling and ad-hoc scripts play
+// in Section 4 of the case study ("number of unique values, number of
+// missing values, mean, median, etc., for each column").
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"emgo/internal/table"
+)
+
+// TopValue is one frequently occurring value and its count.
+type TopValue struct {
+	Value string
+	Count int
+}
+
+// Column summarizes one column.
+type Column struct {
+	Name    string
+	Kind    table.Kind
+	Rows    int
+	Missing int
+	Unique  int
+
+	// Numeric stats; valid only when Numeric is true.
+	Numeric bool
+	Mean    float64
+	Median  float64
+	Min     float64
+	Max     float64
+	StdDev  float64
+
+	// String stats; valid only for string columns with data.
+	MinLen int
+	MaxLen int
+	AvgLen float64
+
+	Top []TopValue
+}
+
+// MissingFrac returns the fraction of rows that are null.
+func (c *Column) MissingFrac() float64 {
+	if c.Rows == 0 {
+		return 0
+	}
+	return float64(c.Missing) / float64(c.Rows)
+}
+
+// Report is a profile of a whole table.
+type Report struct {
+	Table   string
+	Rows    int
+	Cols    int
+	Columns []Column
+}
+
+// Column returns the profile of the named column, or nil.
+func (r *Report) Column(name string) *Column {
+	for i := range r.Columns {
+		if r.Columns[i].Name == name {
+			return &r.Columns[i]
+		}
+	}
+	return nil
+}
+
+// topK is how many frequent values each column profile records.
+const topK = 5
+
+// Profile computes a report for t.
+func Profile(t *table.Table) *Report {
+	r := &Report{Table: t.Name(), Rows: t.Len(), Cols: t.Schema().Len()}
+	for j := 0; j < t.Schema().Len(); j++ {
+		f := t.Schema().Field(j)
+		r.Columns = append(r.Columns, profileColumn(t, j, f))
+	}
+	return r
+}
+
+func profileColumn(t *table.Table, j int, f table.Field) Column {
+	c := Column{Name: f.Name, Kind: f.Kind, Rows: t.Len()}
+	counts := make(map[string]int)
+	var nums []float64
+	var totalLen int
+	c.MinLen = math.MaxInt
+
+	for i := 0; i < t.Len(); i++ {
+		v := t.Row(i)[j]
+		if v.IsNull() {
+			c.Missing++
+			continue
+		}
+		s := v.Str()
+		counts[s]++
+		switch f.Kind {
+		case table.Int, table.Float:
+			nums = append(nums, v.Float())
+		case table.Date:
+			nums = append(nums, float64(v.Date().Year()))
+		case table.String:
+			n := len(s)
+			totalLen += n
+			if n < c.MinLen {
+				c.MinLen = n
+			}
+			if n > c.MaxLen {
+				c.MaxLen = n
+			}
+		}
+	}
+	c.Unique = len(counts)
+	present := c.Rows - c.Missing
+	if f.Kind == table.String {
+		if present > 0 {
+			c.AvgLen = float64(totalLen) / float64(present)
+		} else {
+			c.MinLen = 0
+		}
+	} else {
+		c.MinLen = 0
+	}
+	if len(nums) > 0 {
+		c.Numeric = true
+		c.Mean, c.StdDev = meanStd(nums)
+		c.Median = median(nums)
+		c.Min, c.Max = minMax(nums)
+	}
+	c.Top = topValues(counts, topK)
+	return c
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - mean
+			ss += d * d
+		}
+		std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return mean, std
+}
+
+func median(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func topValues(counts map[string]int, k int) []TopValue {
+	out := make([]TopValue, 0, len(counts))
+	for v, n := range counts {
+		out = append(out, TopValue{Value: v, Count: n})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ValueOverlap returns the number of distinct non-null values shared by
+// column colA of a and colB of b, plus each side's distinct count. It is
+// the Section 6 step-3 check ("we checked if the attributes with similar
+// names have similar values ... checked for any overlap of values").
+func ValueOverlap(a *table.Table, colA string, b *table.Table, colB string) (shared, uniqueA, uniqueB int, err error) {
+	ja, err := a.Col(colA)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	jb, err := b.Col(colB)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	setA := make(map[string]struct{})
+	for i := 0; i < a.Len(); i++ {
+		if v := a.Row(i)[ja]; !v.IsNull() {
+			setA[v.Str()] = struct{}{}
+		}
+	}
+	setB := make(map[string]struct{})
+	for i := 0; i < b.Len(); i++ {
+		if v := b.Row(i)[jb]; !v.IsNull() {
+			setB[v.Str()] = struct{}{}
+		}
+	}
+	for v := range setA {
+		if _, ok := setB[v]; ok {
+			shared++
+		}
+	}
+	return shared, len(setA), len(setB), nil
+}
+
+// PatternCount is one identifier shape and how many values exhibit it.
+type PatternCount struct {
+	Pattern string
+	Count   int
+}
+
+// Patterns profiles the shapes of an identifier column: every non-null
+// value is generalized (digits → '#', letters → 'X', 4-digit years →
+// "YYYY") and the k most frequent shapes are returned — the analysis
+// behind the UMETRICS team's "list of possible patterns for the award
+// numbers" (Section 12).
+func Patterns(t *table.Table, col string, k int, generalize func(string) string) ([]PatternCount, error) {
+	j, err := t.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	if generalize == nil {
+		return nil, fmt.Errorf("profile: Patterns needs a generalize function")
+	}
+	counts := make(map[string]int)
+	for i := 0; i < t.Len(); i++ {
+		v := t.Row(i)[j]
+		if v.IsNull() {
+			continue
+		}
+		counts[generalize(v.Str())]++
+	}
+	out := make([]PatternCount, 0, len(counts))
+	for p, n := range counts {
+		out = append(out, PatternCount{Pattern: p, Count: n})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Pattern < out[b].Pattern
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// String renders the report as a text table, one line per column.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table %s: %d rows x %d cols\n", r.Table, r.Rows, r.Cols)
+	fmt.Fprintf(&b, "%-32s %-7s %8s %8s %10s %10s\n", "column", "kind", "missing", "unique", "mean", "median")
+	for _, c := range r.Columns {
+		mean, med := "-", "-"
+		if c.Numeric {
+			mean = fmt.Sprintf("%.2f", c.Mean)
+			med = fmt.Sprintf("%.2f", c.Median)
+		}
+		fmt.Fprintf(&b, "%-32s %-7s %8d %8d %10s %10s\n", c.Name, c.Kind, c.Missing, c.Unique, mean, med)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"emgo/internal/table"
+)
+
+func buildTable(t *testing.T) *table.Table {
+	t.Helper()
+	schema := table.MustSchema(
+		table.Field{Name: "Title", Kind: table.String},
+		table.Field{Name: "Amount", Kind: table.Float},
+		table.Field{Name: "Year", Kind: table.Int},
+	)
+	tab := table.New("grants", schema)
+	tab.MustAppend(table.Row{table.S("corn"), table.F(10), table.I(2008)})
+	tab.MustAppend(table.Row{table.S("swamp dodder"), table.F(20), table.I(2009)})
+	tab.MustAppend(table.Row{table.S("corn"), table.Null(table.Float), table.I(2008)})
+	tab.MustAppend(table.Row{table.Null(table.String), table.F(30), table.Null(table.Int)})
+	return tab
+}
+
+func TestProfileBasics(t *testing.T) {
+	r := Profile(buildTable(t))
+	if r.Rows != 4 || r.Cols != 3 {
+		t.Fatalf("report dims = %dx%d", r.Rows, r.Cols)
+	}
+	title := r.Column("Title")
+	if title == nil {
+		t.Fatal("Title column missing")
+	}
+	if title.Missing != 1 || title.Unique != 2 {
+		t.Fatalf("Title missing=%d unique=%d", title.Missing, title.Unique)
+	}
+	if title.MissingFrac() != 0.25 {
+		t.Fatalf("missing frac = %v", title.MissingFrac())
+	}
+	if title.MinLen != 4 || title.MaxLen != 12 {
+		t.Fatalf("len stats = %d..%d", title.MinLen, title.MaxLen)
+	}
+	if math.Abs(title.AvgLen-(4+12+4)/3.0) > 1e-9 {
+		t.Fatalf("avg len = %v", title.AvgLen)
+	}
+	if r.Column("Nope") != nil {
+		t.Fatal("unknown column should be nil")
+	}
+}
+
+func TestProfileNumericStats(t *testing.T) {
+	r := Profile(buildTable(t))
+	amt := r.Column("Amount")
+	if !amt.Numeric {
+		t.Fatal("Amount should be numeric")
+	}
+	if amt.Mean != 20 || amt.Median != 20 || amt.Min != 10 || amt.Max != 30 {
+		t.Fatalf("numeric stats: %+v", amt)
+	}
+	if math.Abs(amt.StdDev-10) > 1e-9 {
+		t.Fatalf("stddev = %v", amt.StdDev)
+	}
+	year := r.Column("Year")
+	if year.Missing != 1 || year.Unique != 2 {
+		t.Fatalf("year: %+v", year)
+	}
+	// Even-count median averages the middle pair.
+	if year.Median != 2008 {
+		t.Fatalf("year median = %v", year.Median)
+	}
+}
+
+func TestTopValues(t *testing.T) {
+	r := Profile(buildTable(t))
+	title := r.Column("Title")
+	if len(title.Top) == 0 || title.Top[0].Value != "corn" || title.Top[0].Count != 2 {
+		t.Fatalf("top = %+v", title.Top)
+	}
+}
+
+func TestProfileEmptyTable(t *testing.T) {
+	tab := table.New("empty", table.MustSchema(table.Field{Name: "X", Kind: table.String}))
+	r := Profile(tab)
+	c := r.Column("X")
+	if c.Rows != 0 || c.Missing != 0 || c.Unique != 0 || c.Numeric {
+		t.Fatalf("empty col profile: %+v", c)
+	}
+	if c.MissingFrac() != 0 {
+		t.Fatal("empty missing frac should be 0")
+	}
+}
+
+func TestProfileDateColumn(t *testing.T) {
+	schema := table.MustSchema(table.Field{Name: "D", Kind: table.Date})
+	tab := table.New("d", schema)
+	d1, _ := table.ParseDate("2008-10-01")
+	d2, _ := table.ParseDate("2010-01-15")
+	tab.MustAppend(table.Row{table.D(d1)})
+	tab.MustAppend(table.Row{table.D(d2)})
+	r := Profile(tab)
+	c := r.Column("D")
+	if !c.Numeric || c.Min != 2008 || c.Max != 2010 {
+		t.Fatalf("date profile should use years: %+v", c)
+	}
+}
+
+func TestValueOverlap(t *testing.T) {
+	a := table.New("a", table.MustSchema(table.Field{Name: "OrgName", Kind: table.String}))
+	a.MustAppend(table.Row{table.S("ACME")})
+	a.MustAppend(table.Row{table.S("SAES")})
+	a.MustAppend(table.Row{table.Null(table.String)})
+	b := table.New("b", table.MustSchema(table.Field{Name: "Recipient", Kind: table.String}))
+	b.MustAppend(table.Row{table.S("SAES")})
+	b.MustAppend(table.Row{table.S("UWM")})
+
+	shared, ua, ub, err := ValueOverlap(a, "OrgName", b, "Recipient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared != 1 || ua != 2 || ub != 2 {
+		t.Fatalf("overlap = %d/%d/%d", shared, ua, ub)
+	}
+	if _, _, _, err := ValueOverlap(a, "Nope", b, "Recipient"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, _, _, err := ValueOverlap(a, "OrgName", b, "Nope"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Profile(buildTable(t)).String()
+	if !strings.Contains(s, "grants") || !strings.Contains(s, "Title") || !strings.Contains(s, "Amount") {
+		t.Fatalf("report rendering: %s", s)
+	}
+}

@@ -1,0 +1,50 @@
+package rules
+
+import (
+	"testing"
+
+	"emgo/internal/block"
+)
+
+func TestEngineCoverage(t *testing.T) {
+	l, r := grantRows(t)
+	m1, err := NewEqual("M1", l, "AwardNumber", suffix, r, "AwardNumber", nil, Match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := NewComparableMismatch("neg", l, "AwardNumber", suffix, r, "AwardNumber", nil, Set{"XXX#####"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(m1, neg)
+
+	cand := block.NewCandidateSet(l, r)
+	cand.Add(block.Pair{A: 0, B: 0}) // M1 fires
+	cand.Add(block.Pair{A: 1, B: 1}) // neg fires (WIS vs WIS, different)
+	cand.Add(block.Pair{A: 2, B: 2}) // nothing fires
+
+	cov := e.Coverage(cand)
+	if cov["M1"] != 1 || cov["neg"] != 1 || cov[""] != 1 {
+		t.Fatalf("coverage = %v", cov)
+	}
+	// First-opinion-wins: a pair both rules could decide counts only for
+	// the first rule.
+	total := 0
+	for _, n := range cov {
+		total += n
+	}
+	if total != cand.Len() {
+		t.Fatalf("coverage total %d != candidates %d", total, cand.Len())
+	}
+}
+
+func TestEngineCoverageEmpty(t *testing.T) {
+	l, r := grantRows(t)
+	e := NewEngine()
+	cand := block.NewCandidateSet(l, r)
+	cand.Add(block.Pair{A: 0, B: 0})
+	cov := e.Coverage(cand)
+	if cov[""] != 1 || len(cov) != 1 {
+		t.Fatalf("empty engine coverage = %v", cov)
+	}
+}

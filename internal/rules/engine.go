@@ -1,0 +1,117 @@
+package rules
+
+import (
+	"emgo/internal/block"
+	"emgo/internal/parallel"
+	"emgo/internal/table"
+)
+
+// Engine evaluates an ordered rule list; the first rule with an opinion
+// decides a pair.
+type Engine struct {
+	rules []Rule
+}
+
+// NewEngine builds an engine over the given rules (evaluated in order).
+func NewEngine(rs ...Rule) *Engine {
+	return &Engine{rules: rs}
+}
+
+// Add appends a rule.
+func (e *Engine) Add(r Rule) { e.rules = append(e.rules, r) }
+
+// Len returns the rule count.
+func (e *Engine) Len() int { return len(e.rules) }
+
+// Judge returns the engine's verdict for one row pair.
+func (e *Engine) Judge(left, right table.Row) Verdict {
+	for _, r := range e.rules {
+		if v := r.Apply(left, right); v != NoOpinion {
+			return v
+		}
+	}
+	return NoOpinion
+}
+
+// JudgeWithRule is Judge but also reports which rule fired ("" when none).
+func (e *Engine) JudgeWithRule(left, right table.Row) (Verdict, string) {
+	for _, r := range e.rules {
+		if v := r.Apply(left, right); v != NoOpinion {
+			return v, r.Name()
+		}
+	}
+	return NoOpinion, ""
+}
+
+// SureMatches scans the full Cartesian product of left × right and returns
+// the pairs the engine declares Match — how the Figure 9 workflow pulls
+// sure matches directly from the input tables, bypassing blocking. The
+// scan parallelizes over left rows; rules must therefore be pure
+// functions of the row pair (every rule in this package is).
+func (e *Engine) SureMatches(left, right *table.Table) *block.CandidateSet {
+	perRow := make([][]int, left.Len())
+	parallel.For(left.Len(), func(i int) {
+		var hits []int
+		for j := 0; j < right.Len(); j++ {
+			if e.Judge(left.Row(i), right.Row(j)) == Match {
+				hits = append(hits, j)
+			}
+		}
+		perRow[i] = hits
+	})
+	out := block.NewCandidateSet(left, right)
+	for i, hits := range perRow {
+		for _, j := range hits {
+			out.Add(block.Pair{A: i, B: j})
+		}
+	}
+	return out
+}
+
+// FilterMatches applies the engine's negative rules to a predicted match
+// set: pairs the engine judges NonMatch are removed (the Figure 10 step
+// that flips learner false positives). It returns the surviving set and
+// the number vetoed.
+func (e *Engine) FilterMatches(pred *block.CandidateSet) (*block.CandidateSet, int) {
+	vetoed := 0
+	out := pred.Filter(func(p block.Pair) bool {
+		if e.Judge(pred.Left.Row(p.A), pred.Right.Row(p.B)) == NonMatch {
+			vetoed++
+			return false
+		}
+		return true
+	})
+	return out, vetoed
+}
+
+// Coverage counts, for every pair in the candidate set, which rule fired
+// (by name) and how often, plus how many pairs no rule decided
+// (map key "") — the per-rule provenance view a complex rule-plus-learner
+// workflow needs when the teams debate what each rule contributes.
+func (e *Engine) Coverage(cand *block.CandidateSet) map[string]int {
+	out := make(map[string]int, len(e.rules)+1)
+	for _, p := range cand.Pairs() {
+		_, name := e.JudgeWithRule(cand.Left.Row(p.A), cand.Right.Row(p.B))
+		out[name]++
+	}
+	return out
+}
+
+// MarkPairs judges every pair in the candidate set and returns the pairs
+// per verdict (NoOpinion pairs are those the learner must decide).
+func (e *Engine) MarkPairs(cand *block.CandidateSet) (match, nonMatch, undecided *block.CandidateSet) {
+	match = block.NewCandidateSet(cand.Left, cand.Right)
+	nonMatch = block.NewCandidateSet(cand.Left, cand.Right)
+	undecided = block.NewCandidateSet(cand.Left, cand.Right)
+	for _, p := range cand.Pairs() {
+		switch e.Judge(cand.Left.Row(p.A), cand.Right.Row(p.B)) {
+		case Match:
+			match.Add(p)
+		case NonMatch:
+			nonMatch.Add(p)
+		default:
+			undecided.Add(p)
+		}
+	}
+	return match, nonMatch, undecided
+}

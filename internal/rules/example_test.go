@@ -1,0 +1,37 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"emgo/internal/rules"
+)
+
+func ExampleGeneralize() {
+	fmt.Println(rules.Generalize("2008-34103-19449"))
+	fmt.Println(rules.Generalize("WIS01040"))
+	fmt.Println(rules.Generalize("03-CS-112313000-031"))
+	// Output:
+	// YYYY-#####-#####
+	// XXX#####
+	// ##-XX-#########-###
+}
+
+func ExamplePattern_Matches() {
+	p := rules.Pattern("YYYY-#####-#####")
+	fmt.Println(p.Matches("2008-34103-19449"))
+	fmt.Println(p.Matches("0301-34103-19449")) // not a plausible year
+	// Output:
+	// true
+	// false
+}
+
+func ExampleSet_Comparable() {
+	// The Section 12 "comparable" test: identifiers are compared only
+	// when they share a known pattern.
+	patterns := rules.Set{"YYYY-#####-#####", "XXX#####"}
+	fmt.Println(patterns.Comparable("WIS01560", "WIS04509"))
+	fmt.Println(patterns.Comparable("WIS01560", "2001-34101-10526"))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,20 @@
+package rules
+
+import "testing"
+
+// FuzzPatternMatches checks the pattern matcher never panics and that
+// Generalize's output always matches its input.
+func FuzzPatternMatches(f *testing.F) {
+	f.Add("YYYY-#####-#####", "2008-34103-19449")
+	f.Add("XXX#####", "WIS01040")
+	f.Add("##-XX-#########-###", "03-CS-112313000-031")
+	f.Add("", "")
+	f.Add("YYYY", "1999")
+	f.Fuzz(func(t *testing.T, pattern, s string) {
+		_ = Pattern(pattern).Matches(s) // must not panic
+		g := Generalize(s)
+		if !g.Matches(s) {
+			t.Fatalf("Generalize(%q) = %q does not match its input", s, g)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package rules implements the hand-crafted rule layer of the case study:
+// an award-number pattern language (Section 12's "##-XX-########-###",
+// "YYYY-#####-#####", "WIS#####" patterns), the "comparable" test between
+// identifiers, and positive (sure-match) and negative (veto) rules that
+// combine with the learning-based matcher (Figures 9 and 10).
+package rules
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Pattern is a shape for identifier strings:
+//
+//	'#'  matches any digit (or a literal '#', so that a generalized
+//	     string always matches its own generalization)
+//	'X'  matches any letter
+//	'Y'  matches a digit; a run of four Ys must form a year 1900-2099
+//	any other rune matches itself
+//
+// Patterns are the vocabulary the UMETRICS team used to define when two
+// award/project numbers are "comparable" (Section 12).
+type Pattern string
+
+// Matches reports whether s has the shape of p.
+func (p Pattern) Matches(s string) bool {
+	pr := []rune(string(p))
+	sr := []rune(s)
+	if len(pr) != len(sr) {
+		return false
+	}
+	for i := 0; i < len(pr); i++ {
+		switch pr[i] {
+		case '#':
+			if !unicode.IsDigit(sr[i]) && sr[i] != '#' {
+				return false
+			}
+		case 'X':
+			if !unicode.IsLetter(sr[i]) {
+				return false
+			}
+		case 'Y':
+			if !unicode.IsDigit(sr[i]) {
+				return false
+			}
+		default:
+			if pr[i] != sr[i] {
+				return false
+			}
+		}
+	}
+	// Year constraint: every maximal run of 4+ Y maps to digits that must
+	// start with 19 or 20.
+	for i := 0; i < len(pr); {
+		if pr[i] != 'Y' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(pr) && pr[j] == 'Y' {
+			j++
+		}
+		if j-i >= 4 {
+			prefix := string(sr[i : i+2])
+			if prefix != "19" && prefix != "20" {
+				return false
+			}
+		}
+		i = j
+	}
+	return true
+}
+
+// Generalize converts a concrete identifier into a pattern: digits become
+// '#', letters become 'X', and 4-digit runs that look like years (19xx or
+// 20xx at a run boundary) become "YYYY". Other runes are kept literally.
+// It is the pattern-discovery helper used when profiling identifier
+// columns.
+func Generalize(s string) Pattern {
+	sr := []rune(s)
+	out := make([]rune, 0, len(sr))
+	for i := 0; i < len(sr); {
+		if unicode.IsDigit(sr[i]) {
+			j := i
+			for j < len(sr) && unicode.IsDigit(sr[j]) {
+				j++
+			}
+			run := j - i
+			if run == 4 && (strings.HasPrefix(string(sr[i:j]), "19") || strings.HasPrefix(string(sr[i:j]), "20")) {
+				out = append(out, 'Y', 'Y', 'Y', 'Y')
+			} else {
+				for k := 0; k < run; k++ {
+					out = append(out, '#')
+				}
+			}
+			i = j
+			continue
+		}
+		if unicode.IsLetter(sr[i]) {
+			out = append(out, 'X')
+		} else {
+			out = append(out, sr[i])
+		}
+		i++
+	}
+	return Pattern(string(out))
+}
+
+// Set is a list of known identifier patterns.
+type Set []Pattern
+
+// Find returns the first pattern in the set matching s, and whether one
+// was found.
+func (ps Set) Find(s string) (Pattern, bool) {
+	for _, p := range ps {
+		if p.Matches(s) {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// Comparable reports whether a and b match the same known pattern — the
+// Section 12 definition: identifiers are compared by the negative rule
+// "only if they have the same pattern".
+func (ps Set) Comparable(a, b string) bool {
+	pa, ok := ps.Find(a)
+	if !ok {
+		return false
+	}
+	pb, ok := ps.Find(b)
+	if !ok {
+		return false
+	}
+	return pa == pb
+}

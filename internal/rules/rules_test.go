@@ -1,0 +1,263 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"emgo/internal/block"
+	"emgo/internal/table"
+)
+
+func TestPatternMatches(t *testing.T) {
+	cases := []struct {
+		p    Pattern
+		s    string
+		want bool
+	}{
+		{"##-XX-#########-###", "03-CS-112313000-031", true},
+		{"YYYY-#####-#####", "2001-34101-10526", true},
+		{"YYYY-#####-#####", "2008-34103-19449", true},
+		{"YYYY-#####-#####", "0301-34101-10526", false}, // not a year
+		{"WIS#####", "WIS01560", true},
+		{"WIS#####", "WIS04509", true},
+		{"WIS#####", "WIX04509", false}, // literal mismatch
+		{"WIS#####", "WIS0456", false},  // length mismatch
+		{"###", "12a", false},
+		{"XXX", "abc", true},
+		{"XXX", "ab1", false},
+		{"", "", true},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.s); got != c.want {
+			t.Errorf("Pattern(%q).Matches(%q) = %v want %v", c.p, c.s, got, c.want)
+		}
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Pattern
+	}{
+		{"03-CS-112313000-031", "##-XX-#########-###"},
+		{"2001-34101-10526", "YYYY-#####-#####"},
+		{"WIS01560", "XXX#####"},
+		{"abc", "XXX"},
+		{"", ""},
+		{"1985", "YYYY"},
+		{"3085", "####"}, // 4 digits but not 19xx/20xx
+	}
+	for _, c := range cases {
+		if got := Generalize(c.in); got != c.want {
+			t.Errorf("Generalize(%q) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: a string always matches its own generalization.
+func TestGeneralizeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		return Generalize(s).Matches(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFindAndComparable(t *testing.T) {
+	ps := Set{"YYYY-#####-#####", "XXX#####", "##-XX-#########-###"}
+	if p, ok := ps.Find("2008-34103-19449"); !ok || p != "YYYY-#####-#####" {
+		t.Fatalf("Find: %q %v", p, ok)
+	}
+	if _, ok := ps.Find("???"); ok {
+		t.Fatal("unknown shape should not be found")
+	}
+	// The Section 12 examples.
+	if ps.Comparable("03-CS-112313000-031", "2001-34101-10526") {
+		t.Fatal("different patterns must not be comparable")
+	}
+	if !ps.Comparable("WIS01560", "WIS04509") {
+		t.Fatal("same pattern must be comparable")
+	}
+	if ps.Comparable("WIS01560", "unknown-shape") {
+		t.Fatal("unknown shape is never comparable")
+	}
+}
+
+func grantRows(t *testing.T) (*table.Table, *table.Table) {
+	t.Helper()
+	left := table.New("U", table.MustSchema(
+		table.Field{Name: "AwardNumber", Kind: table.String},
+		table.Field{Name: "Title", Kind: table.String},
+	))
+	left.MustAppend(table.Row{table.S("10.200 2008-34103-19449"), table.S("corn")})
+	left.MustAppend(table.Row{table.S("10.203 WIS01040"), table.S("dodder")})
+	left.MustAppend(table.Row{table.Null(table.String), table.S("lab")})
+
+	right := table.New("S", table.MustSchema(
+		table.Field{Name: "AwardNumber", Kind: table.String},
+		table.Field{Name: "Title", Kind: table.String},
+	))
+	right.MustAppend(table.Row{table.S("2008-34103-19449"), table.S("corn!")})
+	right.MustAppend(table.Row{table.S("WIS04509"), table.S("dodder2")})
+	right.MustAppend(table.Row{table.Null(table.String), table.S("lab stuff")})
+	return left, right
+}
+
+func suffix(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[i+1:]
+	}
+	return ""
+}
+
+func TestEqualRuleM1(t *testing.T) {
+	l, r := grantRows(t)
+	m1, err := NewEqual("M1", l, "AwardNumber", suffix, r, "AwardNumber", nil, Match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Name() != "M1" {
+		t.Fatal("name")
+	}
+	if v := m1.Apply(l.Row(0), r.Row(0)); v != Match {
+		t.Fatalf("equal suffix should Match, got %v", v)
+	}
+	if v := m1.Apply(l.Row(1), r.Row(1)); v != NoOpinion {
+		t.Fatalf("different numbers: %v", v)
+	}
+	if v := m1.Apply(l.Row(2), r.Row(0)); v != NoOpinion {
+		t.Fatalf("null side should withhold opinion: %v", v)
+	}
+	if v := m1.Apply(l.Row(0), r.Row(2)); v != NoOpinion {
+		t.Fatalf("null right should withhold opinion: %v", v)
+	}
+}
+
+func TestNewEqualErrors(t *testing.T) {
+	l, r := grantRows(t)
+	if _, err := NewEqual("x", l, "Nope", nil, r, "AwardNumber", nil, Match); err == nil {
+		t.Fatal("bad left column should error")
+	}
+	if _, err := NewEqual("x", l, "AwardNumber", nil, r, "Nope", nil, Match); err == nil {
+		t.Fatal("bad right column should error")
+	}
+	if _, err := NewEqual("x", l, "AwardNumber", nil, r, "AwardNumber", nil, NoOpinion); err == nil {
+		t.Fatal("NoOpinion verdict should error")
+	}
+}
+
+func TestComparableMismatchRule(t *testing.T) {
+	l, r := grantRows(t)
+	ps := Set{"YYYY-#####-#####", "XXX#####"}
+	neg, err := NewComparableMismatch("neg", l, "AwardNumber", suffix, r, "AwardNumber", nil, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WIS01040 vs WIS04509: same pattern, different values -> NonMatch.
+	if v := neg.Apply(l.Row(1), r.Row(1)); v != NonMatch {
+		t.Fatalf("comparable mismatch should veto, got %v", v)
+	}
+	// Equal values -> NoOpinion (the positive rule handles equality).
+	if v := neg.Apply(l.Row(0), r.Row(0)); v != NoOpinion {
+		t.Fatalf("equal values: %v", v)
+	}
+	// Null -> NoOpinion.
+	if v := neg.Apply(l.Row(2), r.Row(1)); v != NoOpinion {
+		t.Fatalf("null: %v", v)
+	}
+	if _, err := NewComparableMismatch("x", l, "AwardNumber", nil, r, "AwardNumber", nil, nil); err == nil {
+		t.Fatal("empty pattern set should error")
+	}
+	if _, err := NewComparableMismatch("x", l, "Nope", nil, r, "AwardNumber", nil, ps); err == nil {
+		t.Fatal("bad column should error")
+	}
+	if _, err := NewComparableMismatch("x", l, "AwardNumber", nil, r, "Nope", nil, ps); err == nil {
+		t.Fatal("bad right column should error")
+	}
+}
+
+func TestFuncRule(t *testing.T) {
+	f := Func{Label: "always", Verdict: Match, Fire: func(a, b table.Row) bool { return true }}
+	if f.Name() != "always" || (Func{}).Name() != "func" {
+		t.Fatal("names")
+	}
+	l, r := grantRows(t)
+	if f.Apply(l.Row(0), r.Row(0)) != Match {
+		t.Fatal("func rule should fire")
+	}
+	if (Func{Verdict: Match}).Apply(l.Row(0), r.Row(0)) != NoOpinion {
+		t.Fatal("nil Fire should withhold opinion")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Match.String() != "match" || NonMatch.String() != "non-match" || NoOpinion.String() != "no-opinion" {
+		t.Fatal("verdict strings")
+	}
+}
+
+func TestEngineOrderAndJudge(t *testing.T) {
+	l, r := grantRows(t)
+	m1, _ := NewEqual("M1", l, "AwardNumber", suffix, r, "AwardNumber", nil, Match)
+	veto := Func{Label: "veto-all", Verdict: NonMatch, Fire: func(a, b table.Row) bool { return true }}
+
+	// First-opinion-wins: M1 before veto lets the sure match through.
+	e := NewEngine(m1, veto)
+	if e.Len() != 2 {
+		t.Fatal("len")
+	}
+	if v, name := e.JudgeWithRule(l.Row(0), r.Row(0)); v != Match || name != "M1" {
+		t.Fatalf("judge: %v %q", v, name)
+	}
+	if v, name := e.JudgeWithRule(l.Row(1), r.Row(1)); v != NonMatch || name != "veto-all" {
+		t.Fatalf("judge: %v %q", v, name)
+	}
+	empty := NewEngine()
+	if v, name := empty.JudgeWithRule(l.Row(0), r.Row(0)); v != NoOpinion || name != "" {
+		t.Fatal("empty engine should have no opinion")
+	}
+}
+
+func TestEngineSureMatches(t *testing.T) {
+	l, r := grantRows(t)
+	m1, _ := NewEqual("M1", l, "AwardNumber", suffix, r, "AwardNumber", nil, Match)
+	e := NewEngine(m1)
+	sure := e.SureMatches(l, r)
+	if sure.Len() != 1 || !sure.Contains(block.Pair{A: 0, B: 0}) {
+		t.Fatalf("sure matches: %v", sure.Pairs())
+	}
+}
+
+func TestEngineFilterMatches(t *testing.T) {
+	l, r := grantRows(t)
+	ps := Set{"XXX#####"}
+	neg, _ := NewComparableMismatch("neg", l, "AwardNumber", suffix, r, "AwardNumber", nil, ps)
+	e := NewEngine(neg)
+
+	pred := block.NewCandidateSet(l, r)
+	pred.Add(block.Pair{A: 0, B: 0}) // survives (patterns differ)
+	pred.Add(block.Pair{A: 1, B: 1}) // vetoed (WIS vs WIS, different)
+	out, vetoed := e.FilterMatches(pred)
+	if vetoed != 1 || out.Len() != 1 || !out.Contains(block.Pair{A: 0, B: 0}) {
+		t.Fatalf("filter: vetoed=%d out=%v", vetoed, out.Pairs())
+	}
+}
+
+func TestEngineMarkPairs(t *testing.T) {
+	l, r := grantRows(t)
+	m1, _ := NewEqual("M1", l, "AwardNumber", suffix, r, "AwardNumber", nil, Match)
+	ps := Set{"XXX#####"}
+	neg, _ := NewComparableMismatch("neg", l, "AwardNumber", suffix, r, "AwardNumber", nil, ps)
+	e := NewEngine(m1, neg)
+
+	cand := block.NewCandidateSet(l, r)
+	cand.Add(block.Pair{A: 0, B: 0}) // match via M1
+	cand.Add(block.Pair{A: 1, B: 1}) // non-match via neg
+	cand.Add(block.Pair{A: 2, B: 2}) // undecided
+	match, non, und := e.MarkPairs(cand)
+	if match.Len() != 1 || non.Len() != 1 || und.Len() != 1 {
+		t.Fatalf("mark: %d/%d/%d", match.Len(), non.Len(), und.Len())
+	}
+}

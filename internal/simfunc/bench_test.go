@@ -1,0 +1,69 @@
+package simfunc
+
+import (
+	"strings"
+	"testing"
+)
+
+var (
+	benchA = "DEVELOPMENT OF IPM-BASED CORN FUNGICIDE GUIDELINES FOR THE NORTH CENTRAL STATES"
+	benchB = "Development of IPM-Based Corn Fungicide Guidelines for the North Central States"
+	tokA   = strings.Fields(strings.ToLower(benchA))
+	tokB   = strings.Fields(strings.ToLower(benchB))
+	sink   float64
+	sinkI  int
+)
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkI = Levenshtein(benchA, benchB)
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = JaroWinkler(benchA, benchB)
+	}
+}
+
+func BenchmarkJaccardTokens(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = Jaccard(tokA, tokB)
+	}
+}
+
+func BenchmarkMongeElkan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = MongeElkan(tokA, tokB)
+	}
+}
+
+func BenchmarkGeneralizedJaccard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = GeneralizedJaccard(tokA, tokB)
+	}
+}
+
+func BenchmarkAffineGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sink = AffineGap("David Michael Smith", "D. M. Smith")
+	}
+}
+
+func BenchmarkSoundex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Soundex("Zimmermann")
+	}
+}
+
+func BenchmarkTFIDFCosine(b *testing.B) {
+	c := NewCorpus()
+	for i := 0; i < 1000; i++ {
+		c.Add(tokA)
+		c.Add(tokB)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = c.TFIDFCosine(tokA, tokB)
+	}
+}

@@ -1,0 +1,231 @@
+// Package simfunc implements the string, set, and numeric similarity
+// functions used for blocking and for automatic feature generation — the
+// role py_stringmatching plays for PyMatcher. All similarities are in
+// [0, 1] with 1 meaning identical, unless documented otherwise.
+package simfunc
+
+import "strings"
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete, substitute), computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinSim converts edit distance to a similarity:
+// 1 - dist/max(len(a), len(b)). Two empty strings are fully similar.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := len(ra)
+	if len(rb) > window {
+		window = len(rb)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(ra))
+	matchB := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions.
+	trans := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale of 0.1 and a maximum considered prefix of 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NeedlemanWunsch returns the global-alignment score of a and b with match
+// score +1, mismatch -1, gap -1 (raw score, not normalized).
+func NeedlemanWunsch(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = -j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = -i
+		for j := 1; j <= len(rb); j++ {
+			s := -1
+			if ra[i-1] == rb[j-1] {
+				s = 1
+			}
+			cur[j] = max3(prev[j-1]+s, prev[j]-1, cur[j-1]-1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// SmithWaterman returns the local-alignment score of a and b with match +2,
+// mismatch -1, gap -1 (raw score; 0 means no positive-scoring local
+// alignment).
+func SmithWaterman(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	best := 0
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = 0
+		for j := 1; j <= len(rb); j++ {
+			s := -1
+			if ra[i-1] == rb[j-1] {
+				s = 2
+			}
+			v := max3(prev[j-1]+s, prev[j]-1, cur[j-1]-1)
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// Hamming returns the number of positions at which equal-length strings
+// differ; it returns -1 when lengths differ (Hamming is undefined there).
+func Hamming(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) != len(rb) {
+		return -1
+	}
+	d := 0
+	for i := range ra {
+		if ra[i] != rb[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// ExactString reports 1 when the strings are byte-identical, else 0.
+func ExactString(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// ExactStringFold reports 1 when the strings are equal ignoring ASCII and
+// Unicode simple case, else 0. This is one of the case-insensitive features
+// added during matcher debugging in Section 9.
+func ExactStringFold(a, b string) float64 {
+	if strings.EqualFold(a, b) {
+		return 1
+	}
+	return 0
+}
+
+func min3(a, b, c int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+func max3(a, b, c int) int {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}

@@ -1,0 +1,168 @@
+package simfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"corn", "corn", 0},
+		{"corn", "cord", 1},
+		{"WIS01040", "WIS04059", 3},
+		{"日本語", "日本", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	if s := LevenshteinSim("", ""); s != 1 {
+		t.Errorf("empty/empty = %v", s)
+	}
+	if s := LevenshteinSim("abc", "abc"); s != 1 {
+		t.Errorf("identical = %v", s)
+	}
+	if s := LevenshteinSim("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint = %v", s)
+	}
+	if s := LevenshteinSim("abcd", "abcx"); s != 0.75 {
+		t.Errorf("3/4 = %v", s)
+	}
+}
+
+// Properties of edit distance: symmetry, identity, triangle inequality,
+// and bounds.
+func TestLevenshteinProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	sym := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(sym, cfg); err != nil {
+		t.Error("symmetry:", err)
+	}
+	ident := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(ident, cfg); err != nil {
+		t.Error("identity:", err)
+	}
+	tri := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error("triangle:", err)
+	}
+	bounds := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		la, lb := len([]rune(a)), len([]rune(b))
+		lo := la - lb
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := la
+		if lb > hi {
+			hi = lb
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(bounds, cfg); err != nil {
+		t.Error("bounds:", err)
+	}
+}
+
+func TestJaro(t *testing.T) {
+	if s := Jaro("", ""); s != 1 {
+		t.Errorf("empty = %v", s)
+	}
+	if s := Jaro("a", ""); s != 0 {
+		t.Errorf("one empty = %v", s)
+	}
+	if s := Jaro("MARTHA", "MARHTA"); math.Abs(s-0.944444) > 1e-5 {
+		t.Errorf("MARTHA/MARHTA = %v", s)
+	}
+	if s := Jaro("DIXON", "DICKSONX"); math.Abs(s-0.766667) > 1e-5 {
+		t.Errorf("DIXON/DICKSONX = %v", s)
+	}
+	if s := Jaro("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint = %v", s)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if s := JaroWinkler("MARTHA", "MARHTA"); math.Abs(s-0.961111) > 1e-5 {
+		t.Errorf("MARTHA/MARHTA = %v", s)
+	}
+	if s := JaroWinkler("abc", "abc"); s != 1 {
+		t.Errorf("identical = %v", s)
+	}
+	// Prefix boost: jw >= jaro always.
+	if JaroWinkler("prefixed", "prefixes") < Jaro("prefixed", "prefixes") {
+		t.Error("JW should not be below Jaro")
+	}
+}
+
+func TestJaroWinklerRangeProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeedlemanWunsch(t *testing.T) {
+	if s := NeedlemanWunsch("abc", "abc"); s != 3 {
+		t.Errorf("identical = %d", s)
+	}
+	if s := NeedlemanWunsch("", "abc"); s != -3 {
+		t.Errorf("gap cost = %d", s)
+	}
+	if s := NeedlemanWunsch("abc", "abd"); s != 1 {
+		t.Errorf("one mismatch = %d", s)
+	}
+}
+
+func TestSmithWaterman(t *testing.T) {
+	if s := SmithWaterman("xxcornxx", "yycornyy"); s != 8 {
+		t.Errorf("local align corn = %d", s)
+	}
+	if s := SmithWaterman("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint = %d", s)
+	}
+	if s := SmithWaterman("", ""); s != 0 {
+		t.Errorf("empty = %d", s)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if d := Hamming("karolin", "kathrin"); d != 3 {
+		t.Errorf("karolin/kathrin = %d", d)
+	}
+	if d := Hamming("abc", "ab"); d != -1 {
+		t.Errorf("unequal lengths should be -1, got %d", d)
+	}
+	if d := Hamming("", ""); d != 0 {
+		t.Errorf("empty = %d", d)
+	}
+}
+
+func TestExactString(t *testing.T) {
+	if ExactString("a", "a") != 1 || ExactString("a", "b") != 0 {
+		t.Error("ExactString wrong")
+	}
+	if ExactStringFold("Corn", "CORN") != 1 {
+		t.Error("fold should match case-insensitively")
+	}
+	if ExactStringFold("corn", "cord") != 0 {
+		t.Error("fold should not match different strings")
+	}
+}

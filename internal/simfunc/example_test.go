@@ -1,0 +1,46 @@
+package simfunc_test
+
+import (
+	"fmt"
+
+	"emgo/internal/simfunc"
+)
+
+func ExampleJaccard() {
+	a := []string{"corn", "fungicide", "guidelines"}
+	b := []string{"corn", "fungicide", "rules"}
+	fmt.Printf("%.2f\n", simfunc.Jaccard(a, b))
+	// Output: 0.50
+}
+
+func ExampleOverlapCoefficient() {
+	// Short titles reach a high coefficient even when the raw overlap is
+	// small — the reason the case study needed a second title blocker.
+	a := []string{"swamp", "dodder"}
+	b := []string{"swamp", "dodder", "ecology", "management"}
+	fmt.Printf("%.2f\n", simfunc.OverlapCoefficient(a, b))
+	// Output: 1.00
+}
+
+func ExampleJaroWinkler() {
+	fmt.Printf("%.3f\n", simfunc.JaroWinkler("MARTHA", "MARHTA"))
+	// Output: 0.961
+}
+
+func ExampleSoundex() {
+	fmt.Println(simfunc.Soundex("Robert"), simfunc.Soundex("Rupert"))
+	// Output: R163 R163
+}
+
+func ExampleLevenshtein() {
+	fmt.Println(simfunc.Levenshtein("kitten", "sitting"))
+	// Output: 3
+}
+
+func ExampleGeneralizedJaccard() {
+	// A token-level typo that plain Jaccard scores as disjoint.
+	fmt.Printf("%.2f %.2f\n",
+		simfunc.Jaccard([]string{"fungicide"}, []string{"fungicde"}),
+		simfunc.GeneralizedJaccard([]string{"fungicide"}, []string{"fungicde"}))
+	// Output: 0.00 0.96
+}

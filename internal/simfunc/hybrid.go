@@ -1,0 +1,194 @@
+package simfunc
+
+import "math"
+
+// AffineGap returns the affine-gap alignment score of a and b: match +1,
+// mismatch -1, gap opening -1, gap extension -0.5 (raw score). It scores
+// "D. M. Smith" vs "David Michael Smith" style truncations better than
+// plain edit distance because one long gap is cheaper than many unit
+// gaps.
+func AffineGap(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	n, m := len(ra), len(rb)
+	if n == 0 && m == 0 {
+		return 0
+	}
+	const (
+		match     = 1.0
+		mismatch  = -1.0
+		gapOpen   = -1.0
+		gapExtend = -0.5
+	)
+	negInf := math.Inf(-1)
+	// M: align i,j; X: gap in b (consume a); Y: gap in a (consume b).
+	M := make([][]float64, n+1)
+	X := make([][]float64, n+1)
+	Y := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		M[i] = make([]float64, m+1)
+		X[i] = make([]float64, m+1)
+		Y[i] = make([]float64, m+1)
+	}
+	for i := 1; i <= n; i++ {
+		M[i][0] = negInf
+		X[i][0] = gapOpen + float64(i-1)*gapExtend
+		Y[i][0] = negInf
+	}
+	for j := 1; j <= m; j++ {
+		M[0][j] = negInf
+		X[0][j] = negInf
+		Y[0][j] = gapOpen + float64(j-1)*gapExtend
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := mismatch
+			if ra[i-1] == rb[j-1] {
+				s = match
+			}
+			M[i][j] = s + max3f(M[i-1][j-1], X[i-1][j-1], Y[i-1][j-1])
+			X[i][j] = math.Max(M[i-1][j]+gapOpen, X[i-1][j]+gapExtend)
+			Y[i][j] = math.Max(M[i][j-1]+gapOpen, Y[i][j-1]+gapExtend)
+		}
+	}
+	return max3f(M[n][m], X[n][m], Y[n][m])
+}
+
+func max3f(a, b, c float64) float64 {
+	return math.Max(a, math.Max(b, c))
+}
+
+// BagDistance returns the bag distance of a and b: a cheap lower bound on
+// edit distance (max of the two one-sided multiset differences), used as
+// an edit-distance filter.
+func BagDistance(a, b string) int {
+	counts := make(map[rune]int)
+	for _, r := range a {
+		counts[r]++
+	}
+	for _, r := range b {
+		counts[r]--
+	}
+	var pos, neg int
+	for _, c := range counts {
+		if c > 0 {
+			pos += c
+		} else {
+			neg -= c
+		}
+	}
+	if pos > neg {
+		return pos
+	}
+	return neg
+}
+
+// Tversky returns the Tversky index of two token sets with weights alpha
+// (for A\B) and beta (for B\A): |A∩B| / (|A∩B| + α|A−B| + β|B−A|).
+// alpha = beta = 1 gives Jaccard; alpha = beta = 0.5 gives Dice. Two
+// empty sets are fully similar.
+func Tversky(a, b []string, alpha, beta float64) float64 {
+	sa, sb := set(a), set(b)
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	onlyA := len(sa) - inter
+	onlyB := len(sb) - inter
+	den := float64(inter) + alpha*float64(onlyA) + beta*float64(onlyB)
+	if den == 0 {
+		return 1
+	}
+	return float64(inter) / den
+}
+
+// GeneralizedJaccard returns the generalized Jaccard similarity: tokens
+// are soft-matched with Jaro (threshold 0.8) via greedy best-first
+// pairing, and the pair similarities replace exact-match counts. It
+// handles token-level typos ("fungicide" vs "fungicde") that plain
+// Jaccard scores as disjoint.
+func GeneralizedJaccard(a, b []string) float64 {
+	ta := dedupe(a)
+	tb := dedupe(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	const threshold = 0.8
+	type cand struct {
+		i, j int
+		sim  float64
+	}
+	var cands []cand
+	for i, x := range ta {
+		for j, y := range tb {
+			if s := Jaro(x, y); s >= threshold {
+				cands = append(cands, cand{i, j, s})
+			}
+		}
+	}
+	// Greedy best-first matching (stable order for determinism).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			if cands[j].sim > cands[j-1].sim {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			} else {
+				break
+			}
+		}
+	}
+	usedA := make([]bool, len(ta))
+	usedB := make([]bool, len(tb))
+	var total float64
+	matched := 0
+	for _, c := range cands {
+		if usedA[c.i] || usedB[c.j] {
+			continue
+		}
+		usedA[c.i] = true
+		usedB[c.j] = true
+		total += c.sim
+		matched++
+	}
+	union := float64(len(ta) + len(tb) - matched)
+	return total / union
+}
+
+// dedupe returns distinct tokens preserving first-seen order.
+func dedupe(toks []string) []string {
+	seen := make(map[string]struct{}, len(toks))
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// PrefixSim returns the normalized length of the common prefix:
+// |lcp| / min(len(a), len(b)). Empty strings are fully similar to each
+// other and dissimilar to anything else.
+func PrefixSim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	minLen := len(ra)
+	if len(rb) < minLen {
+		minLen = len(rb)
+	}
+	if minLen == 0 {
+		if len(ra) == 0 && len(rb) == 0 {
+			return 1
+		}
+		return 0
+	}
+	lcp := 0
+	for lcp < minLen && ra[lcp] == rb[lcp] {
+		lcp++
+	}
+	return float64(lcp) / float64(minLen)
+}

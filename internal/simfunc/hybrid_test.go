@@ -1,0 +1,158 @@
+package simfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineGap(t *testing.T) {
+	if s := AffineGap("", ""); s != 0 {
+		t.Errorf("empty = %v", s)
+	}
+	if s := AffineGap("abc", "abc"); s != 3 {
+		t.Errorf("identical = %v", s)
+	}
+	// One long gap must beat the same total length of scattered gaps:
+	// "davidsmith" vs "david michael smith"-style truncation.
+	longGap := AffineGap("dsmith", "davidsmith") // one 4-rune gap
+	if longGap <= 0 {
+		t.Errorf("long-gap alignment should stay positive: %v", longGap)
+	}
+	// Affine gap cost: open -1 + 3 extends -1.5 = -2.5, plus 6 matches.
+	if math.Abs(longGap-3.5) > 1e-9 {
+		t.Errorf("gap arithmetic = %v want 3.5", longGap)
+	}
+	if s := AffineGap("", "ab"); math.Abs(s-(-1.5)) > 1e-9 {
+		t.Errorf("pure gap = %v want -1.5", s)
+	}
+}
+
+func TestAffineGapSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 12 || len(b) > 12 {
+			a, b = truncate(a, 12), truncate(b, 12)
+		}
+		return math.Abs(AffineGap(a, b)-AffineGap(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncate(s string, n int) string {
+	r := []rune(s)
+	if len(r) > n {
+		return string(r[:n])
+	}
+	return s
+}
+
+func TestBagDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"abc", "cba", 0}, // bags equal
+		{"abc", "abd", 1},
+		{"aab", "ab", 1},
+	}
+	for _, c := range cases {
+		if got := BagDistance(c.a, c.b); got != c.want {
+			t.Errorf("BagDistance(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: bag distance is a lower bound on Levenshtein distance.
+func TestBagDistanceLowerBoundProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		a, b = truncate(a, 15), truncate(b, 15)
+		return BagDistance(a, b) <= Levenshtein(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTversky(t *testing.T) {
+	a := []string{"corn", "fungicide", "guidelines"}
+	b := []string{"corn", "fungicide", "rules"}
+	// alpha=beta=1 == Jaccard.
+	if got, want := Tversky(a, b, 1, 1), Jaccard(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Tversky(1,1) = %v, Jaccard = %v", got, want)
+	}
+	// alpha=beta=0.5 == Dice.
+	if got, want := Tversky(a, b, 0.5, 0.5), Dice(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Tversky(.5,.5) = %v, Dice = %v", got, want)
+	}
+	// Asymmetric weights ignore one side's extras entirely.
+	if got := Tversky(a, b, 0, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Tversky(0,1) = %v", got)
+	}
+	if Tversky(nil, nil, 1, 1) != 1 {
+		t.Error("both empty should be 1")
+	}
+}
+
+func TestGeneralizedJaccard(t *testing.T) {
+	// Exact tokens behave like Jaccard.
+	a := []string{"corn", "fungicide"}
+	b := []string{"corn", "rules"}
+	if got := GeneralizedJaccard(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("exact tokens = %v", got)
+	}
+	// Token-level typo is soft-matched where Jaccard sees nothing.
+	typo := GeneralizedJaccard([]string{"fungicide"}, []string{"fungicde"})
+	if typo <= 0.8 {
+		t.Errorf("typo should soft-match: %v", typo)
+	}
+	if Jaccard([]string{"fungicide"}, []string{"fungicde"}) != 0 {
+		t.Error("baseline check: plain jaccard should be 0")
+	}
+	if GeneralizedJaccard(nil, nil) != 1 || GeneralizedJaccard(a, nil) != 0 {
+		t.Error("empty handling")
+	}
+	// Identical sets are fully similar.
+	if got := GeneralizedJaccard(a, a); got != 1 {
+		t.Errorf("self = %v", got)
+	}
+}
+
+func TestGeneralizedJaccardRangeProperty(t *testing.T) {
+	f := func(a, b []string) bool {
+		if len(a) > 6 {
+			a = a[:6]
+		}
+		if len(b) > 6 {
+			b = b[:6]
+		}
+		s := GeneralizedJaccard(a, b)
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"a", "", 0},
+		{"abc", "abc", 1},
+		{"abcd", "abxy", 0.5},
+		{"WIS01040", "WIS04059", 0.5},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := PrefixSim(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PrefixSim(%q,%q) = %v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

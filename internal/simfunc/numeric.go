@@ -1,0 +1,107 @@
+package simfunc
+
+import (
+	"math"
+	"strings"
+)
+
+// AbsDiff returns |a-b|, a distance (not a similarity); NaN inputs yield
+// NaN so missing values propagate into feature vectors as missing.
+func AbsDiff(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	return math.Abs(a - b)
+}
+
+// RelDiff returns |a-b| / max(|a|,|b|), in [0,1] for same-sign inputs;
+// both-zero yields 0 and NaN inputs propagate.
+func RelDiff(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
+}
+
+// ExactNumeric reports 1 when a == b, else 0; NaN inputs propagate.
+func ExactNumeric(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// YearDiff returns |yearA - yearB|. It is the feature behind the D3 label
+// revision ("matches if the transaction dates are within a difference of a
+// few years"). NaN inputs propagate.
+func YearDiff(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	return math.Abs(a - b)
+}
+
+// Soundex returns the American Soundex code of s (letter + 3 digits) or ""
+// for strings with no ASCII letter. Used as a phonetic feature on person
+// names (the M3 "individuals involved" signal).
+func Soundex(s string) string {
+	s = strings.ToUpper(s)
+	first := byte(0)
+	var digits []byte
+	var prev byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 'A' || c > 'Z' {
+			prev = 0
+			continue
+		}
+		d := soundexDigit(c)
+		if first == 0 {
+			first = c
+			prev = d
+			continue
+		}
+		if d != 0 && d != prev {
+			digits = append(digits, d)
+			if len(digits) == 3 {
+				break
+			}
+		}
+		// H and W are transparent: they do not reset prev.
+		if c != 'H' && c != 'W' {
+			prev = d
+		}
+	}
+	if first == 0 {
+		return ""
+	}
+	for len(digits) < 3 {
+		digits = append(digits, '0')
+	}
+	return string(first) + string(digits)
+}
+
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'B', 'F', 'P', 'V':
+		return '1'
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return '2'
+	case 'D', 'T':
+		return '3'
+	case 'L':
+		return '4'
+	case 'M', 'N':
+		return '5'
+	case 'R':
+		return '6'
+	}
+	return 0
+}

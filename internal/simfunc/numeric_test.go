@@ -1,0 +1,74 @@
+package simfunc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAbsDiff(t *testing.T) {
+	if d := AbsDiff(5, 3); d != 2 {
+		t.Errorf("AbsDiff = %v", d)
+	}
+	if d := AbsDiff(3, 5); d != 2 {
+		t.Errorf("AbsDiff sym = %v", d)
+	}
+	if !math.IsNaN(AbsDiff(math.NaN(), 1)) || !math.IsNaN(AbsDiff(1, math.NaN())) {
+		t.Error("NaN should propagate")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if d := RelDiff(10, 5); d != 0.5 {
+		t.Errorf("RelDiff = %v", d)
+	}
+	if d := RelDiff(0, 0); d != 0 {
+		t.Errorf("both zero = %v", d)
+	}
+	if !math.IsNaN(RelDiff(math.NaN(), 1)) {
+		t.Error("NaN should propagate")
+	}
+}
+
+func TestExactNumeric(t *testing.T) {
+	if ExactNumeric(2008, 2008) != 1 || ExactNumeric(2008, 2009) != 0 {
+		t.Error("ExactNumeric wrong")
+	}
+	if !math.IsNaN(ExactNumeric(math.NaN(), 1)) {
+		t.Error("NaN should propagate")
+	}
+}
+
+func TestYearDiff(t *testing.T) {
+	if d := YearDiff(2008, 2011); d != 3 {
+		t.Errorf("YearDiff = %v", d)
+	}
+	if !math.IsNaN(YearDiff(1, math.NaN())) {
+		t.Error("NaN should propagate")
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // H is transparent
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", ""},
+		{"123", ""},
+		{"Kermicle", "K652"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexCaseInsensitive(t *testing.T) {
+	if Soundex("ESKER") != Soundex("esker") {
+		t.Error("soundex should be case-insensitive")
+	}
+}

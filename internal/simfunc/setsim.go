@@ -1,0 +1,106 @@
+package simfunc
+
+import "math"
+
+// set materializes the distinct tokens of toks.
+func set(toks []string) map[string]struct{} {
+	s := make(map[string]struct{}, len(toks))
+	for _, t := range toks {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// intersectionSize returns |set(a) ∩ set(b)|.
+func intersectionSize(a, b []string) (inter, sizeA, sizeB int) {
+	sa, sb := set(a), set(b)
+	if len(sa) > len(sb) {
+		sa, sb = sb, sa
+	}
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return inter, len(set(a)), len(set(b))
+}
+
+// Jaccard returns |A∩B| / |A∪B| over the distinct tokens. Two empty sets
+// are fully similar.
+func Jaccard(a, b []string) float64 {
+	inter, la, lb := intersectionSize(a, b)
+	union := la + lb - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// OverlapSize returns |A∩B|: the raw shared-token count the overlap
+// blocker thresholds on (Section 7 step 2).
+func OverlapSize(a, b []string) int {
+	inter, _, _ := intersectionSize(a, b)
+	return inter
+}
+
+// OverlapCoefficient returns |A∩B| / min(|A|, |B|) (Section 7 step 3).
+// Two empty sets are fully similar; one empty set scores 0.
+func OverlapCoefficient(a, b []string) float64 {
+	inter, la, lb := intersectionSize(a, b)
+	m := la
+	if lb < m {
+		m = lb
+	}
+	if m == 0 {
+		if la == 0 && lb == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(inter) / float64(m)
+}
+
+// Dice returns 2|A∩B| / (|A|+|B|).
+func Dice(a, b []string) float64 {
+	inter, la, lb := intersectionSize(a, b)
+	if la+lb == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(la+lb)
+}
+
+// Cosine returns |A∩B| / sqrt(|A|·|B|) over distinct tokens (set cosine).
+func Cosine(a, b []string) float64 {
+	inter, la, lb := intersectionSize(a, b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	return float64(inter) / math.Sqrt(float64(la)*float64(lb))
+}
+
+// MongeElkan returns the Monge-Elkan similarity: for each token of a, the
+// best Jaro-Winkler match in b, averaged. It is asymmetric; callers wanting
+// symmetry should average both directions. Empty a scores 0 against
+// non-empty b; two empties score 1.
+func MongeElkan(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if s := JaroWinkler(ta, tb); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(a))
+}

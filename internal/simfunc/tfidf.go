@@ -1,0 +1,80 @@
+package simfunc
+
+import "math"
+
+// Corpus accumulates document frequencies so TF-IDF cosine similarity can
+// weight rare tokens (e.g. distinctive title words) above generic ones
+// (e.g. "lab", "supplies" — the Section 5 problem of generic titles).
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// Add registers one document's tokens (duplicates within a document count
+// once toward document frequency).
+func (c *Corpus) Add(tokens []string) {
+	c.docs++
+	for t := range set(tokens) {
+		c.df[t]++
+	}
+}
+
+// Docs returns the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of token:
+// log(1 + N/df). Unseen tokens get the maximum weight log(1 + N).
+func (c *Corpus) IDF(token string) float64 {
+	if c.docs == 0 {
+		return 0
+	}
+	df := c.df[token]
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + float64(c.docs)/float64(df))
+}
+
+// TFIDFCosine returns the cosine similarity of the TF-IDF vectors of two
+// token lists under this corpus.
+func (c *Corpus) TFIDFCosine(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	wa := c.weights(a)
+	wb := c.weights(b)
+	var dot, na, nb float64
+	for t, w := range wa {
+		na += w * w
+		if wbv, ok := wb[t]; ok {
+			dot += w * wbv
+		}
+	}
+	for _, w := range wb {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// weights builds the TF-IDF weight vector for tokens.
+func (c *Corpus) weights(tokens []string) map[string]float64 {
+	tf := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	for t, f := range tf {
+		tf[t] = f * c.IDF(t)
+	}
+	return tf
+}

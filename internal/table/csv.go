@@ -1,0 +1,119 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSV parses CSV from r into a table. The first record is the header.
+// Column kinds are taken from kinds when provided (by column name);
+// unspecified columns default to String. Cells that fail to parse under a
+// non-string kind become null (real-world CSVs are dirty; the EM pipeline
+// treats unparseable cells as missing rather than aborting).
+func ReadCSV(name string, r io.Reader, kinds map[string]Kind) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv header: %w", err)
+	}
+	fields := make([]Field, len(header))
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		k := String
+		if kinds != nil {
+			if kk, ok := kinds[h]; ok {
+				k = kk
+			}
+		}
+		fields[i] = Field{Name: h, Kind: k}
+	}
+	schema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, fmt.Errorf("table: csv header: %w", err)
+	}
+	t := New(name, schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: read csv line %d: %w", line, err)
+		}
+		row := make(Row, len(fields))
+		for i := range fields {
+			var cell string
+			if i < len(rec) {
+				cell = rec[i]
+			}
+			v, perr := Parse(cell, fields[i].Kind)
+			if perr != nil {
+				v = Null(fields[i].Kind)
+			}
+			row[i] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+	return t, nil
+}
+
+// ReadCSVFile reads a CSV file from disk; the table name is the file's base
+// name without extension.
+func ReadCSVFile(path string, kinds map[string]Kind) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, f, kinds)
+}
+
+// WriteCSV writes the table as CSV (header plus rows). Nulls render as the
+// empty string.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return fmt.Errorf("table %s: write csv header: %w", t.name, err)
+	}
+	rec := make([]string, t.schema.Len())
+	for _, r := range t.rows {
+		for j, v := range r {
+			if v.IsNull() {
+				rec[j] = ""
+			} else {
+				rec[j] = v.Str()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table %s: write csv row: %w", t.name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the named file, creating parent
+// directories as needed.
+func (t *Table) WriteCSVFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

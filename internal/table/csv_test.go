@@ -1,0 +1,168 @@
+package table
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	src := "Name,Age,Start\nAlice,30,2008-10-01\nBob,,10/1/08\n"
+	kinds := map[string]Kind{"Age": Int, "Start": Date}
+	tab, err := ReadCSV("people", strings.NewReader(src), kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("rows = %d", tab.Len())
+	}
+	if tab.Get(0, "Age").Int() != 30 {
+		t.Fatal("int parse wrong")
+	}
+	if !tab.Get(1, "Age").IsNull() {
+		t.Fatal("empty int should be null")
+	}
+	if tab.Get(1, "Start").Str() != "2008-10-01" {
+		t.Fatalf("date parse = %q", tab.Get(1, "Start").Str())
+	}
+}
+
+func TestReadCSVDirtyCellsBecomeNull(t *testing.T) {
+	src := "N\nnot-a-number\n7\n"
+	tab, err := ReadCSV("x", strings.NewReader(src), map[string]Kind{"N": Int})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Get(0, "N").IsNull() {
+		t.Fatal("unparseable cell should become null")
+	}
+	if tab.Get(1, "N").Int() != 7 {
+		t.Fatal("valid cell lost")
+	}
+}
+
+func TestReadCSVRaggedRows(t *testing.T) {
+	src := "A,B\n1\n2,3\n"
+	tab, err := ReadCSV("x", strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Get(0, "B").IsNull() {
+		t.Fatal("missing trailing cell should be null")
+	}
+}
+
+func TestReadCSVDuplicateHeader(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("A,A\n1,2\n"), nil); err == nil {
+		t.Fatal("duplicate header should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	schema := MustSchema(
+		Field{Name: "ID", Kind: Int},
+		Field{Name: "Title", Kind: String},
+		Field{Name: "Amount", Kind: Float},
+	)
+	tab := New("grants", schema)
+	tab.MustAppend(Row{I(1), S("Corn, \"IPM\" guidelines"), F(1234.5)})
+	tab.MustAppend(Row{I(2), Null(String), Null(Float)})
+
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("grants", &buf, map[string]Kind{"ID": Int, "Amount": Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip rows = %d", got.Len())
+	}
+	if got.Get(0, "Title").Str() != `Corn, "IPM" guidelines` {
+		t.Fatalf("quoting broken: %q", got.Get(0, "Title").Str())
+	}
+	if !got.Get(1, "Title").IsNull() || !got.Get(1, "Amount").IsNull() {
+		t.Fatal("nulls lost in round trip")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "t.csv")
+	tab := New("t", MustSchema(Field{Name: "X", Kind: String}))
+	tab.MustAppend(Row{S("hello")})
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "t" {
+		t.Fatalf("table name from file = %q", got.Name())
+	}
+	if got.Get(0, "X").Str() != "hello" {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv"), nil); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if !os.IsNotExist(err) && err != nil {
+		// fine: just asserting error exists above
+		_ = err
+	}
+}
+
+func TestSample(t *testing.T) {
+	tab := New("t", MustSchema(Field{Name: "N", Kind: Int}))
+	for i := 0; i < 100; i++ {
+		tab.MustAppend(Row{I(int64(i))})
+	}
+	rng := rand.New(rand.NewSource(1))
+	s, err := tab.Sample("s", 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("sample len = %d", s.Len())
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < s.Len(); i++ {
+		n := s.Get(i, "N").Int()
+		if seen[n] {
+			t.Fatal("sample with replacement detected")
+		}
+		seen[n] = true
+	}
+	if _, err := tab.Sample("s", 101, rng); err == nil {
+		t.Fatal("oversample should error")
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	tab := New("t", MustSchema(Field{Name: "N", Kind: Int}))
+	for i := 0; i < 50; i++ {
+		tab.MustAppend(Row{I(int64(i))})
+	}
+	a, _ := tab.Sample("a", 5, rand.New(rand.NewSource(7)))
+	b, _ := tab.Sample("b", 5, rand.New(rand.NewSource(7)))
+	for i := 0; i < 5; i++ {
+		if a.Get(i, "N").Int() != b.Get(i, "N").Int() {
+			t.Fatal("same seed must give same sample")
+		}
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	idx, err := SampleIndices(10, 3, rand.New(rand.NewSource(2)))
+	if err != nil || len(idx) != 3 {
+		t.Fatalf("SampleIndices: %v %v", idx, err)
+	}
+	if _, err := SampleIndices(3, 10, rand.New(rand.NewSource(2))); err == nil {
+		t.Fatal("oversample indices should error")
+	}
+}

@@ -1,0 +1,65 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that every accepted value
+// renders back to text that re-parses to an equal value.
+func FuzzParse(f *testing.F) {
+	seeds := []string{"", "42", "3.14", "2008-10-01", "10/1/08", "true", "NaN", "hello", "-", "1e309"}
+	for _, s := range seeds {
+		for k := String; k <= Bool; k++ {
+			f.Add(s, int(k))
+		}
+	}
+	f.Fuzz(func(t *testing.T, s string, kind int) {
+		k := Kind(kind % 5)
+		v, err := Parse(s, k)
+		if err != nil {
+			return
+		}
+		if v.IsNull() {
+			return
+		}
+		// Round trip: render and re-parse.
+		back, err := Parse(v.Str(), k)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q, kind %v) failed: %v", v.Str(), s, k, err)
+		}
+		if back.IsNull() {
+			// Rendered form can look like an NA marker only if the
+			// original value rendered empty; anything else is a bug.
+			if v.Str() != "" {
+				t.Fatalf("value %q re-parsed to null", v.Str())
+			}
+			return
+		}
+		if !v.Equal(back) && k != Float {
+			// Floats may lose NaN-adjacent formatting; all other kinds
+			// must round-trip exactly.
+			t.Fatalf("round trip changed value: %v -> %v", v, back)
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV reader never panics on arbitrary input.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("A,B\n1,2\n")
+	f.Add("A\n\"quoted, cell\"\n")
+	f.Add("")
+	f.Add("A,B\nx")
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := ReadCSV("fuzz", strings.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		// A successfully parsed table must be internally consistent.
+		for i := 0; i < tab.Len(); i++ {
+			if len(tab.Row(i)) != tab.Schema().Len() {
+				t.Fatal("row width mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package table
+
+import "fmt"
+
+// NamedPredicate routes rows to a named partition.
+type NamedPredicate struct {
+	Name string
+	// Match reports whether a row belongs to this partition; the first
+	// matching predicate wins.
+	Match func(Row) bool
+}
+
+// Partition splits a table into named parts — the Section 13 "different
+// solutions for different parts of the data" primitive: records with
+// reliable identifiers go to a rule workflow, the rest to a learned one,
+// and dirty slices get set aside entirely. Rows matching no predicate
+// land in the "" partition. Every returned table shares the input's
+// schema; row order is preserved within each part.
+func Partition(t *Table, parts []NamedPredicate) (map[string]*Table, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("table %s: partition needs at least one predicate", t.name)
+	}
+	seen := make(map[string]bool, len(parts)+1)
+	out := make(map[string]*Table, len(parts)+1)
+	for _, p := range parts {
+		if p.Name == "" {
+			return nil, fmt.Errorf("table %s: partition name must be non-empty (\"\" is the rest-bucket)", t.name)
+		}
+		if p.Match == nil {
+			return nil, fmt.Errorf("table %s: partition %q needs a predicate", t.name, p.Name)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("table %s: duplicate partition %q", t.name, p.Name)
+		}
+		seen[p.Name] = true
+		out[p.Name] = New(t.name+"_"+p.Name, t.schema)
+	}
+	out[""] = New(t.name+"_rest", t.schema)
+
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		dest := out[""]
+		for _, p := range parts {
+			if p.Match(row) {
+				dest = out[p.Name]
+				break
+			}
+		}
+		dest.MustAppend(row.Clone())
+	}
+	return out, nil
+}

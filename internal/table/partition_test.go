@@ -1,0 +1,69 @@
+package table
+
+import "testing"
+
+func partitionFixture() *Table {
+	t := New("grants", MustSchema(
+		Field{Name: "Num", Kind: String},
+		Field{Name: "Title", Kind: String},
+	))
+	t.MustAppend(Row{S("2008-1"), S("corn")})
+	t.MustAppend(Row{Null(String), S("dodder")})
+	t.MustAppend(Row{S("WIS01"), S("dairy")})
+	t.MustAppend(Row{Null(String), S("")})
+	return t
+}
+
+func TestPartition(t *testing.T) {
+	tab := partitionFixture()
+	parts, err := Partition(tab, []NamedPredicate{
+		{Name: "numbered", Match: func(r Row) bool { return !r[0].IsNull() }},
+		{Name: "titled", Match: func(r Row) bool { return r[1].Str() != "" }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts["numbered"].Len() != 2 {
+		t.Fatalf("numbered: %d", parts["numbered"].Len())
+	}
+	// First matching predicate wins: rows with numbers never reach
+	// "titled".
+	if parts["titled"].Len() != 1 || parts["titled"].Get(0, "Title").Str() != "dodder" {
+		t.Fatalf("titled: %v", parts["titled"])
+	}
+	if parts[""].Len() != 1 {
+		t.Fatalf("rest: %d", parts[""].Len())
+	}
+	// Row totals are preserved.
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != tab.Len() {
+		t.Fatalf("rows lost: %d of %d", total, tab.Len())
+	}
+	// Parts are independent copies.
+	parts["numbered"].MustAppend(Row{S("x"), S("y")})
+	if tab.Len() != 4 {
+		t.Fatal("partition mutated source")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	tab := partitionFixture()
+	if _, err := Partition(tab, nil); err == nil {
+		t.Fatal("no predicates should error")
+	}
+	if _, err := Partition(tab, []NamedPredicate{{Name: "", Match: func(Row) bool { return true }}}); err == nil {
+		t.Fatal("empty name should error")
+	}
+	if _, err := Partition(tab, []NamedPredicate{{Name: "x"}}); err == nil {
+		t.Fatal("nil predicate should error")
+	}
+	if _, err := Partition(tab, []NamedPredicate{
+		{Name: "x", Match: func(Row) bool { return true }},
+		{Name: "x", Match: func(Row) bool { return true }},
+	}); err == nil {
+		t.Fatal("duplicate names should error")
+	}
+}

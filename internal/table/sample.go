@@ -1,0 +1,33 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample returns a new table with n rows drawn uniformly without
+// replacement using rng. It errors when n exceeds the table size.
+func (t *Table) Sample(name string, n int, rng *rand.Rand) (*Table, error) {
+	if n < 0 || n > t.Len() {
+		return nil, fmt.Errorf("table %s: sample %d of %d rows", t.name, n, t.Len())
+	}
+	perm := rng.Perm(t.Len())
+	out := New(name, t.schema)
+	out.rows = make([]Row, n)
+	for i := 0; i < n; i++ {
+		out.rows[i] = t.rows[perm[i]].Clone()
+	}
+	return out, nil
+}
+
+// SampleIndices returns n distinct row indices drawn uniformly without
+// replacement.
+func SampleIndices(total, n int, rng *rand.Rand) ([]int, error) {
+	if n < 0 || n > total {
+		return nil, fmt.Errorf("table: sample %d of %d indices", n, total)
+	}
+	perm := rng.Perm(total)
+	out := make([]int, n)
+	copy(out, perm[:n])
+	return out, nil
+}

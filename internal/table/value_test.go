@@ -1,0 +1,148 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := S("hello"); v.Str() != "hello" || v.IsNull() || v.Kind() != String {
+		t.Errorf("S: got %v", v)
+	}
+	if v := I(42); v.Int() != 42 || v.Float() != 42 {
+		t.Errorf("I: got %v", v)
+	}
+	if v := F(3.5); v.Float() != 3.5 || v.Int() != 3 {
+		t.Errorf("F: got %v", v)
+	}
+	d := time.Date(2008, 10, 1, 0, 0, 0, 0, time.UTC)
+	if v := D(d); !v.Date().Equal(d) || v.Str() != "2008-10-01" {
+		t.Errorf("D: got %v", v)
+	}
+	if v := B(true); !v.Bool() || v.Int() != 1 {
+		t.Errorf("B: got %v", v)
+	}
+}
+
+func TestNaNFloatIsNull(t *testing.T) {
+	v := F(math.NaN())
+	if !v.IsNull() {
+		t.Fatal("F(NaN) should be null")
+	}
+	if !math.IsNaN(v.Float()) {
+		t.Fatal("null Float() should be NaN")
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	n := Null(String)
+	if !n.IsNull() {
+		t.Fatal("Null should be null")
+	}
+	if n.Equal(n) {
+		t.Fatal("null must not equal null (SQL semantics)")
+	}
+	if n.Equal(S("")) || S("").Equal(n) {
+		t.Fatal("null must not equal empty string")
+	}
+	if n.String() != "NULL" {
+		t.Errorf("null String() = %q", n.String())
+	}
+	// Empty string is a valid value distinct from null.
+	if S("").IsNull() {
+		t.Fatal("S(\"\") must not be null")
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	if !I(5).Equal(F(5.0)) {
+		t.Error("int 5 should equal float 5.0")
+	}
+	if I(5).Equal(S("5")) {
+		t.Error("int 5 must not equal string \"5\"")
+	}
+	if !S("x").Equal(S("x")) || S("x").Equal(S("y")) {
+		t.Error("string equality broken")
+	}
+	d := time.Date(2020, 1, 2, 0, 0, 0, 0, time.UTC)
+	if !D(d).Equal(D(d)) {
+		t.Error("date equality broken")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind Kind
+		null bool
+		want string
+	}{
+		{"hello", String, false, "hello"},
+		{"", String, true, ""},
+		{"NA", String, true, ""},
+		{"n/a", Int, true, ""},
+		{"NaN", Float, true, ""},
+		{"null", Date, true, ""},
+		{"-", Float, true, ""},
+		{"42", Int, false, "42"},
+		{" 42 ", Int, false, "42"},
+		{"3.25", Float, false, "3.25"},
+		{"2008-10-01", Date, false, "2008-10-01"},
+		{"10/1/08", Date, false, "2008-10-01"},
+		{"1997-07-01", Date, false, "1997-07-01"},
+		{"true", Bool, false, "true"},
+		{"TRUE", Bool, false, "true"},
+	}
+	for _, c := range cases {
+		v, err := Parse(c.in, c.kind)
+		if err != nil {
+			t.Errorf("Parse(%q,%v): %v", c.in, c.kind, err)
+			continue
+		}
+		if v.IsNull() != c.null {
+			t.Errorf("Parse(%q,%v): null=%v want %v", c.in, c.kind, v.IsNull(), c.null)
+			continue
+		}
+		if !c.null && v.Str() != c.want {
+			t.Errorf("Parse(%q,%v) = %q want %q", c.in, c.kind, v.Str(), c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("abc", Int); err == nil {
+		t.Error("Parse(abc, Int) should error")
+	}
+	if _, err := Parse("abc", Float); err == nil {
+		t.Error("Parse(abc, Float) should error")
+	}
+	if _, err := Parse("not-a-date", Date); err == nil {
+		t.Error("Parse(not-a-date, Date) should error")
+	}
+	if _, err := Parse("maybe", Bool); err == nil {
+		t.Error("Parse(maybe, Bool) should error")
+	}
+}
+
+func TestParseDateFormats(t *testing.T) {
+	for _, s := range []string{"2008-10-01", "10/1/08", "10/01/2008", "2008/10/01"} {
+		d, err := ParseDate(s)
+		if err != nil {
+			t.Errorf("ParseDate(%q): %v", s, err)
+			continue
+		}
+		if d.Year() != 2008 || d.Month() != 10 || d.Day() != 1 {
+			t.Errorf("ParseDate(%q) = %v", s, d)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{String: "string", Int: "int", Float: "float", Date: "date", Bool: "bool"}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("Kind(%d).String() = %q want %q", int(k), k.String(), w)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package tokenize_test
+
+import (
+	"fmt"
+
+	"emgo/internal/tokenize"
+)
+
+func ExampleWord() {
+	fmt.Println(tokenize.Word{}.Tokens("IPM-based corn fungicide, 2008"))
+	// Output: [IPM based corn fungicide 2008]
+}
+
+func ExampleQGram() {
+	fmt.Println(tokenize.QGram{Q: 3}.Tokens("corn"))
+	// Output: [cor orn]
+}
+
+func ExampleNormalize() {
+	fmt.Println(tokenize.Normalize(`SWAMP DODDER (Cuscuta) "Ecology"!`))
+	// Output: swamp dodder  cuscuta   ecology
+}

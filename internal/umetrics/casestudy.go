@@ -1,0 +1,577 @@
+package umetrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"emgo/internal/block"
+	"emgo/internal/cluster"
+	"emgo/internal/estimate"
+	"emgo/internal/feature"
+	"emgo/internal/label"
+	"emgo/internal/ml"
+	"emgo/internal/profile"
+	"emgo/internal/rules"
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+	"emgo/internal/workflow"
+)
+
+// Config drives an end-to-end case-study run.
+type Config struct {
+	// Params configures the synthetic data generator.
+	Params Params
+	// Seed drives every downstream random choice (sampling, CV folds,
+	// the simulated expert).
+	Seed int64
+	// SampleRounds are the per-iteration labeling sample sizes of Section
+	// 8 (the paper used three rounds of 100).
+	SampleRounds []int
+	// EstimateRounds are the Section 11 evaluation sample sizes (the
+	// paper used two rounds of 200).
+	EstimateRounds []int
+	// HesitateRate / MistakeRate configure the simulated expert's
+	// first-pass labeling noise.
+	HesitateRate float64
+	MistakeRate  float64
+}
+
+// DefaultConfig returns the full-scale configuration mirroring the paper.
+// The matching tables (AwardAgg, USDA, the extra slice) are at the exact
+// Figure 2 sizes; the auxiliary tables are kept compact because the
+// pipeline only reads the distinct award/employee pairs out of them — use
+// PaperParams directly when the full 1.45M-row employees table itself is
+// the object of study (the Figure 2 experiment).
+func DefaultConfig() Config {
+	p := PaperParams()
+	p.EmployeeRows = 0 // one row per award-employee pair
+	p.VendorRows = 2000
+	p.SubAwardRows = 2000
+	return Config{
+		Params:         p,
+		Seed:           7,
+		SampleRounds:   []int{100, 100, 100},
+		EstimateRounds: []int{200, 200},
+		HesitateRate:   0.3,
+		MistakeRate:    0.04,
+	}
+}
+
+// TestConfig returns a scaled-down configuration for tests.
+func TestConfig(scale float64) Config {
+	c := DefaultConfig()
+	c.Params = TestParams(scale)
+	round := int(100 * scale)
+	if round < 20 {
+		round = 20
+	}
+	c.SampleRounds = []int{round, round, round}
+	est := int(200 * scale)
+	if est < 40 {
+		est = 40
+	}
+	c.EstimateRounds = []int{est, est}
+	return c
+}
+
+// TableStat is one Figure 2 row.
+type TableStat struct {
+	Name string
+	Rows int
+	Cols int
+}
+
+// Report collects every number the paper walks through, section by
+// section.
+type Report struct {
+	// Section 4 (Figure 2).
+	TableStats []TableStat
+
+	// Section 6.
+	Preprocess *PreprocessReport
+	// VendorOrgOverlap is the Section 6 step-3 check: the number of
+	// distinct vendor OrgName values shared with USDA's
+	// RecipientOrganization (zero — which is why the vendor table was
+	// ruled out for matching).
+	VendorOrgOverlap  int
+	VendorDUNSOverlap int
+
+	// Section 7.
+	CartesianPairs int
+	C1, C2, C3     int
+	C2AndC3        int
+	C2MinusC3      int
+	C3MinusC2      int
+	ConsolidatedC  int
+	OverlapSweep   map[int]int // overlap threshold K -> candidate count
+	// DebuggerTop is how many excluded pairs the blocking debugger
+	// returned; DebuggerMatchesTop10 counts true matches among the
+	// highest-ranked ten (the pairs a user actually eyeballs — the paper
+	// found none and concluded blocking was fine), and DebuggerMatches
+	// counts true matches anywhere in the list (nonzero here is the
+	// silent blocking loss that Section 10 later uncovers).
+	DebuggerTop          int
+	DebuggerMatchesTop10 int
+	DebuggerMatches      int
+
+	// Section 8.
+	RoundCounts    []label.Counts // cumulative after each sampling round
+	CrossMismatch  int            // labeler cross-check disagreements
+	CrossFlipped   int            // labels revised after the meeting
+	LOOCVFlagged   int            // pairs flagged by leave-one-out debug
+	LabelRevisions int            // labels revised after D1-D3 discussion
+	FinalLabels    label.Counts   // the 300-pair analog
+
+	// Section 9.
+	CVInitial   []ml.CVResult // before case-insensitive features
+	CVWithCase  []ml.CVResult // after the debugging fix
+	BestInitial string
+	BestFinal   string
+	M1InC       int // sure (M1) pairs inside C
+	LearnedFig8 int // matcher predictions on C minus sure
+	TotalFig8   int // Figure 8 total matches
+
+	// Section 10 — the "Should We Match at the Cluster Level?" analysis
+	// the EM team shared: how many predictions are one-to-one vs
+	// one-to-many vs many-to-one, and how many entity clusters the final
+	// match set forms.
+	MatchDegrees   cluster.DegreeStats
+	EntityClusters int
+
+	Rule2Cartesian  int // pairs satisfying the project-number rule overall
+	Rule2InC        int // ... of which blocking kept
+	Rule2Predicted  int // ... of which the Fig-8 matcher already predicted
+	SureOriginal    int // C1 of Figure 9
+	SureExtra       int // D1
+	CandOriginal    int // C of Figure 9
+	CandExtra       int // D
+	LearnedOriginal int // R1
+	LearnedExtra    int // R2
+	TotalFig9       int
+
+	// Section 11.
+	EstOursFirst estimate.Estimate // learning workflow, first round
+	EstIRISFirst estimate.Estimate
+	EstOursAll   estimate.Estimate // after all estimate rounds
+	EstIRISAll   estimate.Estimate
+	EvalLabels   label.Counts // composition of the evaluation sample
+	IRISOutsideE int          // IRIS pairs outside the consolidated set
+
+	// Section 12.
+	VetoedOriginal int
+	VetoedExtra    int
+	FinalMatches   int
+	EstFinal       estimate.Estimate
+
+	// Gold (generator ground truth) confusions for validation; the paper
+	// could not compute these, we can.
+	GoldIRIS  ml.Confusion
+	GoldFig8  ml.Confusion
+	GoldFig9  ml.Confusion
+	GoldFinal ml.Confusion
+
+	// The final deliverable: matches as ID pairs.
+	Matches []workflow.IDPair
+	// Deployment is the packaged Figure 10 workflow (Section 12 "Next
+	// Steps"): serialize it, ship it, and rebuild it on new data slices
+	// with DeployTransforms.
+	Deployment *workflow.Spec
+	// LabeledPairs is the released labeled data — the paper's "we provide
+	// all data underlying this case study, including all the labeled
+	// tuple pairs" contribution. It contains the Section 8 training
+	// labels and the Section 11 evaluation labels, at the business-key
+	// level.
+	LabeledPairs []LabeledPair
+}
+
+// LabeledPair is one released labeled record pair.
+type LabeledPair struct {
+	UAN       string // UMETRICS UniqueAwardNumber
+	Accession string // USDA AccessionNumber
+	Label     label.Label
+	// Phase is "training" (Section 8) or "evaluation" (Section 11).
+	Phase string
+}
+
+// study carries the mutable state of a run.
+type study struct {
+	cfg    Config
+	rng    *rand.Rand
+	ds     *Dataset
+	proj   *Projected // original slice
+	extra  *Projected // extra slice (shares the USDA table)
+	oracle *TruthOracle
+	extOra *TruthOracle
+	expert *label.Expert
+	report *Report
+
+	cand     *block.CandidateSet // consolidated C over the original slice
+	labels   *label.Store
+	features *feature.Set
+	imputer  *feature.Imputer
+	matcher  ml.Matcher
+	corr     map[string]string
+	order    []string
+
+	fig8         *workflow.Result
+	res1, res2   *workflow.Result    // Figure 9 results per slice
+	iris1, iris2 *block.CandidateSet // IRIS predictions per slice
+	eval         []evalItem          // the labeled estimation sample
+	lastTrain    *ml.Dataset         // the training set behind the final matcher
+}
+
+// Run executes the whole case study and returns the report.
+func Run(cfg Config) (*Report, error) {
+	s := &study{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		report: &Report{OverlapSweep: make(map[int]int)},
+	}
+	steps := []func() error{
+		s.generate,   // Sections 3-4
+		s.preprocess, // Sections 5-6
+		s.blocking,   // Section 7
+		s.labeling,   // Section 8
+		s.matching,   // Section 9 (Figure 8)
+		s.updating,   // Section 10 (Figure 9)
+		s.estimating, // Section 11
+		s.refining,   // Section 12 (Figure 10)
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.report, nil
+}
+
+// generate builds the raw data and the Figure 2 statistics.
+func (s *study) generate() error {
+	ds, err := Generate(s.cfg.Params)
+	if err != nil {
+		return err
+	}
+	s.ds = ds
+	for _, t := range []*table.Table{
+		ds.AwardAgg, ds.Employees, ds.ObjectCodes, ds.OrgUnits, ds.SubAward, ds.Vendor, ds.USDA,
+	} {
+		s.report.TableStats = append(s.report.TableStats, TableStat{
+			Name: t.Name(), Rows: t.Len(), Cols: t.Schema().Len(),
+		})
+	}
+	return nil
+}
+
+// preprocess runs the Section 6 pipeline on both slices. ProjectNumber is
+// joined in up front (the paper discovered the need in Section 10; the
+// chronology numbers are still reported there).
+func (s *study) preprocess() error {
+	// Section 6 step 3: do the remaining tables share information with
+	// the USDA table? Vendor org names and DUNS do not overlap, so the
+	// vendor table is ruled out for matching.
+	shared, _, _, err := profile.ValueOverlap(s.ds.Vendor, "OrgName", s.ds.USDA, "RecipientOrganization")
+	if err != nil {
+		return err
+	}
+	s.report.VendorOrgOverlap = shared
+	shared, _, _, err = profile.ValueOverlap(s.ds.Vendor, "DUNS", s.ds.USDA, "RecipientDUNS")
+	if err != nil {
+		return err
+	}
+	s.report.VendorDUNSOverlap = shared
+
+	proj, rep, err := Preprocess(s.ds.AwardAgg, s.ds.Employees, s.ds.USDA, "u", "s")
+	if err != nil {
+		return err
+	}
+	if err := AddProjectNumber(proj, s.ds.USDA); err != nil {
+		return err
+	}
+	s.proj = proj
+	s.report.Preprocess = rep
+
+	ext, _, err := Preprocess(s.ds.ExtraAwardAgg, s.ds.Employees, s.ds.USDA, "x", "s")
+	if err != nil {
+		return err
+	}
+	// Both slices must share the same USDA table object so candidate
+	// sets remain comparable.
+	ext.USDA = proj.USDA
+	s.extra = ext
+
+	if s.oracle, err = NewTruthOracle(s.ds.Truth, proj.UMETRICS, proj.USDA); err != nil {
+		return err
+	}
+	if s.extOra, err = NewTruthOracle(s.ds.Truth, ext.UMETRICS, proj.USDA); err != nil {
+		return err
+	}
+	s.expert = &label.Expert{
+		Truth:        s.oracle.IsMatch,
+		Hard:         s.oracle.IsHard,
+		HesitateRate: s.cfg.HesitateRate,
+		MistakeRate:  s.cfg.MistakeRate,
+		// Lookalike (trap) pairs draw the Section 8 waffling: mostly
+		// Unsure on first pass, resolved to the truth only after the
+		// D2 discussion.
+		Tricky:           s.oracle.IsTrap,
+		TrickyUnsureRate: 0.7,
+		TrickyWrongRate:  0.1,
+		Rng:              rand.New(rand.NewSource(s.cfg.Seed + 1)),
+	}
+	return nil
+}
+
+// blockers returns the Section 7 blocking pipeline over projected tables.
+func (s *study) blockers() []block.Blocker {
+	return []block.Blocker{
+		block.AttrEquiv{ // C1: the M1 rule as a blocker
+			LeftCol: "AwardNumber", RightCol: "AwardNumber",
+			LeftTransform:  SuffixNormalize,
+			RightTransform: NormalizeNumber,
+		},
+		block.Overlap{ // C2
+			LeftCol: "AwardTitle", RightCol: "AwardTitle",
+			Tokenizer: tokenize.Word{}, Threshold: 3, Normalize: true,
+		},
+		block.OverlapCoefficient{ // C3
+			LeftCol: "AwardTitle", RightCol: "AwardTitle",
+			Tokenizer: tokenize.Word{}, Threshold: 0.7, Normalize: true,
+		},
+	}
+}
+
+// blocking reproduces the Section 7 numbers over the original slice.
+func (s *study) blocking() error {
+	um, us := s.proj.UMETRICS, s.proj.USDA
+	s.report.CartesianPairs = um.Len() * us.Len()
+
+	bs := s.blockers()
+	c1, err := bs[0].Block(um, us)
+	if err != nil {
+		return err
+	}
+	c2, err := bs[1].Block(um, us)
+	if err != nil {
+		return err
+	}
+	c3, err := bs[2].Block(um, us)
+	if err != nil {
+		return err
+	}
+	s.report.C1, s.report.C2, s.report.C3 = c1.Len(), c2.Len(), c3.Len()
+	inter, err := c2.Intersect(c3)
+	if err != nil {
+		return err
+	}
+	s.report.C2AndC3 = inter.Len()
+	s.report.C2MinusC3 = c2.Len() - inter.Len()
+	s.report.C3MinusC2 = c3.Len() - inter.Len()
+
+	cand, err := block.UnionBlock(um, us, bs...)
+	if err != nil {
+		return err
+	}
+	s.cand = cand
+	s.report.ConsolidatedC = cand.Len()
+
+	// The threshold sweep of Section 7 step 2 ("the threshold of 1
+	// resulted in 200K record pairs, and a threshold of 7 in a few
+	// hundred").
+	for _, k := range []int{1, 3, 7} {
+		ck, err := (block.Overlap{
+			LeftCol: "AwardTitle", RightCol: "AwardTitle",
+			Tokenizer: tokenize.Word{}, Threshold: k, Normalize: true,
+		}).Block(um, us)
+		if err != nil {
+			return err
+		}
+		s.report.OverlapSweep[k] = ck.Len()
+	}
+
+	// Blocking debugger: the top-ranked excluded pairs should contain no
+	// true matches (the Section 7 stopping criterion).
+	top, err := block.Debugger{
+		Cols: map[string]string{"AwardTitle": "AwardTitle"},
+		K:    100,
+	}.Run(cand)
+	if err != nil {
+		return err
+	}
+	s.report.DebuggerTop = len(top)
+	for i, dp := range top {
+		if s.oracle.IsMatch(dp.Pair) {
+			s.report.DebuggerMatches++
+			if i < 10 {
+				s.report.DebuggerMatchesTop10++
+			}
+		}
+	}
+	return nil
+}
+
+// labeling reproduces Section 8: iterative sampling, the cross-check
+// episode, and leave-one-out label debugging.
+func (s *study) labeling() error {
+	s.labels = label.NewStore()
+	tool := label.NewTool(s.labels)
+
+	for round, n := range s.cfg.SampleRounds {
+		if n > s.cand.Len() {
+			n = s.cand.Len()
+		}
+		// Sample only pairs not yet labeled.
+		fresh := s.cand.Filter(func(p block.Pair) bool { return !s.labels.Has(p) })
+		if n > fresh.Len() {
+			n = fresh.Len()
+		}
+		sample, err := fresh.Sample(n, s.rng)
+		if err != nil {
+			return err
+		}
+		tool.Upload(sample)
+		if err := tool.OpenSession("umetrics-student"); err != nil {
+			return err
+		}
+		if err := tool.LabelAll("umetrics-student", s.expert.Label); err != nil {
+			return err
+		}
+		if err := tool.CloseSession("umetrics-student"); err != nil {
+			return err
+		}
+
+		// Round 1: the EM team labels the same pairs independently and
+		// the two label sets are cross-checked; disagreements are
+		// discussed and some labels flipped (the 22-mismatch episode).
+		if round == 0 {
+			emTeam := label.NewStore()
+			for _, p := range sample {
+				var l label.Label
+				if s.oracle.IsHard(p) || s.oracle.IsTrap(p) {
+					// Lookalikes are ambiguous to the EM team too; they
+					// stay Unsure until the D2 discussion much later.
+					l = label.Unsure
+				} else {
+					l = s.expert.TruthLabel(p)
+				}
+				if err := emTeam.Set(p, l); err != nil {
+					return err
+				}
+			}
+			mismatches := label.CrossCheck(s.labels, emTeam)
+			s.report.CrossMismatch = len(mismatches)
+			for _, p := range mismatches {
+				revised := s.expert.Revise(p)
+				if revised != s.labels.Get(p) {
+					s.report.CrossFlipped++
+					if err := s.labels.Set(p, revised); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		s.report.RoundCounts = append(s.report.RoundCounts, s.labels.Counts())
+	}
+
+	// Label debugging with leave-one-out cross-validation (minus unsure
+	// and sure matches), then the D1-D3 revision meeting.
+	ds, pairs, err := s.trainingSet()
+	if err != nil {
+		return err
+	}
+	if ds.Len() >= 2 {
+		flagged, err := ml.LeaveOneOutDebug(ml.Factory{
+			Name: "random_forest",
+			New:  func() ml.Matcher { return &ml.RandomForest{Seed: s.cfg.Seed} },
+		}, ds)
+		if err != nil {
+			return err
+		}
+		s.report.LOOCVFlagged = len(flagged)
+		for _, m := range flagged {
+			p := pairs[m.Index]
+			revised := s.expert.Revise(p)
+			if revised != s.labels.Get(p) {
+				s.report.LabelRevisions++
+				if err := s.labels.Set(p, revised); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.report.FinalLabels = s.labels.Counts()
+	return nil
+}
+
+// corrOrder returns the column correspondence and order used for feature
+// generation over the projected tables.
+func (s *study) corrOrder() (map[string]string, []string) {
+	if s.corr == nil {
+		s.corr = map[string]string{
+			"AwardNumber":    "AwardNumber",
+			"AwardTitle":     "AwardTitle",
+			"FirstTransDate": "FirstTransDate",
+			"LastTransDate":  "LastTransDate",
+			"EmployeeName":   "EmployeeName",
+		}
+		s.order = []string{"AwardNumber", "AwardTitle", "FirstTransDate", "LastTransDate", "EmployeeName"}
+	}
+	return s.corr, s.order
+}
+
+// trainingSet vectorizes the decided labeled pairs, excluding pairs the
+// M1 rule already decides (Section 9: "we removed the pairs labeled
+// Unsure and sure matches"). The returned pair slice aligns with dataset
+// rows.
+func (s *study) trainingSet() (*ml.Dataset, []block.Pair, error) {
+	if s.features == nil {
+		corr, order := s.corrOrder()
+		fs, err := feature.Generate(s.proj.UMETRICS, s.proj.USDA, corr, order)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.features = fs
+	}
+	m1, err := M1Rule(s.proj.UMETRICS, s.proj.USDA)
+	if err != nil {
+		return nil, nil, err
+	}
+	sure := rules.NewEngine(m1)
+
+	decidedPairs, y := s.labels.Decided()
+	var pairs []block.Pair
+	var labels []int
+	for i, p := range decidedPairs {
+		if sure.Judge(s.proj.UMETRICS.Row(p.A), s.proj.USDA.Row(p.B)) == rules.Match {
+			continue
+		}
+		pairs = append(pairs, p)
+		labels = append(labels, y[i])
+	}
+	if len(pairs) == 0 {
+		return nil, nil, fmt.Errorf("umetrics: no non-sure decided labels to train on")
+	}
+	return s.vectorize(pairs, labels)
+}
+
+// vectorize converts labeled pairs into an imputed ml dataset, storing the
+// fitted imputer for prediction-time reuse.
+func (s *study) vectorize(pairs []block.Pair, labels []int) (*ml.Dataset, []block.Pair, error) {
+	x, err := s.features.Vectorize(s.proj.UMETRICS, s.proj.USDA, pairs)
+	if err != nil {
+		return nil, nil, err
+	}
+	im, err := feature.FitImputer(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err = im.Transform(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.imputer = im
+	ds, err := ml.NewDataset(s.features.Names(), x, labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, pairs, nil
+}

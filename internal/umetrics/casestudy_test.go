@@ -1,0 +1,248 @@
+package umetrics
+
+import (
+	"testing"
+
+	"emgo/internal/label"
+)
+
+// runStudy caches one scaled case-study run across tests (it is the
+// expensive fixture).
+var studyReport *Report
+
+func caseStudy(t *testing.T) *Report {
+	t.Helper()
+	if studyReport != nil {
+		return studyReport
+	}
+	if testing.Short() {
+		t.Skip("case study is expensive; skipped with -short")
+	}
+	rep, err := Run(TestConfig(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	studyReport = rep
+	return rep
+}
+
+func TestCaseStudyBlockingShape(t *testing.T) {
+	rep := caseStudy(t)
+	t.Logf("cartesian=%d C1=%d C2=%d C3=%d C=%d sweep=%v",
+		rep.CartesianPairs, rep.C1, rep.C2, rep.C3, rep.ConsolidatedC, rep.OverlapSweep)
+	if rep.ConsolidatedC == 0 {
+		t.Fatal("empty candidate set")
+	}
+	// Blocking must cut the Cartesian product by orders of magnitude.
+	if rep.ConsolidatedC*50 > rep.CartesianPairs {
+		t.Fatalf("blocking too weak: %d of %d", rep.ConsolidatedC, rep.CartesianPairs)
+	}
+	// The sweep must be monotone: K=1 >> K=3 >= K=7.
+	if !(rep.OverlapSweep[1] > rep.OverlapSweep[3] && rep.OverlapSweep[3] >= rep.OverlapSweep[7]) {
+		t.Fatalf("sweep not monotone: %v", rep.OverlapSweep)
+	}
+	// Both title blockers contribute uniquely (footnote 3).
+	if rep.C2MinusC3 == 0 || rep.C3MinusC2 == 0 {
+		t.Fatalf("C2/C3 should each contribute: C2-C3=%d C3-C2=%d", rep.C2MinusC3, rep.C3MinusC2)
+	}
+	// The pairs a user eyeballs first are not matches (the Section 7
+	// stopping criterion) ...
+	if rep.DebuggerMatchesTop10 > 1 {
+		t.Fatalf("top debugger pairs should not be matches: %d of 10", rep.DebuggerMatchesTop10)
+	}
+	// ... but blocking DID silently lose some true matches (the drifted
+	// short-title pairs Section 10 later recovers with the new rule).
+	t.Logf("debugger: %d true matches hidden in top %d (top-10: %d)",
+		rep.DebuggerMatches, rep.DebuggerTop, rep.DebuggerMatchesTop10)
+}
+
+func TestCaseStudyLabelingShape(t *testing.T) {
+	rep := caseStudy(t)
+	t.Logf("rounds=%v crossMismatch=%d flipped=%d loocv=%d revisions=%d final=%+v",
+		rep.RoundCounts, rep.CrossMismatch, rep.CrossFlipped, rep.LOOCVFlagged,
+		rep.LabelRevisions, rep.FinalLabels)
+	if rep.FinalLabels.Yes == 0 || rep.FinalLabels.No == 0 {
+		t.Fatal("labels must include both classes")
+	}
+	if rep.FinalLabels.Unsure == 0 {
+		t.Fatal("expected some Unsure labels (hard pairs + hesitation)")
+	}
+	// Non-matches dominate, as in the paper (68/200/32).
+	if rep.FinalLabels.No <= rep.FinalLabels.Yes {
+		t.Fatalf("expected more No than Yes: %+v", rep.FinalLabels)
+	}
+	// The cross-check episode found disagreements.
+	if rep.CrossMismatch == 0 {
+		t.Fatal("expected labeler disagreements in round 1")
+	}
+}
+
+func TestCaseStudyMatcherSelection(t *testing.T) {
+	rep := caseStudy(t)
+	t.Logf("initial best=%s F1=%.3f withCase best=%s F1=%.3f",
+		rep.BestInitial, rep.CVInitial[0].F1, rep.BestFinal, rep.CVWithCase[0].F1)
+	for _, r := range rep.CVInitial {
+		t.Logf("  initial %-20s P=%.3f R=%.3f F1=%.3f", r.Name, r.Precision, r.Recall, r.F1)
+	}
+	for _, r := range rep.CVWithCase {
+		t.Logf("  withcase %-20s P=%.3f R=%.3f F1=%.3f", r.Name, r.Precision, r.Recall, r.F1)
+	}
+	if len(rep.CVInitial) != 6 || len(rep.CVWithCase) != 6 {
+		t.Fatal("expected 6 matchers compared")
+	}
+	// The case-insensitive features must improve the best matcher (the
+	// Section 9 debugging fix).
+	if rep.CVWithCase[0].F1 <= rep.CVInitial[0].F1 {
+		t.Fatalf("case features should improve F1: %.3f -> %.3f",
+			rep.CVInitial[0].F1, rep.CVWithCase[0].F1)
+	}
+	if rep.CVWithCase[0].F1 < 0.8 {
+		t.Fatalf("final matcher too weak: F1=%.3f", rep.CVWithCase[0].F1)
+	}
+}
+
+func TestCaseStudyWorkflowTotals(t *testing.T) {
+	rep := caseStudy(t)
+	t.Logf("fig8: M1inC=%d learned=%d total=%d", rep.M1InC, rep.LearnedFig8, rep.TotalFig8)
+	t.Logf("rule2: cartesian=%d inC=%d predicted=%d", rep.Rule2Cartesian, rep.Rule2InC, rep.Rule2Predicted)
+	t.Logf("fig9: sure=%d/%d cand=%d/%d learned=%d/%d total=%d",
+		rep.SureOriginal, rep.SureExtra, rep.CandOriginal, rep.CandExtra,
+		rep.LearnedOriginal, rep.LearnedExtra, rep.TotalFig9)
+	t.Logf("fig10: vetoed=%d/%d final=%d", rep.VetoedOriginal, rep.VetoedExtra, rep.FinalMatches)
+
+	if rep.M1InC == 0 {
+		t.Fatal("M1 pairs must appear in C")
+	}
+	if rep.LearnedFig8 == 0 {
+		t.Fatal("the learner must find matches beyond M1")
+	}
+	// The discovered rule matters: blocking lost some rule-2 pairs, and
+	// the matcher caught most of the kept ones (the Section 10 analysis).
+	if rep.Rule2Cartesian == 0 || rep.Rule2InC > rep.Rule2Cartesian {
+		t.Fatalf("rule2 accounting wrong: %d in C of %d", rep.Rule2InC, rep.Rule2Cartesian)
+	}
+	if rep.Rule2Predicted > rep.Rule2InC {
+		t.Fatal("predicted rule2 pairs cannot exceed those in C")
+	}
+	// Figure 9 sure matches must exceed the Figure 8 M1-only count.
+	if rep.SureOriginal <= rep.M1InC {
+		t.Fatalf("sure matches should grow with rule 2: %d vs %d", rep.SureOriginal, rep.M1InC)
+	}
+	if rep.SureExtra == 0 {
+		t.Fatal("extra slice should contribute sure matches")
+	}
+	// The negative rule vetoes a substantial share of learned matches.
+	if rep.VetoedOriginal == 0 {
+		t.Fatal("negative rules should veto some learned matches")
+	}
+	if rep.FinalMatches >= rep.TotalFig9 {
+		t.Fatal("final matches must shrink after vetoes")
+	}
+	if len(rep.Matches) != rep.FinalMatches {
+		t.Fatalf("ID pairs %d != final matches %d", len(rep.Matches), rep.FinalMatches)
+	}
+}
+
+func TestCaseStudyAccuracyShape(t *testing.T) {
+	rep := caseStudy(t)
+	t.Logf("est ours first: P=%s R=%s", rep.EstOursFirst.Precision, rep.EstOursFirst.Recall)
+	t.Logf("est ours all:   P=%s R=%s", rep.EstOursAll.Precision, rep.EstOursAll.Recall)
+	t.Logf("est iris all:   P=%s R=%s", rep.EstIRISAll.Precision, rep.EstIRISAll.Recall)
+	t.Logf("est final:      P=%s R=%s", rep.EstFinal.Precision, rep.EstFinal.Recall)
+	t.Logf("gold iris=%v", rep.GoldIRIS)
+	t.Logf("gold fig8=%v", rep.GoldFig8)
+	t.Logf("gold fig9=%v", rep.GoldFig9)
+	t.Logf("gold final=%v", rep.GoldFinal)
+	t.Logf("eval labels=%+v irisOutsideE=%d", rep.EvalLabels, rep.IRISOutsideE)
+
+	// The paper's headline shape, on gold labels:
+	// 1. IRIS: perfect precision, poor recall.
+	if p := rep.GoldIRIS.Precision(); p < 0.999 {
+		t.Errorf("IRIS precision should be ~1, got %.3f", p)
+	}
+	if r := rep.GoldIRIS.Recall(); r < 0.45 || r > 0.85 {
+		t.Errorf("IRIS recall should be mediocre (~0.65), got %.3f", r)
+	}
+	// 2. Learning workflow: much higher recall, lower precision. (The
+	// bands here are loose — this test runs at 0.3 scale where the tiny
+	// training set is noisy; the tight full-scale bands live in the root
+	// experiment harness.)
+	if r := rep.GoldFig9.Recall(); r < 0.85 {
+		t.Errorf("Fig9 recall should be high, got %.3f", r)
+	}
+	if rep.GoldFig9.Recall() <= rep.GoldIRIS.Recall() {
+		t.Error("learning workflow must beat IRIS recall")
+	}
+	if p := rep.GoldFig9.Precision(); p > 0.99 {
+		t.Errorf("Fig9 precision should show the trap false positives, got %.3f", p)
+	}
+	// 3. Negative rules restore precision at a small recall cost.
+	if rep.GoldFinal.Precision() < rep.GoldFig9.Precision() {
+		t.Error("negative rules must not hurt precision")
+	}
+	if p := rep.GoldFinal.Precision(); p < 0.9 {
+		t.Errorf("final precision should be ~0.97, got %.3f", p)
+	}
+	if r := rep.GoldFinal.Recall(); r < 0.85 {
+		t.Errorf("final recall should stay high, got %.3f", r)
+	}
+	if rep.GoldFinal.Recall() > rep.GoldFig9.Recall() {
+		t.Error("vetoes cannot raise recall")
+	}
+}
+
+func TestCaseStudyEstimatesTrackGold(t *testing.T) {
+	rep := caseStudy(t)
+	// The Corleone interval should bracket (or nearly bracket) the gold
+	// value; allow slack for sampling error at test scale.
+	within := func(iv, gold float64) bool {
+		return gold >= iv-0.15 && gold <= iv+0.15
+	}
+	if !within(rep.EstFinal.Precision.Point, rep.GoldFinal.Precision()) {
+		t.Errorf("final precision estimate %.3f far from gold %.3f",
+			rep.EstFinal.Precision.Point, rep.GoldFinal.Precision())
+	}
+	if !within(rep.EstIRISAll.Recall.Point, rep.GoldIRIS.Recall()) {
+		t.Errorf("IRIS recall estimate %.3f far from gold %.3f",
+			rep.EstIRISAll.Recall.Point, rep.GoldIRIS.Recall())
+	}
+	// More labels must not widen the interval.
+	if rep.EstOursAll.Precision.Width() > rep.EstOursFirst.Precision.Width()+1e-9 {
+		t.Error("second estimation round should narrow the precision interval")
+	}
+	// The evaluation sample has some unsures, which estimation ignores.
+	if rep.EvalLabels.Unsure == 0 {
+		t.Log("note: no unsure labels in evaluation sample at this scale")
+	}
+}
+
+func TestCaseStudyFigure2Stats(t *testing.T) {
+	rep := caseStudy(t)
+	if len(rep.TableStats) != 7 {
+		t.Fatalf("expected 7 tables, got %d", len(rep.TableStats))
+	}
+	for _, ts := range rep.TableStats {
+		if ts.Rows == 0 || ts.Cols == 0 {
+			t.Errorf("table %s has %dx%d", ts.Name, ts.Rows, ts.Cols)
+		}
+	}
+}
+
+func TestCaseStudyLabelCountsConsistent(t *testing.T) {
+	rep := caseStudy(t)
+	want := 0
+	for range rep.RoundCounts {
+		want++
+	}
+	if want != len(TestConfig(0.3).SampleRounds) {
+		t.Fatalf("round counts = %d", len(rep.RoundCounts))
+	}
+	// Counts are cumulative and non-decreasing.
+	prev := label.Counts{}
+	for _, c := range rep.RoundCounts {
+		if c.Total() < prev.Total() {
+			t.Fatal("cumulative counts decreased")
+		}
+		prev = c
+	}
+}

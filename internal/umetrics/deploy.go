@@ -1,0 +1,86 @@
+package umetrics
+
+import (
+	"fmt"
+
+	"emgo/internal/feature"
+	"emgo/internal/ml"
+	"emgo/internal/workflow"
+)
+
+// This file packages the final Figure 10 workflow for production — the
+// Section 12 "Next Steps": "the UMETRICS team wanted us to package the
+// matcher so that they could move it into the UMETRICS repository to do
+// matching for other data slices". The packaged form is a
+// workflow.Spec: blockers, both positive rules, the negative pattern
+// rules, the feature descriptors, the fitted imputer means, and the
+// trained matcher, all JSON-serializable. Production rebuilds the
+// workflow against each new data slice with DeployTransforms.
+
+// Transform registry keys referenced by the deployment spec.
+const (
+	TransformSuffixNormalize = "umetrics_suffix_normalize"
+	TransformNormalizeNumber = "umetrics_normalize_number"
+)
+
+// DeployTransforms returns the transform registry production must supply
+// when building the deployed spec.
+func DeployTransforms() workflow.Transforms {
+	return workflow.Transforms{
+		TransformSuffixNormalize: SuffixNormalize,
+		TransformNormalizeNumber: NormalizeNumber,
+	}
+}
+
+// BuildDeploymentSpec packages a trained matcher, its feature set, and
+// its imputer together with the case study's blocking pipeline and rule
+// layers into a serializable workflow spec.
+func BuildDeploymentSpec(fs *feature.Set, im *feature.Imputer, matcher ml.Matcher) (*workflow.Spec, error) {
+	if fs == nil || im == nil || matcher == nil {
+		return nil, fmt.Errorf("umetrics: deployment needs features, imputer, and matcher")
+	}
+	descs, err := fs.Descriptors()
+	if err != nil {
+		return nil, fmt.Errorf("umetrics: deployment features: %w", err)
+	}
+	matcherSpec, err := ml.ExportMatcher(matcher)
+	if err != nil {
+		return nil, fmt.Errorf("umetrics: deployment matcher: %w", err)
+	}
+	patterns := make([]string, 0, len(KnownPatterns()))
+	for _, p := range KnownPatterns() {
+		patterns = append(patterns, string(p))
+	}
+	return &workflow.Spec{
+		Name: "umetrics-figure10",
+		Blockers: []workflow.BlockerSpec{
+			{Type: "attr_equiv", LeftCol: "AwardNumber", RightCol: "AwardNumber",
+				LeftTransform: TransformSuffixNormalize, RightTransform: TransformNormalizeNumber},
+			{Type: "overlap", LeftCol: "AwardTitle", RightCol: "AwardTitle",
+				Tokenizer: "word", Threshold: 3, Normalize: true},
+			{Type: "overlap_coeff", LeftCol: "AwardTitle", RightCol: "AwardTitle",
+				Tokenizer: "word", Coefficient: 0.7, Normalize: true},
+		},
+		SureRules: []workflow.RuleSpec{
+			{Type: "equal", Name: "M1", LeftCol: "AwardNumber", RightCol: "AwardNumber",
+				LeftTransform: TransformSuffixNormalize, RightTransform: TransformNormalizeNumber,
+				Verdict: "match"},
+			{Type: "equal", Name: "award_eq_project", LeftCol: "AwardNumber", RightCol: "ProjectNumber",
+				LeftTransform: TransformSuffixNormalize, RightTransform: TransformNormalizeNumber,
+				Verdict: "match"},
+		},
+		NegativeRules: []workflow.RuleSpec{
+			{Type: "comparable_mismatch", Name: "neg_award",
+				LeftCol: "AwardNumber", RightCol: "AwardNumber",
+				LeftTransform: TransformSuffixNormalize, RightTransform: TransformNormalizeNumber,
+				Patterns: patterns},
+			{Type: "comparable_mismatch", Name: "neg_project",
+				LeftCol: "AwardNumber", RightCol: "ProjectNumber",
+				LeftTransform: TransformSuffixNormalize, RightTransform: TransformNormalizeNumber,
+				Patterns: patterns},
+		},
+		Features:     descs,
+		ImputerMeans: im.Means(),
+		Matcher:      matcherSpec,
+	}, nil
+}

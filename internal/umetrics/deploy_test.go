@@ -1,0 +1,216 @@
+package umetrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"emgo/internal/block"
+	"emgo/internal/feature"
+	"emgo/internal/label"
+	"emgo/internal/ml"
+	"emgo/internal/tokenize"
+	"emgo/internal/workflow"
+)
+
+// trainForDeploy builds projected tables, labels a sample with the truth
+// oracle, and trains a decision tree — the development half of the
+// deployment story.
+func trainForDeploy(t *testing.T) (*Dataset, *Projected, *feature.Set, *feature.Imputer, ml.Matcher) {
+	t.Helper()
+	ds, err := Generate(TestParams(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, _, err := Preprocess(ds.AwardAgg, ds.Employees, ds.USDA, "u", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddProjectNumber(proj, ds.USDA); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewTruthOracle(ds.Truth, proj.UMETRICS, proj.USDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := block.UnionBlock(proj.UMETRICS, proj.USDA,
+		block.Overlap{LeftCol: "AwardTitle", RightCol: "AwardTitle",
+			Tokenizer: tokenize.Word{}, Threshold: 3, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []block.Pair
+	var y []int
+	for _, p := range cand.Pairs() {
+		if oracle.IsHard(p) {
+			continue
+		}
+		pairs = append(pairs, p)
+		if oracle.IsMatch(p) {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	corr := map[string]string{"AwardNumber": "AwardNumber", "AwardTitle": "AwardTitle", "EmployeeName": "EmployeeName"}
+	fs, err := feature.Generate(proj.UMETRICS, proj.USDA, corr, []string{"AwardNumber", "AwardTitle", "EmployeeName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feature.AddCaseInsensitive(fs, proj.UMETRICS, corr, []string{"AwardTitle", "EmployeeName"}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := fs.Vectorize(proj.UMETRICS, proj.USDA, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := feature.FitImputer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, err = im.Transform(x); err != nil {
+		t.Fatal(err)
+	}
+	dset, err := ml.NewDataset(fs.Names(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := &ml.DecisionTree{}
+	if err := tree.Fit(dset); err != nil {
+		t.Fatal(err)
+	}
+	return ds, proj, fs, im, tree
+}
+
+func TestDeploymentSpecRoundTrip(t *testing.T) {
+	_, proj, fs, im, matcher := trainForDeploy(t)
+	spec, err := BuildDeploymentSpec(fs, im, matcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize, parse, build against the same slice; the deployed
+	// workflow must behave like the directly-constructed one.
+	data, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := workflow.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployed, err := parsed.Build(proj.UMETRICS, proj.USDA, DeployTransforms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := deployed.Run(proj.UMETRICS, proj.USDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct construction of the same workflow.
+	sure, err := SureMatchEngine(proj.UMETRICS, proj.USDA, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := NegativeRules(proj.UMETRICS, proj.USDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := &workflow.Workflow{
+		Name: "direct", SureRules: sure, NegativeRules: neg,
+		Blockers: []block.Blocker{
+			block.AttrEquiv{LeftCol: "AwardNumber", RightCol: "AwardNumber",
+				LeftTransform: SuffixNormalize, RightTransform: NormalizeNumber},
+			block.Overlap{LeftCol: "AwardTitle", RightCol: "AwardTitle",
+				Tokenizer: tokenize.Word{}, Threshold: 3, Normalize: true},
+			block.OverlapCoefficient{LeftCol: "AwardTitle", RightCol: "AwardTitle",
+				Tokenizer: tokenize.Word{}, Threshold: 0.7, Normalize: true},
+		},
+		Features: fs, Imputer: im, Matcher: matcher,
+	}
+	want, err := direct.Run(proj.UMETRICS, proj.USDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Final.Len() != want.Final.Len() {
+		t.Fatalf("deployed %d matches, direct %d", got.Final.Len(), want.Final.Len())
+	}
+	for _, p := range want.Final.Pairs() {
+		if !got.Final.Contains(p) {
+			t.Fatalf("deployed workflow missing pair %v", p)
+		}
+	}
+}
+
+func TestDeploymentOnNewSlice(t *testing.T) {
+	// Train on one world, deploy on a fresh slice (different seed) — the
+	// "matching for other data slices" scenario, with monitoring.
+	_, _, fs, im, matcher := trainForDeploy(t)
+	spec, err := BuildDeploymentSpec(fs, im, matcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := TestParams(0.25)
+	params.Seed = 99
+	newDS, err := Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newProj, _, err := Preprocess(newDS.AwardAgg, newDS.Employees, newDS.USDA, "u", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddProjectNumber(newProj, newDS.USDA); err != nil {
+		t.Fatal(err)
+	}
+	deployed, err := spec.Build(newProj.UMETRICS, newProj.USDA, DeployTransforms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deployed.Run(newProj.UMETRICS, newProj.USDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Len() == 0 {
+		t.Fatal("deployed workflow found nothing on the new slice")
+	}
+
+	// Footnote 11: monitor the production batch's precision by sampling
+	// and labeling.
+	oracle, err := NewTruthOracle(newDS.Truth, newProj.UMETRICS, newProj.USDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &workflow.Monitor{SampleSize: 100, MinPrecision: 0.8, Rng: rand.New(rand.NewSource(1))}
+	check, err := mon.Check("new-slice", res.Final, func(p block.Pair) label.Label {
+		switch {
+		case oracle.IsHard(p):
+			return label.Unsure
+		case oracle.IsMatch(p):
+			return label.Yes
+		default:
+			return label.No
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Alarm {
+		t.Fatalf("deployed workflow precision collapsed on the new slice: %+v", check)
+	}
+	if check.Precision.Point < 0.8 {
+		t.Fatalf("production precision %v too low", check.Precision.Point)
+	}
+}
+
+func TestBuildDeploymentSpecValidation(t *testing.T) {
+	if _, err := BuildDeploymentSpec(nil, nil, nil); err == nil {
+		t.Fatal("nil inputs should error")
+	}
+	// An unserializable matcher kind is rejected.
+	_, _, fs, im, _ := trainForDeploy(t)
+	if _, err := BuildDeploymentSpec(fs, im, &ml.LogisticRegression{}); err == nil {
+		t.Fatal("unserializable matcher should error")
+	}
+}

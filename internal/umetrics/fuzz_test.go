@@ -1,0 +1,36 @@
+package umetrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSuffixNormalize checks the award-number transforms never panic and
+// preserve their invariants on arbitrary input.
+func FuzzSuffixNormalize(f *testing.F) {
+	f.Add("10.200 2008-34103-19449")
+	f.Add("10.203 wis01040")
+	f.Add("10.203 WIS 01040")
+	f.Add("nosuffix")
+	f.Add("")
+	f.Add("  leading spaces")
+	f.Fuzz(func(t *testing.T, s string) {
+		out := SuffixNormalize(s)
+		if strings.ContainsRune(out, ' ') {
+			t.Fatalf("normalized suffix %q contains a space", out)
+		}
+		if out != strings.ToUpper(out) {
+			t.Fatalf("normalized suffix %q not uppercased", out)
+		}
+		// Idempotence of the number normalizer.
+		n := NormalizeNumber(s)
+		if NormalizeNumber(n) != n {
+			t.Fatalf("NormalizeNumber not idempotent on %q", s)
+		}
+		// Raw suffix is always a suffix of the input.
+		raw := RawSuffix(s)
+		if raw != "" && !strings.HasSuffix(s, raw) {
+			t.Fatalf("RawSuffix(%q) = %q is not a suffix", s, raw)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package umetrics
+
+import (
+	"emgo/internal/block"
+	"emgo/internal/rules"
+	"emgo/internal/table"
+)
+
+// IRIS reproduces the rule-based matcher deployed in the UMETRICS
+// repository (IRIS is the organization that manages UMETRICS): exact,
+// case-sensitive, un-normalized string equality between the raw
+// UniqueAwardNumber suffix and the USDA award number or project number.
+// Because it never normalizes formatting (case, stray spaces), it misses
+// matches our cleaned-up rules catch — the accuracy gap the whole case
+// study set out to close ("the accuracy remains unsatisfactory").
+type IRIS struct {
+	engine *rules.Engine
+}
+
+// NewIRIS binds the IRIS rules to a pair of projected tables. The USDA
+// table must carry ProjectNumber.
+func NewIRIS(um, usda *table.Table) (*IRIS, error) {
+	rawEq := func(name, usdaCol string) (rules.Rule, error) {
+		return rules.NewEqual(name, um, "AwardNumber", RawSuffix,
+			usda, usdaCol, nil, rules.Match)
+	}
+	r1, err := rawEq("iris_award", "AwardNumber")
+	if err != nil {
+		return nil, err
+	}
+	r2, err := rawEq("iris_project", "ProjectNumber")
+	if err != nil {
+		return nil, err
+	}
+	return &IRIS{engine: rules.NewEngine(r1, r2)}, nil
+}
+
+// Match returns IRIS's predicted matches over the full Cartesian product.
+func (ir *IRIS) Match(um, usda *table.Table) *block.CandidateSet {
+	return ir.engine.SureMatches(um, usda)
+}

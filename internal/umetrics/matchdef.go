@@ -1,0 +1,158 @@
+package umetrics
+
+import (
+	"strings"
+
+	"emgo/internal/block"
+	"emgo/internal/rules"
+	"emgo/internal/table"
+)
+
+// KnownPatterns is the identifier pattern list the UMETRICS team supplied
+// for the Section 12 negative rule: federal award numbers, Wisconsin
+// project numbers, and forest-service style contract numbers.
+func KnownPatterns() rules.Set {
+	return rules.Set{
+		"YYYY-#####-#####",
+		"XXX#####",
+		"##-XX-#########-###",
+	}
+}
+
+// SuffixNormalize extracts the second part of a UMETRICS
+// UniqueAwardNumber ("10.200 2008-34103-19449" → "2008-34103-19449") and
+// normalizes formatting noise: embedded spaces are removed and letters
+// uppercased. This is the transform behind the M1 blocking/matching rule
+// (Section 7 step 1).
+func SuffixNormalize(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		s = s[i+1:]
+	} else {
+		return "" // no suffix part: withhold
+	}
+	return NormalizeNumber(s)
+}
+
+// RawSuffix extracts the suffix without any normalization — the IRIS
+// baseline's comparison key.
+func RawSuffix(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[i+1:]
+	}
+	return ""
+}
+
+// NormalizeNumber uppercases an identifier and strips spaces.
+func NormalizeNumber(s string) string {
+	return strings.ToUpper(strings.ReplaceAll(s, " ", ""))
+}
+
+// M1Rule builds the M1 positive rule over projected tables: the
+// UniqueAwardNumber suffix equals the USDA award number (Figure 5).
+func M1Rule(um, usda *table.Table) (rules.Rule, error) {
+	return rules.NewEqual("M1", um, "AwardNumber", SuffixNormalize,
+		usda, "AwardNumber", NormalizeNumber, rules.Match)
+}
+
+// ProjectNumberRule builds the positive rule discovered in Section 10:
+// the UniqueAwardNumber suffix equals the USDA project number. The USDA
+// table must already carry the ProjectNumber column (AddProjectNumber).
+func ProjectNumberRule(um, usda *table.Table) (rules.Rule, error) {
+	return rules.NewEqual("award_eq_project", um, "AwardNumber", SuffixNormalize,
+		usda, "ProjectNumber", NormalizeNumber, rules.Match)
+}
+
+// NegativeRules builds the Section 12 veto engine: a pair is a non-match
+// when the UMETRICS number is comparable to — but different from — the
+// USDA award number or the USDA project number.
+func NegativeRules(um, usda *table.Table) (*rules.Engine, error) {
+	patterns := KnownPatterns()
+	negAward, err := rules.NewComparableMismatch("neg_award", um, "AwardNumber", SuffixNormalize,
+		usda, "AwardNumber", NormalizeNumber, patterns)
+	if err != nil {
+		return nil, err
+	}
+	negProject, err := rules.NewComparableMismatch("neg_project", um, "AwardNumber", SuffixNormalize,
+		usda, "ProjectNumber", NormalizeNumber, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return rules.NewEngine(negAward, negProject), nil
+}
+
+// SureMatchEngine bundles the positive rules of the Figure 9 workflow.
+// includeProjectRule reflects the chronology: false before the Section 10
+// discovery, true after.
+func SureMatchEngine(um, usda *table.Table, includeProjectRule bool) (*rules.Engine, error) {
+	m1, err := M1Rule(um, usda)
+	if err != nil {
+		return nil, err
+	}
+	e := rules.NewEngine(m1)
+	if includeProjectRule {
+		pr, err := ProjectNumberRule(um, usda)
+		if err != nil {
+			return nil, err
+		}
+		e.Add(pr)
+	}
+	return e, nil
+}
+
+// TruthOracle adapts the generator's ground truth to row-index pairs over
+// projected tables, for the simulated expert and evaluation code.
+type TruthOracle struct {
+	truth *Truth
+	umUAN []string
+	usAcc []string
+}
+
+// NewTruthOracle resolves the ID columns of the projected tables once.
+func NewTruthOracle(truth *Truth, um, usda *table.Table) (*TruthOracle, error) {
+	uj, err := um.Col("AwardNumber")
+	if err != nil {
+		return nil, err
+	}
+	aj, err := usda.Col("AccessionNumber")
+	if err != nil {
+		return nil, err
+	}
+	o := &TruthOracle{
+		truth: truth,
+		umUAN: make([]string, um.Len()),
+		usAcc: make([]string, usda.Len()),
+	}
+	for i := 0; i < um.Len(); i++ {
+		o.umUAN[i] = um.Row(i)[uj].Str()
+	}
+	for i := 0; i < usda.Len(); i++ {
+		o.usAcc[i] = usda.Row(i)[aj].Str()
+	}
+	return o, nil
+}
+
+// IsMatch reports ground truth for a row-index pair.
+func (o *TruthOracle) IsMatch(p block.Pair) bool {
+	return o.truth.IsMatch(o.umUAN[p.A], o.usAcc[p.B])
+}
+
+// IsHard reports whether the pair is inherently undecidable.
+func (o *TruthOracle) IsHard(p block.Pair) bool {
+	return o.truth.IsHard(o.umUAN[p.A], o.usAcc[p.B])
+}
+
+// IsTrap reports whether the pair is a deliberate lookalike non-match.
+func (o *TruthOracle) IsTrap(p block.Pair) bool {
+	return o.truth.IsTrap(o.umUAN[p.A], o.usAcc[p.B])
+}
+
+// Class returns the match class of a true-match pair (ClassNone
+// otherwise).
+func (o *TruthOracle) Class(p block.Pair) PairClass {
+	return o.truth.MatchClass(o.umUAN[p.A], o.usAcc[p.B])
+}
+
+// Key returns the ID key of a row pair.
+func (o *TruthOracle) Key(p block.Pair) IDKey {
+	return IDKey{UAN: o.umUAN[p.A], Accession: o.usAcc[p.B]}
+}

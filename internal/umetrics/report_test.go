@@ -1,0 +1,60 @@
+package umetrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportWrite(t *testing.T) {
+	rep := caseStudy(t)
+	var b strings.Builder
+	rep.Write(&b)
+	out := b.String()
+	for _, section := range []string{
+		"Section 4 / Figure 2",
+		"Section 6: pre-processing",
+		"Section 7: blocking",
+		"Section 8: sampling and labeling",
+		"Section 9: matcher selection",
+		"Figure 8: initial workflow",
+		"Section 10 / Figure 9",
+		"Section 10: match multiplicity",
+		"Section 11: accuracy estimation",
+		"Section 12 / Figure 10",
+		"Gold accuracy",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	// The paper references render next to measured values.
+	for _, ref := range []string{"2937", "68/200/32", "(65.1%, 71.8%)", "845"} {
+		if !strings.Contains(out, ref) {
+			t.Errorf("report missing paper reference %q", ref)
+		}
+	}
+	// Every table appears in the Figure 2 block.
+	for _, ts := range rep.TableStats {
+		if !strings.Contains(out, ts.Name) {
+			t.Errorf("report missing table %s", ts.Name)
+		}
+	}
+	// The multiplicity analysis line renders.
+	if !strings.Contains(out, "entity clusters") {
+		t.Error("report missing multiplicity analysis")
+	}
+}
+
+func TestReportDegreeAnalysisPopulated(t *testing.T) {
+	rep := caseStudy(t)
+	if rep.MatchDegrees.Total() != rep.FinalMatches-0 && rep.MatchDegrees.Total() == 0 {
+		t.Fatalf("degree stats empty: %+v", rep.MatchDegrees)
+	}
+	// One-to-many structure must be present (the sub-award reality).
+	if rep.MatchDegrees.OneToMany == 0 {
+		t.Errorf("expected one-to-many matches: %+v", rep.MatchDegrees)
+	}
+	if rep.EntityClusters == 0 || rep.EntityClusters > rep.MatchDegrees.Total() {
+		t.Errorf("entity clusters = %d out of range", rep.EntityClusters)
+	}
+}

@@ -1,0 +1,217 @@
+package umetrics
+
+import "emgo/internal/table"
+
+// The seven raw table schemas, exactly as Section 4 of the paper lists
+// them. Column kinds follow the data the paper shows in Figures 3-4.
+
+// AwardAggSchema is UMETRICSAwardAggMatching (13 columns).
+func AwardAggSchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "UniqueAwardNumber", Kind: table.String},
+		table.Field{Name: "AwardTitle", Kind: table.String},
+		table.Field{Name: "FundingSource", Kind: table.String},
+		table.Field{Name: "FirstTransDate", Kind: table.Date},
+		table.Field{Name: "LastTransDate", Kind: table.Date},
+		table.Field{Name: "RecipientAccountNumber", Kind: table.String},
+		table.Field{Name: "TotalOverheadCharged", Kind: table.Float},
+		table.Field{Name: "TotalExpenditures", Kind: table.Float},
+		table.Field{Name: "NumberOfTransactions", Kind: table.Int},
+		table.Field{Name: "DataFileYearEarliest", Kind: table.Int},
+		table.Field{Name: "DataFileYearLatest", Kind: table.Int},
+		table.Field{Name: "SubOrgUnit", Kind: table.String},
+		table.Field{Name: "CampusID", Kind: table.String},
+	)
+}
+
+// EmployeesSchema is UMETRICSEmployeesMatching (13 columns).
+func EmployeesSchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "UniqueAwardNumber", Kind: table.String},
+		table.Field{Name: "PeriodStartDate", Kind: table.Date},
+		table.Field{Name: "PeriodEndDate", Kind: table.Date},
+		table.Field{Name: "RecipientAccountNumber", Kind: table.String},
+		table.Field{Name: "DeidentifiedEmployeeIdNumber", Kind: table.String},
+		table.Field{Name: "FullName", Kind: table.String},
+		table.Field{Name: "OccupationalClassification", Kind: table.String},
+		table.Field{Name: "JobTitle", Kind: table.String},
+		table.Field{Name: "ObjectCode", Kind: table.String},
+		table.Field{Name: "SOCCode", Kind: table.String},
+		table.Field{Name: "FteStatus", Kind: table.String},
+		table.Field{Name: "ProportionOfEarningsAllocated", Kind: table.Float},
+		table.Field{Name: "DataFileYear", Kind: table.Int},
+	)
+}
+
+// ObjectCodesSchema is UMETRICSObjectCodesMatching (3 columns).
+func ObjectCodesSchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "ObjectCode", Kind: table.String},
+		table.Field{Name: "ObjectCodeText", Kind: table.String},
+		table.Field{Name: "DataFileYear", Kind: table.Int},
+	)
+}
+
+// OrgUnitsSchema is UMETRICSOrgUnitsMatching (5 columns).
+func OrgUnitsSchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "CampusId", Kind: table.String},
+		table.Field{Name: "SubOrgUnit", Kind: table.String},
+		table.Field{Name: "CampusName", Kind: table.String},
+		table.Field{Name: "SubOrgUnitName", Kind: table.String},
+		table.Field{Name: "DataFileYear", Kind: table.Int},
+	)
+}
+
+// SubAwardSchema is UMETRICSSubAwardMatching (23 columns).
+func SubAwardSchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "UniqueAwardNumber", Kind: table.String},
+		table.Field{Name: "Address", Kind: table.String},
+		table.Field{Name: "BldgName", Kind: table.String},
+		table.Field{Name: "City", Kind: table.String},
+		table.Field{Name: "Country", Kind: table.String},
+		table.Field{Name: "DUNS", Kind: table.String},
+		table.Field{Name: "DomesticZipCode", Kind: table.String},
+		table.Field{Name: "EIN", Kind: table.String},
+		table.Field{Name: "ForeignZipCode", Kind: table.String},
+		table.Field{Name: "ObjectCode", Kind: table.String},
+		table.Field{Name: "OrgName", Kind: table.String},
+		table.Field{Name: "OrganizationID", Kind: table.String},
+		table.Field{Name: "POBox", Kind: table.String},
+		table.Field{Name: "PeriodEndDate", Kind: table.Date},
+		table.Field{Name: "PeriodStartDate", Kind: table.Date},
+		table.Field{Name: "RecipientAccountNumber", Kind: table.String},
+		table.Field{Name: "SrtName", Kind: table.String},
+		table.Field{Name: "SrtNumber", Kind: table.String},
+		table.Field{Name: "State", Kind: table.String},
+		table.Field{Name: "StrName", Kind: table.String},
+		table.Field{Name: "StrNumber", Kind: table.String},
+		table.Field{Name: "SubAwardPaymentAmount", Kind: table.Float},
+		table.Field{Name: "DataFileYear", Kind: table.Int},
+	)
+}
+
+// VendorSchema is UMETRICSVendorMatching (21 columns).
+func VendorSchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "UniqueAwardNumber", Kind: table.String},
+		table.Field{Name: "PeriodStartDate", Kind: table.Date},
+		table.Field{Name: "PeriodEndDate", Kind: table.Date},
+		table.Field{Name: "RecipientAccountNumber", Kind: table.String},
+		table.Field{Name: "ObjectCode", Kind: table.String},
+		table.Field{Name: "OrganizationID", Kind: table.String},
+		table.Field{Name: "EIN", Kind: table.String},
+		table.Field{Name: "DUNS", Kind: table.String},
+		table.Field{Name: "VendorPaymentAmount", Kind: table.Float},
+		table.Field{Name: "OrgName", Kind: table.String},
+		table.Field{Name: "POBox", Kind: table.String},
+		table.Field{Name: "BldgNum", Kind: table.String},
+		table.Field{Name: "StrNumber", Kind: table.String},
+		table.Field{Name: "StrName", Kind: table.String},
+		table.Field{Name: "Address", Kind: table.String},
+		table.Field{Name: "City", Kind: table.String},
+		table.Field{Name: "State", Kind: table.String},
+		table.Field{Name: "DomesticZipCode", Kind: table.String},
+		table.Field{Name: "ForeignZipCode", Kind: table.String},
+		table.Field{Name: "Country", Kind: table.String},
+		table.Field{Name: "DataFileYear", Kind: table.Int},
+	)
+}
+
+// usdaCoreColumns are the named USDA columns the paper shows (Figure 4);
+// the remainder of the 78 are CRIS-style administrative fields.
+var usdaCoreColumns = []table.Field{
+	{Name: "AccessionNumber", Kind: table.String},
+	{Name: "ProjectTitle", Kind: table.String},
+	{Name: "SponsoringAgency", Kind: table.String},
+	{Name: "FundingMechanism", Kind: table.String},
+	{Name: "AwardNumber", Kind: table.String},
+	{Name: "InitialAwardFiscalYear", Kind: table.Int},
+	{Name: "RecipientOrganization", Kind: table.String},
+	{Name: "RecipientDUNS", Kind: table.String},
+	{Name: "ProjectDirector", Kind: table.String},
+	{Name: "MultistateProjectNumber", Kind: table.String},
+	{Name: "ProjectNumber", Kind: table.String},
+	{Name: "ProjectStartDate", Kind: table.Date},
+	{Name: "ProjectEndDate", Kind: table.Date},
+	{Name: "ProjectStartFiscalYear", Kind: table.Int},
+}
+
+// usdaExtraColumns pad the USDA schema to the 78 columns of Figure 2.
+var usdaExtraColumns = []table.Field{
+	{Name: "PerformingOrganization", Kind: table.String},
+	{Name: "PerformingDepartment", Kind: table.String},
+	{Name: "PerformingState", Kind: table.String},
+	{Name: "CongressionalDistrict", Kind: table.String},
+	{Name: "CRISNumber", Kind: table.String},
+	{Name: "StatusCode", Kind: table.String},
+	{Name: "ProjectType", Kind: table.String},
+	{Name: "ActivityCode", Kind: table.String},
+	{Name: "KnowledgeArea1", Kind: table.String},
+	{Name: "KnowledgeArea2", Kind: table.String},
+	{Name: "KnowledgeArea3", Kind: table.String},
+	{Name: "SubjectOfInvestigation1", Kind: table.String},
+	{Name: "SubjectOfInvestigation2", Kind: table.String},
+	{Name: "SubjectOfInvestigation3", Kind: table.String},
+	{Name: "FieldOfScience1", Kind: table.String},
+	{Name: "FieldOfScience2", Kind: table.String},
+	{Name: "FieldOfScience3", Kind: table.String},
+	{Name: "Objectives", Kind: table.String},
+	{Name: "Approach", Kind: table.String},
+	{Name: "Keywords", Kind: table.String},
+	{Name: "NonTechnicalSummary", Kind: table.String},
+	{Name: "ProjectContactName", Kind: table.String},
+	{Name: "ProjectContactEmail", Kind: table.String},
+	{Name: "ProjectContactPhone", Kind: table.String},
+	{Name: "TerminationDate", Kind: table.Date},
+	{Name: "LastUpdated", Kind: table.Date},
+	{Name: "ScientistYears", Kind: table.Float},
+	{Name: "ProfessionalYears", Kind: table.Float},
+	{Name: "TechnicianYears", Kind: table.Float},
+	{Name: "FY1997Funds", Kind: table.Float},
+	{Name: "FY1998Funds", Kind: table.Float},
+	{Name: "FY1999Funds", Kind: table.Float},
+	{Name: "FY2000Funds", Kind: table.Float},
+	{Name: "FY2001Funds", Kind: table.Float},
+	{Name: "FY2002Funds", Kind: table.Float},
+	{Name: "FY2003Funds", Kind: table.Float},
+	{Name: "FY2004Funds", Kind: table.Float},
+	{Name: "FY2005Funds", Kind: table.Float},
+	{Name: "FY2006Funds", Kind: table.Float},
+	{Name: "FY2007Funds", Kind: table.Float},
+	{Name: "FY2008Funds", Kind: table.Float},
+	{Name: "FY2009Funds", Kind: table.Float},
+	{Name: "FY2010Funds", Kind: table.Float},
+	{Name: "FY2011Funds", Kind: table.Float},
+	{Name: "FY2012Funds", Kind: table.Float},
+	{Name: "TotalAwarded", Kind: table.Float},
+	{Name: "IndirectCosts", Kind: table.Float},
+	{Name: "CostShare", Kind: table.Float},
+	{Name: "AnimalHealthFunds", Kind: table.Float},
+	{Name: "FormulaFunds", Kind: table.Float},
+	{Name: "GrantYear", Kind: table.Int},
+	{Name: "AwardAmendmentNumber", Kind: table.String},
+	{Name: "ProposalNumber", Kind: table.String},
+	{Name: "ProgramCode", Kind: table.String},
+	{Name: "ProgramName", Kind: table.String},
+	{Name: "RegionalAssociation", Kind: table.String},
+	{Name: "CommodityCode", Kind: table.String},
+	{Name: "CommodityName", Kind: table.String},
+	{Name: "AnimalUseFlag", Kind: table.String},
+	{Name: "HumanUseFlag", Kind: table.String},
+	{Name: "PatentFlag", Kind: table.String},
+	{Name: "PublicationCount", Kind: table.Int},
+	{Name: "StudentCountBS", Kind: table.Int},
+	// "Financial: USDA Contracts, Grants, Coop Agmt" is the last column
+	// the paper names (Figure 4).
+	{Name: "Financial: USDA Contracts, Grants, Coop Agmt", Kind: table.Float},
+}
+
+// USDASchema is USDAAwardMatching (78 columns).
+func USDASchema() *table.Schema {
+	fields := make([]table.Field, 0, len(usdaCoreColumns)+len(usdaExtraColumns))
+	fields = append(fields, usdaCoreColumns...)
+	fields = append(fields, usdaExtraColumns...)
+	return table.MustSchema(fields...)
+}

@@ -1,0 +1,122 @@
+package workflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"emgo/internal/block"
+	"emgo/internal/label"
+	"emgo/internal/table"
+)
+
+func monitorFixture(n int) *block.CandidateSet {
+	schema := table.MustSchema(table.Field{Name: "X", Kind: table.Int})
+	l := table.New("L", schema)
+	r := table.New("R", schema)
+	for i := 0; i < n; i++ {
+		l.MustAppend(table.Row{table.I(int64(i))})
+		r.MustAppend(table.Row{table.I(int64(i))})
+	}
+	c := block.NewCandidateSet(l, r)
+	for i := 0; i < n; i++ {
+		c.Add(block.Pair{A: i, B: i})
+	}
+	return c
+}
+
+func TestMonitorHealthyBatch(t *testing.T) {
+	pred := monitorFixture(500)
+	m := &Monitor{SampleSize: 100, MinPrecision: 0.9, Rng: rand.New(rand.NewSource(1))}
+	// 97% of predictions are correct.
+	rng := rand.New(rand.NewSource(2))
+	res, err := m.Check("2016-Q1", pred, func(p block.Pair) label.Label {
+		if rng.Float64() < 0.97 {
+			return label.Yes
+		}
+		return label.No
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alarm {
+		t.Fatalf("healthy batch should not alarm: %+v", res)
+	}
+	if res.Labeled == 0 || res.Precision.Point < 0.85 {
+		t.Fatalf("check result off: %+v", res)
+	}
+	if len(m.History()) != 1 || len(m.Alarms()) != 0 {
+		t.Fatal("history bookkeeping wrong")
+	}
+}
+
+func TestMonitorDriftAlarms(t *testing.T) {
+	pred := monitorFixture(500)
+	m := &Monitor{SampleSize: 100, MinPrecision: 0.9, Rng: rand.New(rand.NewSource(3))}
+	// The new data slice is dirty: precision collapses to ~50%.
+	rng := rand.New(rand.NewSource(4))
+	res, err := m.Check("2016-Q2", pred, func(p block.Pair) label.Label {
+		if rng.Float64() < 0.5 {
+			return label.Yes
+		}
+		return label.No
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Alarm {
+		t.Fatalf("drifted batch should alarm: %+v", res)
+	}
+	if len(m.Alarms()) != 1 {
+		t.Fatal("alarm not recorded")
+	}
+}
+
+func TestMonitorUnsureIgnored(t *testing.T) {
+	pred := monitorFixture(100)
+	m := &Monitor{SampleSize: 50, MinPrecision: 0.5, Rng: rand.New(rand.NewSource(5))}
+	i := 0
+	res, err := m.Check("batch", pred, func(p block.Pair) label.Label {
+		i++
+		if i%2 == 0 {
+			return label.Unsure
+		}
+		return label.Yes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labeled != 25 {
+		t.Fatalf("unsures should be excluded: labeled=%d", res.Labeled)
+	}
+	if res.Precision.Point != 1 {
+		t.Fatalf("all decided labels are Yes: %+v", res.Precision)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	pred := monitorFixture(10)
+	m := &Monitor{}
+	if _, err := m.Check("b", pred, nil); err == nil {
+		t.Fatal("missing rng should error")
+	}
+	m.Rng = rand.New(rand.NewSource(1))
+	if _, err := m.Check("b", pred, nil); err == nil {
+		t.Fatal("missing labeler should error")
+	}
+	empty := block.NewCandidateSet(pred.Left, pred.Right)
+	if _, err := m.Check("b", empty, func(block.Pair) label.Label { return label.Yes }); err == nil {
+		t.Fatal("empty prediction set should error")
+	}
+}
+
+func TestMonitorSampleLargerThanPredictions(t *testing.T) {
+	pred := monitorFixture(5)
+	m := &Monitor{SampleSize: 100, MinPrecision: 0.5, Rng: rand.New(rand.NewSource(6))}
+	res, err := m.Check("b", pred, func(block.Pair) label.Label { return label.Yes })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labeled != 5 {
+		t.Fatalf("sample should clamp to prediction count: %d", res.Labeled)
+	}
+}

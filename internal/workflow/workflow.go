@@ -1,0 +1,205 @@
+// Package workflow composes the EM building blocks into executable
+// matching workflows with provenance logging. The central type models the
+// shape the case study converged on (Figures 8-10): positive "sure-match"
+// rules applied directly to the input tables, a blocking pipeline, a
+// trained learning-based matcher over the remaining candidates, and
+// negative rules vetoing the learner's predictions. Workflows are patched
+// (Section 10) by running the same workflow over additional data slices
+// and unioning results at the record-ID level.
+package workflow
+
+import (
+	"fmt"
+	"strings"
+
+	"emgo/internal/block"
+	"emgo/internal/feature"
+	"emgo/internal/ml"
+	"emgo/internal/rules"
+	"emgo/internal/table"
+)
+
+// Entry is one provenance record.
+type Entry struct {
+	Step   string
+	Detail string
+	Count  int
+}
+
+// Log collects the steps a workflow executed, in order — the record the
+// two teams shared when discussing results.
+type Log struct {
+	entries []Entry
+}
+
+// Add appends an entry.
+func (l *Log) Add(step, detail string, count int) {
+	l.entries = append(l.entries, Entry{Step: step, Detail: detail, Count: count})
+}
+
+// Entries returns a copy of the log.
+func (l *Log) Entries() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// String renders the log one step per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.entries {
+		fmt.Fprintf(&b, "%-24s %6d  %s\n", e.Step, e.Count, e.Detail)
+	}
+	return b.String()
+}
+
+// Workflow is a complete EM workflow: rules + blocking + learner + veto
+// rules. SureRules and NegativeRules may be nil engines; Matcher may be
+// nil for a rules-only workflow (the IRIS shape).
+type Workflow struct {
+	// Name identifies the workflow in logs.
+	Name string
+	// SureRules are positive rules pulling sure matches straight from the
+	// input tables (bypassing blocking, so a rule can never be lost to a
+	// blocking mistake).
+	SureRules *rules.Engine
+	// Blockers build the candidate set; they are unioned.
+	Blockers []block.Blocker
+	// Features, Imputer and Matcher form the trained learning-based
+	// matcher applied to candidates that no rule decided.
+	Features *feature.Set
+	Imputer  *feature.Imputer
+	Matcher  ml.Matcher
+	// NegativeRules veto predicted matches (Figure 10).
+	NegativeRules *rules.Engine
+}
+
+// Result is the outcome of running a workflow over one pair of tables.
+type Result struct {
+	// Sure are the matches the positive rules declared (C1/D1 in the
+	// paper's notation).
+	Sure *block.CandidateSet
+	// Candidates is the blocked candidate set minus the sure matches
+	// (C = C2 - C1).
+	Candidates *block.CandidateSet
+	// Learned are the matcher's predicted matches on Candidates before
+	// negative rules (R1/R2).
+	Learned *block.CandidateSet
+	// Vetoed is how many learned matches the negative rules flipped.
+	Vetoed int
+	// Final is Sure ∪ (Learned minus vetoed) (S1/S2 unioned with sure
+	// matches).
+	Final *block.CandidateSet
+	// Log records each step.
+	Log *Log
+}
+
+// Run executes the workflow on one (left, right) table pair.
+func (w *Workflow) Run(left, right *table.Table) (*Result, error) {
+	log := &Log{}
+	res := &Result{Log: log}
+
+	// Step 1: sure matches straight from the tables.
+	if w.SureRules != nil && w.SureRules.Len() > 0 {
+		res.Sure = w.SureRules.SureMatches(left, right)
+	} else {
+		res.Sure = block.NewCandidateSet(left, right)
+	}
+	log.Add("sure_matches", "positive rules over input tables", res.Sure.Len())
+
+	// Step 2: blocking.
+	blocked, err := block.UnionBlock(left, right, w.Blockers...)
+	if err != nil {
+		return nil, fmt.Errorf("workflow %s: blocking: %w", w.Name, err)
+	}
+	log.Add("blocked", "union of blockers", blocked.Len())
+
+	// Step 3: remove sure matches from the candidate set.
+	res.Candidates, err = blocked.Minus(res.Sure)
+	if err != nil {
+		return nil, fmt.Errorf("workflow %s: %w", w.Name, err)
+	}
+	log.Add("candidates", "blocked minus sure matches", res.Candidates.Len())
+
+	// Step 4: learned predictions.
+	res.Learned = block.NewCandidateSet(left, right)
+	if w.Matcher != nil && res.Candidates.Len() > 0 {
+		if w.Features == nil || w.Imputer == nil {
+			return nil, fmt.Errorf("workflow %s: matcher set but features/imputer missing", w.Name)
+		}
+		x, err := w.Features.Vectorize(left, right, res.Candidates.Pairs())
+		if err != nil {
+			return nil, fmt.Errorf("workflow %s: vectorize: %w", w.Name, err)
+		}
+		x, err = w.Imputer.Transform(x)
+		if err != nil {
+			return nil, fmt.Errorf("workflow %s: impute: %w", w.Name, err)
+		}
+		for i, p := range res.Candidates.Pairs() {
+			if w.Matcher.Predict(x[i]) == 1 {
+				res.Learned.Add(p)
+			}
+		}
+	}
+	log.Add("learned", "matcher predictions on candidates", res.Learned.Len())
+
+	// Step 5: negative rules veto learned matches.
+	kept := res.Learned
+	if w.NegativeRules != nil && w.NegativeRules.Len() > 0 {
+		kept, res.Vetoed = w.NegativeRules.FilterMatches(res.Learned)
+	}
+	log.Add("vetoed", "negative rules flipped", res.Vetoed)
+
+	// Step 6: final = sure ∪ kept.
+	res.Final, err = res.Sure.Union(kept)
+	if err != nil {
+		return nil, fmt.Errorf("workflow %s: %w", w.Name, err)
+	}
+	log.Add("final", "sure matches plus surviving predictions", res.Final.Len())
+	return res, nil
+}
+
+// IDPair is a match expressed as record identifiers — the "pairs of
+// UniqueAwardNumber and AccessionNumber" deliverable format.
+type IDPair struct {
+	Left, Right string
+}
+
+// MatchIDs extracts the final matches of a result as record-ID pairs using
+// the given ID columns.
+func (r *Result) MatchIDs(leftIDCol, rightIDCol string) ([]IDPair, error) {
+	lj, err := r.Final.Left.Col(leftIDCol)
+	if err != nil {
+		return nil, err
+	}
+	rj, err := r.Final.Right.Col(rightIDCol)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IDPair, 0, r.Final.Len())
+	for _, p := range r.Final.Sorted() {
+		out = append(out, IDPair{
+			Left:  r.Final.Left.Row(p.A)[lj].Str(),
+			Right: r.Final.Right.Row(p.B)[rj].Str(),
+		})
+	}
+	return out, nil
+}
+
+// MergeIDs unions match-ID lists from multiple workflow runs (the
+// patching step of Section 10), deduplicating exact pairs while keeping
+// first-seen order.
+func MergeIDs(lists ...[]IDPair) []IDPair {
+	seen := make(map[IDPair]struct{})
+	var out []IDPair
+	for _, list := range lists {
+		for _, p := range list {
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}
