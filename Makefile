@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all tier1 build test vet race tier2 ci
+
+all: tier1
+
+# Tier 1 — the gate every change must pass.
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier 2 — the hardened-runtime gate: static analysis plus the full test
+# suite under the race detector (the parallel fan-out, cancellation, and
+# fault-injection paths are only trustworthy race-clean).
+tier2: vet race
+
+ci: tier1 tier2

@@ -2,21 +2,27 @@
 // spec (JSON, as produced by the development process — see
 // examples/production), rebuilds the workflow against two CSV tables, and
 // writes the predicted matches. It is the "move it into the repository to
-// do matching for other data slices" binary of Section 12.
+// do matching for other data slices" binary of Section 12, run under the
+// hardened runtime: deadlines, an error budget for poison pairs, and a
+// provenance log on stderr even when a stage aborts.
 //
 // Usage:
 //
 //	emmatch -spec workflow.json -left UMETRICSProjected.csv -right USDAProjected.csv \
-//	        [-left-id RecordId] [-right-id RecordId] [-out matches.csv] [-transforms umetrics]
+//	        [-left-id RecordId] [-right-id RecordId] [-out matches.csv] [-transforms umetrics] \
+//	        [-timeout 0] [-stage-timeout 0] [-error-budget 0]
 //
 // The -transforms flag selects the registered transform set the spec's
 // rules reference ("umetrics" or "none").
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,29 +32,55 @@ import (
 )
 
 func main() {
-	specPath := flag.String("spec", "", "packaged workflow spec (JSON)")
-	leftPath := flag.String("left", "", "left table CSV")
-	rightPath := flag.String("right", "", "right table CSV")
-	leftID := flag.String("left-id", "RecordId", "left record-ID column for the output")
-	rightID := flag.String("right-id", "RecordId", "right record-ID column for the output")
-	out := flag.String("out", "", "output CSV (default: stdout)")
-	transformSet := flag.String("transforms", "umetrics", "transform registry the spec references: umetrics | none")
-	dateCols := flag.String("date-cols", "FirstTransDate,LastTransDate",
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "emmatch:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind a testable seam. Any panic escaping
+// the pipeline is recovered into a one-line diagnostic — a production
+// binary must never greet the operator with a stack trace.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+
+	fs := flag.NewFlagSet("emmatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "packaged workflow spec (JSON)")
+	leftPath := fs.String("left", "", "left table CSV")
+	rightPath := fs.String("right", "", "right table CSV")
+	leftID := fs.String("left-id", "RecordId", "left record-ID column for the output")
+	rightID := fs.String("right-id", "RecordId", "right record-ID column for the output")
+	out := fs.String("out", "", "output CSV (default: stdout)")
+	transformSet := fs.String("transforms", "umetrics", "transform registry the spec references: umetrics | none")
+	dateCols := fs.String("date-cols", "FirstTransDate,LastTransDate",
 		"comma-separated columns parsed as dates (needed by date features)")
-	flag.Parse()
+	timeout := fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
+	stageTimeout := fs.Duration("stage-timeout", 0, "deadline per workflow stage (0 = none)")
+	errorBudget := fs.Int("error-budget", 0, "candidate pairs that may be quarantined before aborting")
+	if err := fs.Parse(args); err != nil {
+		return flag.ErrHelp // the FlagSet already printed the diagnostic
+	}
 
 	if *specPath == "" || *leftPath == "" || *rightPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: emmatch -spec workflow.json -left a.csv -right b.csv")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: emmatch -spec workflow.json -left a.csv -right b.csv")
+		return flag.ErrHelp
 	}
 
 	data, err := os.ReadFile(*specPath)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	spec, err := workflow.ParseSpec(data)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	var transforms workflow.Transforms
@@ -58,7 +90,7 @@ func main() {
 	case "none":
 		transforms = workflow.Transforms{}
 	default:
-		fail(fmt.Errorf("unknown transform set %q", *transformSet))
+		return fmt.Errorf("unknown transform set %q", *transformSet)
 	}
 
 	kinds := map[string]table.Kind{}
@@ -69,53 +101,64 @@ func main() {
 	}
 	left, err := table.ReadCSVFile(*leftPath, kinds)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	right, err := table.ReadCSVFile(*rightPath, kinds)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	w, err := spec.Build(left, right, transforms)
-	if err != nil {
-		fail(err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	res, err := w.Run(left, right)
-	if err != nil {
-		fail(err)
+	opts := workflow.RunOptions{
+		StageTimeout: *stageTimeout,
+		ErrorBudget:  *errorBudget,
 	}
-	fmt.Fprintf(os.Stderr, "%s", res.Log)
+	w, err := spec.BuildCtx(ctx, left, right, transforms, opts.Retry)
+	if err != nil {
+		return err
+	}
+	res, err := w.RunCtx(ctx, left, right, opts)
+	if res != nil && res.Log != nil {
+		fmt.Fprintf(stderr, "%s", res.Log)
+	}
+	if err != nil {
+		return err
+	}
+	if n := len(res.Quarantined); n > 0 {
+		fmt.Fprintf(stderr, "emmatch: %d pairs quarantined under the error budget\n", n)
+	}
 
 	ids, err := res.MatchIDs(*leftID, *rightID)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	dst := os.Stdout
+	dst := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		dst = f
 	}
 	cw := csv.NewWriter(dst)
 	if err := cw.Write([]string{*leftID, *rightID}); err != nil {
-		fail(err)
+		return err
 	}
 	for _, m := range ids {
 		if err := cw.Write([]string{m.Left, m.Right}); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "emmatch: %d matches\n", len(ids))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "emmatch:", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "emmatch: %d matches\n", len(ids))
+	return nil
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tinySpec = `{
+  "name": "tiny",
+  "blockers": [{"type": "attr_equiv", "left_col": "Num", "right_col": "Num"}],
+  "sure_rules": [{"type": "equal", "name": "M1", "left_col": "Num", "right_col": "Num",
+                  "verdict": "match"}]
+}`
+
+const leftCSV = "RecordId,Num\nL1,A100\nL2,B200\n"
+const rightCSV = "RecordId,Num\nR1,A100\nR2,C300\n"
+
+func TestRunHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "spec.json", tinySpec)
+	left := writeFile(t, dir, "left.csv", leftCSV)
+	right := writeFile(t, dir, "right.csv", rightCSV)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-spec", spec, "-left", left, "-right", right, "-transforms", "none"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "L1,R1") {
+		t.Fatalf("expected match L1,R1 in output:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 matches") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestRunMalformedCSVIsOneLineError(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "spec.json", tinySpec)
+	// Unclosed quote: encoding/csv rejects this mid-file.
+	bad := writeFile(t, dir, "bad.csv", "RecordId,Num\nL1,\"A100\nL2,B200\n")
+	right := writeFile(t, dir, "right.csv", rightCSV)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-spec", spec, "-left", bad, "-right", right, "-transforms", "none"},
+		&stdout, &stderr)
+	if err == nil {
+		t.Fatal("malformed CSV must fail")
+	}
+	// The diagnostic is a single line naming the file, never a stack trace.
+	msg := err.Error()
+	if strings.Contains(msg, "\n") || strings.Contains(msg, "goroutine") {
+		t.Fatalf("diagnostic is not one line: %q", msg)
+	}
+	if !strings.Contains(msg, "bad.csv") {
+		t.Fatalf("diagnostic does not name the file: %q", msg)
+	}
+}
+
+func TestRunMissingFlagsIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(nil, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("err: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+func TestRunUnknownTransformSet(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "spec.json", tinySpec)
+	left := writeFile(t, dir, "left.csv", leftCSV)
+	right := writeFile(t, dir, "right.csv", rightCSV)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-spec", spec, "-left", left, "-right", right, "-transforms", "nope"},
+		&stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown transform set") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestRunSpecReferencingMissingTransform(t *testing.T) {
+	// A spec whose rules name a transform absent from the registry must
+	// surface the resolver's error, not a panic.
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "spec.json", `{
+	  "name": "t",
+	  "blockers": [{"type": "attr_equiv", "left_col": "Num", "right_col": "Num",
+	                "left_transform": "missing"}]
+	}`)
+	left := writeFile(t, dir, "left.csv", leftCSV)
+	right := writeFile(t, dir, "right.csv", rightCSV)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-spec", spec, "-left", left, "-right", right, "-transforms", "none"},
+		&stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown transform") {
+		t.Fatalf("err: %v", err)
+	}
+}

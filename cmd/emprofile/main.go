@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	emprofile [-top] file.csv [file2.csv ...]
+//	emprofile [-top] [-patterns] file.csv [file2.csv ...]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"emgo/internal/profile"
@@ -18,31 +20,52 @@ import (
 )
 
 func main() {
-	top := flag.Bool("top", false, "also print each column's most frequent values")
-	patterns := flag.Bool("patterns", false, "also print each string column's identifier shapes (digits→#, letters→X, years→YYYY)")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: emprofile [-top] file.csv ...")
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "emprofile:", err)
+		os.Exit(1)
 	}
-	for _, path := range flag.Args() {
+}
+
+// run is the program behind a testable seam; a panic anywhere in
+// profiling becomes a one-line diagnostic instead of a stack trace.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+
+	fs := flag.NewFlagSet("emprofile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Bool("top", false, "also print each column's most frequent values")
+	patterns := fs.Bool("patterns", false, "also print each string column's identifier shapes (digits→#, letters→X, years→YYYY)")
+	if err := fs.Parse(args); err != nil {
+		return flag.ErrHelp // the FlagSet already printed the diagnostic
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: emprofile [-top] [-patterns] file.csv ...")
+		return flag.ErrHelp
+	}
+	for _, path := range fs.Args() {
 		t, err := table.ReadCSVFile(path, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "emprofile:", err)
-			os.Exit(1)
+			return err
 		}
 		rep := profile.Profile(t)
-		fmt.Print(rep)
+		fmt.Fprint(stdout, rep)
 		if *top {
 			for _, c := range rep.Columns {
 				if len(c.Top) == 0 {
 					continue
 				}
-				fmt.Printf("  %s top values:", c.Name)
+				fmt.Fprintf(stdout, "  %s top values:", c.Name)
 				for _, tv := range c.Top {
-					fmt.Printf(" %q×%d", tv.Value, tv.Count)
+					fmt.Fprintf(stdout, " %q×%d", tv.Value, tv.Count)
 				}
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 		}
 		if *patterns {
@@ -55,13 +78,14 @@ func main() {
 				if err != nil || len(shapes) == 0 {
 					continue
 				}
-				fmt.Printf("  %s shapes:", c.Name)
+				fmt.Fprintf(stdout, "  %s shapes:", c.Name)
 				for _, s := range shapes {
-					fmt.Printf(" %q×%d", s.Pattern, s.Count)
+					fmt.Fprintf(stdout, " %q×%d", s.Pattern, s.Count)
 				}
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return nil
 }

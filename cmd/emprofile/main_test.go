@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunProfilesCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("Id,Score\na,1\nb,2\nc,\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-top", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Id") || !strings.Contains(out, "Score") {
+		t.Fatalf("profile missing columns:\n%s", out)
+	}
+}
+
+func TestRunMalformedCSVIsOneLineError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(path, []byte("Id,Score\na,\"1\nb,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{path}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("malformed CSV must fail")
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "\n") || strings.Contains(msg, "goroutine") {
+		t.Fatalf("diagnostic is not one line: %q", msg)
+	}
+	if !strings.Contains(msg, "bad.csv") {
+		t.Fatalf("diagnostic does not name the file: %q", msg)
+	}
+}
+
+func TestRunNoArgsIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(nil, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("err: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}

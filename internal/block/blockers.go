@@ -1,12 +1,28 @@
 package block
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"emgo/internal/fault"
 	"emgo/internal/table"
 	"emgo/internal/tokenize"
 )
+
+// cancelStride is how many outer-loop rows a blocker processes between
+// cancellation checks: frequent enough that a deadline aborts a join in
+// well under a millisecond of extra work, rare enough that ctx.Err()'s
+// lock never shows up in profiles.
+const cancelStride = 64
+
+// strideErr checks ctx once every cancelStride iterations.
+func strideErr(ctx context.Context, i int) error {
+	if i%cancelStride == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
 
 // AttrEquiv is the attribute-equivalence blocker: a pair survives only when
 // the (non-null) blocking attributes of both records are exactly equal. A
@@ -29,6 +45,11 @@ func (b AttrEquiv) Name() string {
 
 // Block implements Blocker with a hash join on the blocking key.
 func (b AttrEquiv) Block(left, right *table.Table) (*CandidateSet, error) {
+	return b.BlockCtx(context.Background(), left, right)
+}
+
+// BlockCtx implements ContextBlocker.
+func (b AttrEquiv) BlockCtx(ctx context.Context, left, right *table.Table) (*CandidateSet, error) {
 	lj, err := left.Col(b.LeftCol)
 	if err != nil {
 		return nil, err
@@ -49,6 +70,9 @@ func (b AttrEquiv) Block(left, right *table.Table) (*CandidateSet, error) {
 	}
 	index := make(map[string][]int)
 	for i := 0; i < right.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		k := key(right.Row(i)[rj], b.RightTransform)
 		if k == "" {
 			continue
@@ -57,6 +81,9 @@ func (b AttrEquiv) Block(left, right *table.Table) (*CandidateSet, error) {
 	}
 	out := NewCandidateSet(left, right)
 	for i := 0; i < left.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		k := key(left.Row(i)[lj], b.LeftTransform)
 		if k == "" {
 			continue
@@ -100,6 +127,11 @@ func (b Overlap) tokensOf(v table.Value) []string {
 
 // Block implements Blocker.
 func (b Overlap) Block(left, right *table.Table) (*CandidateSet, error) {
+	return b.BlockCtx(context.Background(), left, right)
+}
+
+// BlockCtx implements ContextBlocker.
+func (b Overlap) BlockCtx(ctx context.Context, left, right *table.Table) (*CandidateSet, error) {
 	if b.Tokenizer == nil {
 		return nil, fmt.Errorf("block: overlap blocker needs a tokenizer")
 	}
@@ -118,6 +150,9 @@ func (b Overlap) Block(left, right *table.Table) (*CandidateSet, error) {
 	// Inverted index: token -> right row ids containing it.
 	index := make(map[string][]int)
 	for i := 0; i < right.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		for _, t := range b.tokensOf(right.Row(i)[rj]) {
 			index[t] = append(index[t], i)
 		}
@@ -126,6 +161,9 @@ func (b Overlap) Block(left, right *table.Table) (*CandidateSet, error) {
 	out := NewCandidateSet(left, right)
 	counts := make(map[int]int)
 	for i := 0; i < left.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		toks := b.tokensOf(left.Row(i)[lj])
 		if len(toks) < b.Threshold {
 			// Size filter: fewer tokens than the threshold can never
@@ -189,6 +227,11 @@ func (b OverlapCoefficient) tokensOf(v table.Value) []string {
 
 // Block implements Blocker.
 func (b OverlapCoefficient) Block(left, right *table.Table) (*CandidateSet, error) {
+	return b.BlockCtx(context.Background(), left, right)
+}
+
+// BlockCtx implements ContextBlocker.
+func (b OverlapCoefficient) BlockCtx(ctx context.Context, left, right *table.Table) (*CandidateSet, error) {
 	if b.Tokenizer == nil {
 		return nil, fmt.Errorf("block: overlap-coefficient blocker needs a tokenizer")
 	}
@@ -207,6 +250,9 @@ func (b OverlapCoefficient) Block(left, right *table.Table) (*CandidateSet, erro
 	rightTokens := make([][]string, right.Len())
 	index := make(map[string][]int)
 	for i := 0; i < right.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		toks := b.tokensOf(right.Row(i)[rj])
 		rightTokens[i] = toks
 		for _, t := range toks {
@@ -217,6 +263,9 @@ func (b OverlapCoefficient) Block(left, right *table.Table) (*CandidateSet, erro
 	out := NewCandidateSet(left, right)
 	counts := make(map[int]int)
 	for i := 0; i < left.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		toks := b.tokensOf(left.Row(i)[lj])
 		if len(toks) == 0 {
 			continue
@@ -279,9 +328,20 @@ func (b Func) Block(left, right *table.Table) (*CandidateSet, error) {
 // UnionBlock runs each blocker and unions the results — the Section 7 step
 // 4 consolidation of C1 ∪ C2 ∪ C3.
 func UnionBlock(left, right *table.Table, blockers ...Blocker) (*CandidateSet, error) {
+	return UnionBlockCtx(context.Background(), left, right, blockers...)
+}
+
+// UnionBlockCtx is UnionBlock under the hardened runtime: each blocker
+// run honours ctx (cancellation aborts mid-join for the blockers in this
+// package), and each run passes through the "block.join" fault-injection
+// site so tests can drive blocking failures deterministically.
+func UnionBlockCtx(ctx context.Context, left, right *table.Table, blockers ...Blocker) (*CandidateSet, error) {
 	out := NewCandidateSet(left, right)
 	for _, b := range blockers {
-		c, err := b.Block(left, right)
+		if err := fault.Inject("block.join"); err != nil {
+			return nil, fmt.Errorf("block: %s: %w", b.Name(), err)
+		}
+		c, err := BlockWithContext(ctx, b, left, right)
 		if err != nil {
 			return nil, fmt.Errorf("block: %s: %w", b.Name(), err)
 		}

@@ -1,0 +1,157 @@
+package block
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"emgo/internal/fault"
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+)
+
+// bigPair builds two n-row single-column tables of distinct numeric-ish
+// strings for cancellation tests.
+func bigPair(t *testing.T, n int) (*table.Table, *table.Table) {
+	t.Helper()
+	schema := func() *table.Schema {
+		return table.MustSchema(table.Field{Name: "Key", Kind: table.String})
+	}
+	l := table.New("L", schema())
+	r := table.New("R", schema())
+	for i := 0; i < n; i++ {
+		l.MustAppend(table.Row{table.S(fmt.Sprintf("key %d alpha beta", i))})
+		r.MustAppend(table.Row{table.S(fmt.Sprintf("key %d alpha beta", i))})
+	}
+	return l, r
+}
+
+func TestAttrEquivCancelledMidJoin(t *testing.T) {
+	l, r := bigPair(t, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	b := AttrEquiv{
+		LeftCol: "Key", RightCol: "Key",
+		// The transform runs once per probed left row; cancelling from
+		// inside it makes the abort point deterministic.
+		LeftTransform: func(s string) string {
+			calls++
+			if calls == 10 {
+				cancel()
+			}
+			return s
+		},
+	}
+	_, err := b.BlockCtx(ctx, l, r)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err: %v", err)
+	}
+	if calls >= l.Len() {
+		t.Fatalf("join ran to completion: %d probe calls", calls)
+	}
+}
+
+// countingTokenizer wraps Word and cancels a context after `after` calls.
+type countingTokenizer struct {
+	calls  *int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (ct countingTokenizer) Tokens(s string) []string {
+	*ct.calls++
+	if *ct.calls == ct.after {
+		ct.cancel()
+	}
+	return tokenize.Word{}.Tokens(s)
+}
+
+func (ct countingTokenizer) Name() string { return "counting" }
+
+func TestJaccardJoinCancelledBeforeCompletion(t *testing.T) {
+	l, r := bigPair(t, 1000)
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	b := JaccardJoin{
+		LeftCol: "Key", RightCol: "Key",
+		Tokenizer: countingTokenizer{calls: &calls, after: 10, cancel: cancel},
+		Threshold: 0.8,
+	}
+	_, err := b.BlockCtx(ctx, l, r)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err: %v", err)
+	}
+	// A full join tokenizes all 2000 rows; cancellation after 10 calls
+	// must abort within one stride.
+	if calls >= 2000 {
+		t.Fatalf("join ran to completion: %d tokenizations", calls)
+	}
+	// The join is synchronous: nothing may linger.
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > base+2 {
+		t.Fatalf("goroutines leaked: %d -> %d", base, n)
+	}
+}
+
+func TestOverlapBlockersCancelled(t *testing.T) {
+	l, r := bigPair(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, b := range []ContextBlocker{
+		Overlap{LeftCol: "Key", RightCol: "Key", Tokenizer: tokenize.Word{}, Threshold: 2},
+		OverlapCoefficient{LeftCol: "Key", RightCol: "Key", Tokenizer: tokenize.Word{}, Threshold: 0.5},
+		SortedNeighborhood{LeftCol: "Key", RightCol: "Key", Window: 3},
+	} {
+		if _, err := b.BlockCtx(ctx, l, r); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v", b.Name(), err)
+		}
+	}
+}
+
+func TestUnionBlockCtxFaultInjection(t *testing.T) {
+	defer fault.Reset()
+	l, r := bigPair(t, 10)
+	b := AttrEquiv{LeftCol: "Key", RightCol: "Key"}
+
+	fault.Enable("block.join", fault.Plan{FailFirst: 1})
+	_, err := UnionBlockCtx(context.Background(), l, r, b)
+	if err == nil || !strings.Contains(err.Error(), "attr_equiv") {
+		t.Fatalf("injected join fault: %v", err)
+	}
+	// The transient fault is gone on the next run.
+	cand, err := UnionBlockCtx(context.Background(), l, r, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Len() != 10 {
+		t.Fatalf("candidates = %d", cand.Len())
+	}
+}
+
+func TestBlockWithContextFallback(t *testing.T) {
+	l, r := bigPair(t, 5)
+	// Func does not implement ContextBlocker; the helper still honours a
+	// pre-cancelled ctx and otherwise runs the plain join.
+	b := Func{Label: "all", Keep: func(left, right table.Row) bool { return true }}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BlockWithContext(ctx, b, l, r); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err: %v", err)
+	}
+	cand, err := BlockWithContext(context.Background(), b, l, r)
+	if err != nil || cand.Len() != 25 {
+		t.Fatalf("fallback run: %v, %d pairs", err, cand.Len())
+	}
+}

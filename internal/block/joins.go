@@ -1,6 +1,7 @@
 package block
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -51,6 +52,11 @@ func (b JaccardJoin) tokensOf(v table.Value) []string {
 // of length |X| - ceil(t·|X|) + 1 must share a token with any partner
 // (prefix filter). Only prefix collisions are verified exactly.
 func (b JaccardJoin) Block(left, right *table.Table) (*CandidateSet, error) {
+	return b.BlockCtx(context.Background(), left, right)
+}
+
+// BlockCtx implements ContextBlocker.
+func (b JaccardJoin) BlockCtx(ctx context.Context, left, right *table.Table) (*CandidateSet, error) {
 	if b.Tokenizer == nil {
 		return nil, fmt.Errorf("block: jaccard join needs a tokenizer")
 	}
@@ -79,6 +85,9 @@ func (b JaccardJoin) Block(left, right *table.Table) (*CandidateSet, error) {
 	rightTokens := make([][]string, right.Len())
 	index := make(map[string][]int) // prefix token -> right rows
 	for i := 0; i < right.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		toks := b.tokensOf(right.Row(i)[rj])
 		rightTokens[i] = toks
 		for _, tok := range toks[:prefixLen(len(toks))] {
@@ -89,6 +98,9 @@ func (b JaccardJoin) Block(left, right *table.Table) (*CandidateSet, error) {
 	out := NewCandidateSet(left, right)
 	seen := make(map[int]bool)
 	for i := 0; i < left.Len(); i++ {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		toks := b.tokensOf(left.Row(i)[lj])
 		if len(toks) == 0 {
 			continue
@@ -139,6 +151,11 @@ func (b SortedNeighborhood) Name() string {
 
 // Block implements Blocker.
 func (b SortedNeighborhood) Block(left, right *table.Table) (*CandidateSet, error) {
+	return b.BlockCtx(context.Background(), left, right)
+}
+
+// BlockCtx implements ContextBlocker.
+func (b SortedNeighborhood) BlockCtx(ctx context.Context, left, right *table.Table) (*CandidateSet, error) {
 	window := b.Window
 	if window == 0 {
 		window = 3
@@ -191,6 +208,9 @@ func (b SortedNeighborhood) Block(left, right *table.Table) (*CandidateSet, erro
 
 	out := NewCandidateSet(left, right)
 	for i := range entries {
+		if err := strideErr(ctx, i); err != nil {
+			return nil, err
+		}
 		hi := i + window
 		if hi > len(entries) {
 			hi = len(entries)

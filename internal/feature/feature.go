@@ -9,10 +9,12 @@
 package feature
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"emgo/internal/block"
+	"emgo/internal/fault"
 	"emgo/internal/parallel"
 	"emgo/internal/simfunc"
 	"emgo/internal/table"
@@ -331,6 +333,16 @@ func AddCaseInsensitive(set *Set, left *table.Table, corr map[string]string, col
 // Vectorize converts each candidate pair into a feature vector (NaN marks
 // missing values). Rows align with pairs.
 func (s *Set) Vectorize(left, right *table.Table, pairs []block.Pair) ([][]float64, error) {
+	return s.VectorizeCtx(context.Background(), left, right, pairs)
+}
+
+// VectorizeCtx is Vectorize under the hardened runtime: the fan-out stops
+// on cancellation, and a panicking or failing feature computation surfaces
+// as an error carrying the offending pair index (parallel.FailingIndex)
+// instead of crashing the process — which is what lets a workflow
+// quarantine a poison pair and keep going. Each pair also passes the
+// "feature.vectorize" fault-injection site.
+func (s *Set) VectorizeCtx(ctx context.Context, left, right *table.Table, pairs []block.Pair) ([][]float64, error) {
 	type cols struct{ lj, rj int }
 	resolved := make([]cols, len(s.Features))
 	for k, f := range s.Features {
@@ -345,13 +357,20 @@ func (s *Set) Vectorize(left, right *table.Table, pairs []block.Pair) ([][]float
 		resolved[k] = cols{lj, rj}
 	}
 	out := make([][]float64, len(pairs))
-	parallel.For(len(pairs), func(i int) {
+	err := parallel.ForCtx(ctx, len(pairs), func(i int) error {
+		if err := fault.InjectIdx("feature.vectorize", i); err != nil {
+			return err
+		}
 		p := pairs[i]
 		row := make([]float64, len(s.Features))
 		for k, f := range s.Features {
 			row[k] = f.Compute(left.Row(p.A)[resolved[k].lj], right.Row(p.B)[resolved[k].rj])
 		}
 		out[i] = row
+		return nil
 	})
+	if err != nil {
+		return nil, fmt.Errorf("feature: vectorize: %w", err)
+	}
 	return out, nil
 }

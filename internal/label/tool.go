@@ -1,9 +1,12 @@
 package label
 
 import (
+	"context"
 	"fmt"
 
 	"emgo/internal/block"
+	"emgo/internal/fault"
+	"emgo/internal/retry"
 )
 
 // Tool simulates the cloud-based labeling tool built for the UMETRICS
@@ -78,10 +81,16 @@ func (t *Tool) CloseSession(user string) error {
 func (t *Tool) ActiveSession() string { return t.session }
 
 // Submit records user's label for p. The pair must be in the queue and
-// the user must hold the session. The pair leaves the queue.
+// the user must hold the session. The pair leaves the queue. Each submit
+// passes the "label.submit" fault-injection site (the cloud tool's flaky
+// write path); a failed submit leaves the pair queued, so retrying is
+// safe.
 func (t *Tool) Submit(user string, p block.Pair, l Label) error {
 	if t.session != user {
 		return fmt.Errorf("label: %s does not hold the session", user)
+	}
+	if err := fault.Inject("label.submit"); err != nil {
+		return err
 	}
 	idx := -1
 	for i, q := range t.pending {
@@ -111,6 +120,43 @@ func (t *Tool) LabelAll(user string, judge func(block.Pair) Label) error {
 	for _, p := range pending {
 		if err := t.Submit(user, p, judge(p)); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// LabelAllCtx drains the queue under the hardened runtime: both the
+// judge (the human or service producing labels) and the submit path are
+// retried on the policy's deterministic backoff schedule, and the drain
+// stops promptly when ctx is done. A pair that exhausts its retries
+// aborts the drain with the pair identified; everything labeled so far
+// stays labeled.
+func (t *Tool) LabelAllCtx(ctx context.Context, user string, policy retry.Policy, judge func(block.Pair) (Label, error)) error {
+	if t.session != user {
+		return fmt.Errorf("label: %s does not hold the session", user)
+	}
+	if judge == nil {
+		return fmt.Errorf("label: drain needs a judge")
+	}
+	pending := t.Pending()
+	for _, p := range pending {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var l Label
+		err := retry.Do(ctx, policy, func() error {
+			var jerr error
+			l, jerr = judge(p)
+			return jerr
+		})
+		if err != nil {
+			return fmt.Errorf("label: judging pair (%d,%d): %w", p.A, p.B, err)
+		}
+		err = retry.Do(ctx, policy, func() error {
+			return t.Submit(user, p, l)
+		})
+		if err != nil {
+			return fmt.Errorf("label: submitting pair (%d,%d): %w", p.A, p.B, err)
 		}
 	}
 	return nil

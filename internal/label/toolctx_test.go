@@ -1,0 +1,127 @@
+package label
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"emgo/internal/block"
+	"emgo/internal/fault"
+	"emgo/internal/retry"
+)
+
+func queuedTool(t *testing.T, n int) *Tool {
+	t.Helper()
+	tool := NewTool(NewStore())
+	pairs := make([]block.Pair, n)
+	for i := range pairs {
+		pairs[i] = block.Pair{A: i, B: i + 100}
+	}
+	if got := tool.Upload(pairs); got != n {
+		t.Fatalf("queued %d of %d", got, n)
+	}
+	if err := tool.OpenSession("alice"); err != nil {
+		t.Fatal(err)
+	}
+	return tool
+}
+
+func yesJudge(block.Pair) (Label, error) { return Yes, nil }
+
+func TestLabelAllCtxDrainsQueue(t *testing.T) {
+	tool := queuedTool(t, 4)
+	if err := tool.LabelAllCtx(context.Background(), "alice", retry.Policy{}, yesJudge); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tool.Pending()); n != 0 {
+		t.Fatalf("pending after drain: %d", n)
+	}
+	if tool.store.Counts().Yes != 4 {
+		t.Fatalf("labels: %+v", tool.store.Counts())
+	}
+}
+
+func TestLabelAllCtxRetriesFlakySubmit(t *testing.T) {
+	defer fault.Reset()
+	tool := queuedTool(t, 3)
+	// The cloud tool's write path drops the first two submits; retries
+	// must drain the queue anyway, losing nothing.
+	fault.Enable("label.submit", fault.Plan{FailFirst: 2})
+	policy := retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	if err := tool.LabelAllCtx(context.Background(), "alice", policy, yesJudge); err != nil {
+		t.Fatalf("flaky submit should be retried: %v", err)
+	}
+	if tool.store.Len() != 3 {
+		t.Fatalf("labels stored: %d", tool.store.Len())
+	}
+}
+
+func TestLabelAllCtxRetriesFlakyJudge(t *testing.T) {
+	calls := 0
+	tool := queuedTool(t, 2)
+	judge := func(p block.Pair) (Label, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("labeler backend hiccup")
+		}
+		return No, nil
+	}
+	policy := retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	if err := tool.LabelAllCtx(context.Background(), "alice", policy, judge); err != nil {
+		t.Fatalf("flaky judge should be retried: %v", err)
+	}
+	if tool.store.Counts().No != 2 {
+		t.Fatalf("labels: %+v", tool.store.Counts())
+	}
+}
+
+func TestLabelAllCtxExhaustedRetriesNamePair(t *testing.T) {
+	defer fault.Reset()
+	tool := queuedTool(t, 2)
+	fault.Enable("label.submit", fault.Plan{FailFirst: 1 << 30})
+	err := tool.LabelAllCtx(context.Background(), "alice",
+		retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond}, yesJudge)
+	if err == nil || !strings.Contains(err.Error(), "pair (0,100)") {
+		t.Fatalf("err: %v", err)
+	}
+	// Nothing labeled, everything still queued — safe to retry the drain.
+	if tool.store.Len() != 0 || len(tool.Pending()) != 2 {
+		t.Fatalf("store %d, pending %d", tool.store.Len(), len(tool.Pending()))
+	}
+}
+
+func TestLabelAllCtxCancelledStopsDrain(t *testing.T) {
+	tool := queuedTool(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	labeled := 0
+	judge := func(p block.Pair) (Label, error) {
+		labeled++
+		if labeled == 2 {
+			cancel()
+		}
+		return Yes, nil
+	}
+	err := tool.LabelAllCtx(ctx, "alice", retry.Policy{}, judge)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err: %v", err)
+	}
+	if len(tool.Pending()) == 0 {
+		t.Fatal("cancelled drain emptied the queue")
+	}
+	// Already-submitted labels stay.
+	if tool.store.Len() == 0 {
+		t.Fatal("labels before cancellation were lost")
+	}
+}
+
+func TestLabelAllCtxGuards(t *testing.T) {
+	tool := queuedTool(t, 1)
+	if err := tool.LabelAllCtx(context.Background(), "bob", retry.Policy{}, yesJudge); err == nil {
+		t.Fatal("wrong user must not drain")
+	}
+	if err := tool.LabelAllCtx(context.Background(), "alice", retry.Policy{}, nil); err == nil {
+		t.Fatal("nil judge must error")
+	}
+}

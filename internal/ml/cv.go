@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -126,12 +127,18 @@ type Mismatch struct {
 // predicts the left-out example, and reports every disagreement — the
 // label-debugging procedure of Section 8 ("Debugging the Labeled Sample").
 func LeaveOneOutDebug(f Factory, ds *Dataset) ([]Mismatch, error) {
+	return LeaveOneOutDebugCtx(context.Background(), f, ds)
+}
+
+// LeaveOneOutDebugCtx is LeaveOneOutDebug honouring ctx: the n retrains
+// stop dispatching once ctx is done, and a panic inside one fold's fit
+// surfaces as an error naming the fold instead of killing the process.
+func LeaveOneOutDebugCtx(ctx context.Context, f Factory, ds *Dataset) ([]Mismatch, error) {
 	if ds.Len() < 2 {
 		return nil, fmt.Errorf("ml: leave-one-out needs at least 2 examples")
 	}
 	preds := make([]int, ds.Len())
-	errs := make([]error, ds.Len())
-	parallel.For(ds.Len(), func(leave int) {
+	err := parallel.ForCtx(ctx, ds.Len(), func(leave int) error {
 		idx := make([]int, 0, ds.Len()-1)
 		for i := 0; i < ds.Len(); i++ {
 			if i != leave {
@@ -140,16 +147,16 @@ func LeaveOneOutDebug(f Factory, ds *Dataset) ([]Mismatch, error) {
 		}
 		m := f.New()
 		if err := m.Fit(ds.Subset(idx)); err != nil {
-			errs[leave] = fmt.Errorf("ml: loocv at %d: %w", leave, err)
-			return
+			return fmt.Errorf("ml: loocv at %d: %w", leave, err)
 		}
 		preds[leave] = m.Predict(ds.X[leave])
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Mismatch
 	for leave := 0; leave < ds.Len(); leave++ {
-		if errs[leave] != nil {
-			return nil, errs[leave]
-		}
 		if preds[leave] != ds.Y[leave] {
 			out = append(out, Mismatch{Index: leave, Gold: ds.Y[leave], Predicted: preds[leave]})
 		}

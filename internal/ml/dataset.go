@@ -7,9 +7,13 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"emgo/internal/fault"
+	"emgo/internal/parallel"
 )
 
 // Dataset is a supervised binary-classification dataset: one feature
@@ -113,4 +117,25 @@ func PredictAll(m Matcher, x [][]float64) []int {
 		out[i] = m.Predict(row)
 	}
 	return out
+}
+
+// PredictAllCtx is PredictAll under the hardened runtime: prediction is
+// fanned out across workers, stops on cancellation, and a panicking
+// matcher (malformed row, unfitted model) surfaces as an error carrying
+// the failing row index instead of crashing — the hook workflows use to
+// quarantine poison pairs. Each row also passes the "ml.predict"
+// fault-injection site.
+func PredictAllCtx(ctx context.Context, m Matcher, x [][]float64) ([]int, error) {
+	out := make([]int, len(x))
+	err := parallel.ForCtx(ctx, len(x), func(i int) error {
+		if err := fault.InjectIdx("ml.predict", i); err != nil {
+			return err
+		}
+		out[i] = m.Predict(x[i])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ml: predict: %w", err)
+	}
+	return out, nil
 }

@@ -1,10 +1,12 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"emgo/internal/fault"
 	"emgo/internal/parallel"
 )
 
@@ -28,6 +30,15 @@ func (f *RandomForest) Name() string { return "random_forest" }
 
 // Fit implements Matcher.
 func (f *RandomForest) Fit(ds *Dataset) error {
+	return f.FitCtx(context.Background(), ds)
+}
+
+// FitCtx is Fit under the hardened runtime: training stops dispatching
+// trees on cancellation, and a panic inside one tree's fit surfaces as an
+// error naming the failing tree index instead of killing the process.
+// Each tree also passes the "ml.forest.fit" fault-injection site. A
+// failed fit leaves the forest unfitted.
+func (f *RandomForest) FitCtx(ctx context.Context, ds *Dataset) error {
 	if ds.Len() == 0 {
 		return fmt.Errorf("ml: random forest: empty dataset")
 	}
@@ -54,20 +65,24 @@ func (f *RandomForest) Fit(ds *Dataset) error {
 		seeds[k] = rng.Int63()
 	}
 	f.trees = make([]*DecisionTree, n)
-	errs := make([]error, n)
-	parallel.For(n, func(k int) {
+	err := parallel.ForCtx(ctx, n, func(k int) error {
+		if err := fault.InjectIdx("ml.forest.fit", k); err != nil {
+			return err
+		}
 		tree := &DecisionTree{
 			MaxDepth:      f.MaxDepth,
 			featureSubset: subset,
 			rng:           rand.New(rand.NewSource(seeds[k])),
 		}
-		errs[k] = tree.Fit(boots[k])
-		f.trees[k] = tree
-	})
-	for _, err := range errs {
-		if err != nil {
+		if err := tree.Fit(boots[k]); err != nil {
 			return err
 		}
+		f.trees[k] = tree
+		return nil
+	})
+	if err != nil {
+		f.trees = nil
+		return fmt.Errorf("ml: random forest: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,229 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the goroutine count drops back to at most
+// base (with a small tolerance for runtime housekeeping) or the deadline
+// expires, returning the final count.
+func settleGoroutines(t *testing.T, base int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+func TestForCtxMatchesSerial(t *testing.T) {
+	const n = 1000
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	got := make([]int, n)
+	if err := ForCtx(context.Background(), n, func(i int) error {
+		got[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForCtxWorkerPanicBecomesError(t *testing.T) {
+	out := make([]int, 100)
+	err := ForWorkersCtx(context.Background(), 100, 4, func(i int) error {
+		if i == 37 {
+			panic("kaboom")
+		}
+		out[i] = 1
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Index != 37 {
+		t.Fatalf("panic index = %d", pe.Index)
+	}
+	if !strings.Contains(err.Error(), "index 37") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("error message: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error should carry a stack")
+	}
+	if idx, ok := FailingIndex(err); !ok || idx != 37 {
+		t.Fatalf("FailingIndex = %d, %v", idx, ok)
+	}
+}
+
+func TestForCtxErrorCarriesIndex(t *testing.T) {
+	sentinel := errors.New("bad row")
+	err := ForWorkersCtx(context.Background(), 50, 4, func(i int) error {
+		if i == 12 {
+			return sentinel
+		}
+		return nil
+	})
+	var ie *IndexError
+	if !errors.As(err, &ie) || ie.Index != 12 {
+		t.Fatalf("err: %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatal("wrapped error lost")
+	}
+	if idx, ok := FailingIndex(err); !ok || idx != 12 {
+		t.Fatalf("FailingIndex = %d, %v", idx, ok)
+	}
+}
+
+func TestForCtxLowestIndexWinsWhenSerial(t *testing.T) {
+	// Serial path: the first failing index is returned even when later
+	// ones would fail too.
+	err := ForWorkersCtx(context.Background(), 10, 1, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if idx, ok := FailingIndex(err); !ok || idx != 3 {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestForCtxStopsDispatchAfterFailure(t *testing.T) {
+	var calls atomic.Int64
+	err := ForWorkersCtx(context.Background(), 10000, 4, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := calls.Load(); n >= 10000 {
+		t.Fatalf("failure did not stop dispatch: %d calls", n)
+	}
+}
+
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := ForCtx(ctx, 100, func(i int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err: %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("pre-cancelled run executed %d calls", calls)
+	}
+	if _, ok := FailingIndex(err); ok {
+		t.Fatal("cancellation has no failing index")
+	}
+}
+
+func TestForCtxCancellationPromptNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const n = 5000
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- ForWorkersCtx(ctx, n, 4, func(i int) error {
+			started.Add(1)
+			// Each in-flight item blocks until cancellation, so the run
+			// can only finish early by honouring ctx.
+			<-ctx.Done()
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled ForCtx did not return")
+	}
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err: %v", err)
+	}
+	if got := started.Load(); got >= n {
+		t.Fatalf("cancellation did not stop dispatch: %d items started", got)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if got := settleGoroutines(t, base); got > base+2 {
+		t.Fatalf("goroutines leaked: %d -> %d", base, got)
+	}
+}
+
+func TestForCtxNoLeakAfterPanic(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		err := ForWorkersCtx(context.Background(), 200, 8, func(i int) error {
+			if i == 100 {
+				panic("leak check")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if got := settleGoroutines(t, base); got > base+2 {
+		t.Fatalf("goroutines leaked: %d -> %d", base, got)
+	}
+}
+
+func TestForPanicPropagatesToCaller(t *testing.T) {
+	// The non-ctx For no longer kills the process on a worker panic: the
+	// panic resurfaces on the calling goroutine where recover works.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected propagated panic")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T: %v", r, r)
+		}
+		if pe.Index != 5 || fmt.Sprint(pe.Value) != "ouch" {
+			t.Fatalf("panic error: %v", pe)
+		}
+	}()
+	For(10, func(i int) {
+		if i == 5 {
+			panic("ouch")
+		}
+	})
+}
+
+func TestForCtxZeroAndNegativeN(t *testing.T) {
+	if err := ForCtx(context.Background(), 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForCtx(context.Background(), -3, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package retry implements capped exponential backoff with deterministic
+// schedules for the pipeline's transient-fault boundaries: the labeling
+// tool, transform-registry lookups, and production monitoring checks.
+//
+// Determinism is the point. A Policy's Schedule is a pure function of its
+// fields — no global randomness — so tests can assert the exact delays a
+// retried stage will sleep, and two replicas retrying the same failure
+// back off identically. When spreading load matters, Seed adds
+// deterministic pseudo-jitter: still reproducible, but distinct per seed.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes a capped exponential backoff schedule. The zero value
+// means "try once, never sleep" — safe to embed in option structs where
+// retrying is opt-in.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (<= 1 means a single attempt).
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry (default 10ms when
+	// retries are enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries (default 2).
+	Multiplier float64
+	// Seed, when non-zero, scales each delay by a deterministic
+	// pseudo-jitter factor in [0.5, 1.5) drawn from a rand stream seeded
+	// with it. Zero means jitter-free.
+	Seed int64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Schedule returns the exact delays Do will sleep between attempts —
+// MaxAttempts-1 entries. It is what tests assert against.
+func (p Policy) Schedule() []time.Duration {
+	p = p.withDefaults()
+	if p.MaxAttempts <= 1 {
+		return nil
+	}
+	var rng *rand.Rand
+	if p.Seed != 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
+	out := make([]time.Duration, p.MaxAttempts-1)
+	d := float64(p.BaseDelay)
+	for i := range out {
+		v := d
+		if v > float64(p.MaxDelay) {
+			v = float64(p.MaxDelay)
+		}
+		if rng != nil {
+			v *= 0.5 + rng.Float64()
+		}
+		out[i] = time.Duration(v)
+		d *= p.Multiplier
+	}
+	return out
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately instead of burning the
+// remaining attempts (e.g. "unknown transform" is never transient).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was wrapped by Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs fn under the policy: on a transient error it sleeps the next
+// scheduled delay (abandoning the wait if ctx is done) and tries again.
+// It returns nil on the first success, the unwrapped error behind a
+// Permanent marker, ctx's error when cancelled mid-backoff, or the last
+// attempt's error once the schedule is exhausted.
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	_, err := DoCount(ctx, p, fn)
+	return err
+}
+
+// DoCount is Do, additionally reporting how many attempts ran — the
+// number provenance logs record for retried stages.
+func DoCount(ctx context.Context, p Policy, fn func() error) (attempts int, err error) {
+	p = p.withDefaults()
+	schedule := p.Schedule()
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return attempts, fmt.Errorf("retry: cancelled after %d attempts: %w (last error: %v)", attempts, cerr, err)
+			}
+			return attempts, cerr
+		}
+		attempts++
+		err = fn()
+		if err == nil {
+			return attempts, nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return attempts, pe.err
+		}
+		if attempt >= len(schedule) {
+			if attempts > 1 {
+				return attempts, fmt.Errorf("retry: %d attempts exhausted: %w", attempts, err)
+			}
+			return attempts, err
+		}
+		timer := time.NewTimer(schedule[attempt])
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return attempts, fmt.Errorf("retry: cancelled after %d attempts: %w (last error: %v)", attempts, ctx.Err(), err)
+		case <-timer.C:
+		}
+	}
+}

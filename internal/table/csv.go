@@ -72,7 +72,11 @@ func ReadCSVFile(path string, kinds map[string]Kind) (*Table, error) {
 	defer f.Close()
 	base := filepath.Base(path)
 	name := strings.TrimSuffix(base, filepath.Ext(base))
-	return ReadCSV(name, f, kinds)
+	t, err := ReadCSV(name, f, kinds)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
 }
 
 // WriteCSV writes the table as CSV (header plus rows). Nulls render as the

@@ -1,10 +1,12 @@
 package umetrics
 
 import (
+	"context"
 	"fmt"
 
 	"emgo/internal/feature"
 	"emgo/internal/ml"
+	"emgo/internal/table"
 	"emgo/internal/workflow"
 )
 
@@ -83,4 +85,22 @@ func BuildDeploymentSpec(fs *feature.Set, im *feature.Imputer, matcher ml.Matche
 		ImputerMeans: im.Means(),
 		Matcher:      matcherSpec,
 	}, nil
+}
+
+// RunDeployed executes a packaged workflow spec against one data slice
+// under the hardened runtime — the production entry point the UMETRICS
+// repository calls per slice. The spec is rebuilt with the standard
+// deployment transform registry (lookups retried on opts.Retry), then
+// run with RunCtx so the slice gets per-stage deadlines, the error
+// budget, and a provenance log even when it fails. On a build failure
+// the returned Result is nil; on a run failure it carries the log.
+func RunDeployed(ctx context.Context, spec *workflow.Spec, left, right *table.Table, opts workflow.RunOptions) (*workflow.Result, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("umetrics: deployment needs a workflow spec")
+	}
+	w, err := spec.BuildCtx(ctx, left, right, DeployTransforms(), opts.Retry)
+	if err != nil {
+		return nil, fmt.Errorf("umetrics: build deployed workflow: %w", err)
+	}
+	return w.RunCtx(ctx, left, right, opts)
 }

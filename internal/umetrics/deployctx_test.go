@@ -1,0 +1,80 @@
+package umetrics
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"emgo/internal/fault"
+	"emgo/internal/retry"
+	"emgo/internal/workflow"
+)
+
+func TestRunDeployedMatchesPlainDeployment(t *testing.T) {
+	_, proj, fs, im, matcher := trainForDeploy(t)
+	spec, err := BuildDeploymentSpec(fs, im, matcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployed, err := spec.Build(proj.UMETRICS, proj.USDA, DeployTransforms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := deployed.Run(proj.UMETRICS, proj.USDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunDeployed(context.Background(), spec, proj.UMETRICS, proj.USDA, workflow.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Final.Len() != want.Final.Len() {
+		t.Fatalf("hardened deployment %d matches, plain %d", got.Final.Len(), want.Final.Len())
+	}
+	for _, p := range want.Final.Pairs() {
+		if !got.Final.Contains(p) {
+			t.Fatalf("hardened deployment missing pair %v", p)
+		}
+	}
+	if got.Log == nil || len(got.Log.Entries()) == 0 {
+		t.Fatal("deployed run produced no provenance log")
+	}
+}
+
+func TestRunDeployedRetriesTransformLookup(t *testing.T) {
+	defer fault.Reset()
+	_, proj, fs, im, matcher := trainForDeploy(t)
+	spec, err := BuildDeploymentSpec(fs, im, matcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The registry's first lookup fails transiently; the run's retry
+	// policy covers the build too.
+	fault.Enable("workflow.spec.transform", fault.Plan{FailFirst: 1})
+	res, err := RunDeployed(context.Background(), spec, proj.UMETRICS, proj.USDA, workflow.RunOptions{
+		Retry: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("transient lookup fault should be retried: %v", err)
+	}
+	if res.Final.Len() == 0 {
+		t.Fatal("deployed run found nothing")
+	}
+	// Without a retry policy the same fault kills the build before any
+	// stage runs.
+	fault.Enable("workflow.spec.transform", fault.Plan{FailFirst: 1})
+	res, err = RunDeployed(context.Background(), spec, proj.UMETRICS, proj.USDA, workflow.RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "build deployed workflow") {
+		t.Fatalf("err: %v", err)
+	}
+	if res != nil {
+		t.Fatal("build failure must not fabricate a result")
+	}
+}
+
+func TestRunDeployedGuards(t *testing.T) {
+	if _, err := RunDeployed(context.Background(), nil, nil, nil, workflow.RunOptions{}); err == nil {
+		t.Fatal("nil spec must error")
+	}
+}

@@ -1,12 +1,15 @@
 package workflow
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"emgo/internal/block"
 	"emgo/internal/estimate"
+	"emgo/internal/fault"
 	"emgo/internal/label"
+	"emgo/internal/retry"
 )
 
 // Monitor implements production accuracy monitoring — footnote 11 of the
@@ -49,11 +52,31 @@ type CheckResult struct {
 // only — recall needs a sample of the full candidate set, which
 // production does not label.
 func (m *Monitor) Check(batch string, predicted *block.CandidateSet, labelFn func(block.Pair) label.Label) (CheckResult, error) {
+	if labelFn == nil {
+		return CheckResult{}, fmt.Errorf("workflow: monitor needs a labeler")
+	}
+	return m.CheckErr(batch, predicted, func(p block.Pair) (label.Label, error) {
+		return labelFn(p), nil
+	})
+}
+
+// CheckErr is Check with a labeler that can fail — the shape of a real
+// human-in-the-loop or networked labeling backend. A labeler error aborts
+// the check without recording anything, leaving the caller free to retry
+// the whole check (see CheckCtx). Each invocation passes the
+// "workflow.monitor" fault-injection site.
+func (m *Monitor) CheckErr(batch string, predicted *block.CandidateSet, labelFn func(block.Pair) (label.Label, error)) (CheckResult, error) {
 	if m.Rng == nil {
 		return CheckResult{}, fmt.Errorf("workflow: monitor needs an Rng")
 	}
 	if labelFn == nil {
 		return CheckResult{}, fmt.Errorf("workflow: monitor needs a labeler")
+	}
+	if predicted == nil {
+		return CheckResult{}, fmt.Errorf("workflow: batch %q has no candidate set to monitor", batch)
+	}
+	if err := fault.Inject("workflow.monitor"); err != nil {
+		return CheckResult{}, err
 	}
 	n := m.SampleSize
 	if n <= 0 {
@@ -71,7 +94,11 @@ func (m *Monitor) Check(batch string, predicted *block.CandidateSet, labelFn fun
 	}
 	yes, no := 0, 0
 	for _, p := range sample {
-		switch labelFn(p) {
+		l, err := labelFn(p)
+		if err != nil {
+			return CheckResult{}, fmt.Errorf("workflow: batch %q labeler: %w", batch, err)
+		}
+		switch l {
 		case label.Yes:
 			yes++
 		case label.No:
@@ -100,6 +127,23 @@ func (m *Monitor) Check(batch string, predicted *block.CandidateSet, labelFn fun
 	}
 	m.history = append(m.history, res)
 	return res, nil
+}
+
+// CheckCtx runs CheckErr under a retry policy: transient labeler faults
+// are retried on the policy's deterministic backoff schedule until ctx is
+// done or the schedule is exhausted. It reports how many attempts ran so
+// provenance logs can record retried checks.
+func (m *Monitor) CheckCtx(ctx context.Context, policy retry.Policy, batch string, predicted *block.CandidateSet, labelFn func(block.Pair) (label.Label, error)) (CheckResult, int, error) {
+	var res CheckResult
+	attempts, err := retry.DoCount(ctx, policy, func() error {
+		var cerr error
+		res, cerr = m.CheckErr(batch, predicted, labelFn)
+		return cerr
+	})
+	if err != nil {
+		return CheckResult{}, attempts, err
+	}
+	return res, attempts, nil
 }
 
 // History returns all checks in order.

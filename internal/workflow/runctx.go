@@ -1,0 +1,228 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"emgo/internal/block"
+	"emgo/internal/label"
+	"emgo/internal/ml"
+	"emgo/internal/parallel"
+	"emgo/internal/retry"
+	"emgo/internal/table"
+)
+
+// This file is the hardened execution runtime for workflows — the
+// operational layer the paper's Section 12 production move demands:
+// bounded stage execution (per-stage deadlines on top of the caller's
+// context), failure isolation (worker panics surface as indexed errors;
+// a bounded error budget quarantines poison pairs instead of aborting
+// the batch), deterministic retries for the human/labeler boundary, and
+// a provenance log that records how each stage ended (ok / retried /
+// degraded / aborted) so an operator can reconstruct a bad run.
+
+// CheckStage asks RunCtx to finish with a production monitoring check
+// over the final matches (footnote 11's sample-label-estimate loop).
+type CheckStage struct {
+	// Monitor performs the check; required.
+	Monitor *Monitor
+	// Batch names the data slice in the monitor's history.
+	Batch string
+	// Label is the human (or service) in the loop; transient failures
+	// are retried on the run's retry policy.
+	Label func(block.Pair) (label.Label, error)
+}
+
+// RunOptions configures the hardened runtime. The zero value behaves
+// like Run with cancellation: no per-stage deadlines, no retries, an
+// empty error budget.
+type RunOptions struct {
+	// StageTimeout bounds every cancellable stage (blocking, matching,
+	// monitoring); 0 means no per-stage deadline. The caller's context
+	// still bounds the whole run.
+	StageTimeout time.Duration
+	// StageTimeouts overrides StageTimeout for individual stages by log
+	// step name ("blocked", "learned", "monitor").
+	StageTimeouts map[string]time.Duration
+	// Retry is the deterministic backoff policy for retryable stages
+	// (the monitoring check's labeler). The zero policy tries once.
+	Retry retry.Policy
+	// ErrorBudget is how many candidate pairs the matching stage may
+	// quarantine (vectorization or prediction failed on them) before the
+	// run aborts. 0 aborts on the first failing pair.
+	ErrorBudget int
+	// Check, when set, runs a production monitoring check as the final
+	// stage and stores its result on the Result.
+	Check *CheckStage
+}
+
+// stageCtx derives the context for one named stage.
+func (o RunOptions) stageCtx(ctx context.Context, stage string) (context.Context, context.CancelFunc) {
+	d := o.StageTimeout
+	if override, ok := o.StageTimeouts[stage]; ok {
+		d = override
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// RunCtx executes the workflow on one (left, right) table pair under the
+// hardened runtime. Unlike Run, the returned Result is non-nil even on
+// failure: it carries the provenance log up to and including the aborted
+// stage, which is the record an operator needs. Pairs quarantined under
+// the error budget are listed in Result.Quarantined and excluded from
+// Learned (and therefore Final).
+func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts RunOptions) (*Result, error) {
+	log := &Log{}
+	res := &Result{Log: log}
+	abort := func(stage string, err error) (*Result, error) {
+		log.AddOutcome(stage, err.Error(), 0, OutcomeAborted)
+		return res, fmt.Errorf("workflow %s: %s: %w", w.Name, stage, err)
+	}
+
+	// Step 1: sure matches straight from the tables.
+	if err := ctx.Err(); err != nil {
+		return abort("sure_matches", err)
+	}
+	if w.SureRules != nil && w.SureRules.Len() > 0 {
+		res.Sure = w.SureRules.SureMatches(left, right)
+	} else {
+		res.Sure = block.NewCandidateSet(left, right)
+	}
+	log.Add("sure_matches", "positive rules over input tables", res.Sure.Len())
+
+	// Step 2: blocking, under its stage deadline.
+	bctx, cancel := opts.stageCtx(ctx, "blocked")
+	blocked, err := block.UnionBlockCtx(bctx, left, right, w.Blockers...)
+	cancel()
+	if err != nil {
+		return abort("blocked", err)
+	}
+	log.Add("blocked", "union of blockers", blocked.Len())
+
+	// Step 3: remove sure matches from the candidate set.
+	res.Candidates, err = blocked.Minus(res.Sure)
+	if err != nil {
+		return abort("candidates", err)
+	}
+	log.Add("candidates", "blocked minus sure matches", res.Candidates.Len())
+
+	// Step 4: learned predictions, with the error budget. A pair whose
+	// vectorization or prediction fails (panic or error) is quarantined
+	// and the stage re-run without it, until the budget is spent.
+	res.Learned = block.NewCandidateSet(left, right)
+	if w.Matcher != nil && res.Candidates.Len() > 0 {
+		if w.Features == nil || w.Imputer == nil {
+			return abort("learned", fmt.Errorf("matcher set but features/imputer missing"))
+		}
+		pairs := res.Candidates.Pairs()
+		budget := opts.ErrorBudget
+		var preds []int
+		for {
+			preds, err = w.predictPairs(ctx, opts, left, right, pairs)
+			if err == nil {
+				break
+			}
+			idx, indexed := parallel.FailingIndex(err)
+			if !indexed || budget <= 0 || ctx.Err() != nil {
+				return abort("learned", err)
+			}
+			budget--
+			bad := pairs[idx]
+			res.Quarantined = append(res.Quarantined, bad)
+			log.AddOutcome("learned",
+				fmt.Sprintf("quarantined pair (%d,%d) after failure: %v", bad.A, bad.B, unwrapIndexed(err)),
+				len(pairs)-1, OutcomeDegraded)
+			trimmed := make([]block.Pair, 0, len(pairs)-1)
+			trimmed = append(trimmed, pairs[:idx]...)
+			trimmed = append(trimmed, pairs[idx+1:]...)
+			pairs = trimmed
+		}
+		for i, p := range pairs {
+			if preds[i] == 1 {
+				res.Learned.Add(p)
+			}
+		}
+	}
+	if len(res.Quarantined) > 0 {
+		log.AddOutcome("learned",
+			fmt.Sprintf("matcher predictions on candidates (%d pairs quarantined)", len(res.Quarantined)),
+			res.Learned.Len(), OutcomeDegraded)
+	} else {
+		log.Add("learned", "matcher predictions on candidates", res.Learned.Len())
+	}
+
+	// Step 5: negative rules veto learned matches.
+	kept := res.Learned
+	if w.NegativeRules != nil && w.NegativeRules.Len() > 0 {
+		kept, res.Vetoed = w.NegativeRules.FilterMatches(res.Learned)
+	}
+	log.Add("vetoed", "negative rules flipped", res.Vetoed)
+
+	// Step 6: final = sure ∪ kept.
+	res.Final, err = res.Sure.Union(kept)
+	if err != nil {
+		return abort("final", err)
+	}
+	log.Add("final", "sure matches plus surviving predictions", res.Final.Len())
+
+	// Step 7 (optional): production monitoring check, retried on the
+	// run's policy when the labeler fails transiently.
+	if opts.Check != nil {
+		if opts.Check.Monitor == nil {
+			return abort("monitor", fmt.Errorf("check stage needs a monitor"))
+		}
+		mctx, cancel := opts.stageCtx(ctx, "monitor")
+		cr, attempts, err := opts.Check.Monitor.CheckCtx(mctx, opts.Retry, opts.Check.Batch, res.Final, opts.Check.Label)
+		cancel()
+		if err != nil {
+			return abort("monitor", err)
+		}
+		res.Check = &cr
+		detail := fmt.Sprintf("precision [%.2f,%.2f] alarm=%v", cr.Precision.Lo, cr.Precision.Hi, cr.Alarm)
+		if attempts > 1 {
+			log.AddOutcome("monitor", fmt.Sprintf("%s after %d attempts", detail, attempts), cr.Labeled, OutcomeRetried)
+		} else {
+			log.Add("monitor", detail, cr.Labeled)
+		}
+	}
+	return res, nil
+}
+
+// predictPairs runs the vectorize → impute → predict chain for one set
+// of candidate pairs under the "learned" stage deadline.
+func (w *Workflow) predictPairs(ctx context.Context, opts RunOptions, left, right *table.Table, pairs []block.Pair) ([]int, error) {
+	sctx, cancel := opts.stageCtx(ctx, "learned")
+	defer cancel()
+	x, err := w.Features.VectorizeCtx(sctx, left, right, pairs)
+	if err != nil {
+		return nil, err
+	}
+	x, err = w.Imputer.Transform(x)
+	if err != nil {
+		return nil, err
+	}
+	return ml.PredictAllCtx(sctx, w.Matcher, x)
+}
+
+// unwrapIndexed strips the parallel index wrapper for log detail text,
+// keeping the underlying cause.
+func unwrapIndexed(err error) error {
+	var target error = err
+	for {
+		switch e := target.(type) {
+		case *parallel.IndexError:
+			return e.Err
+		case *parallel.PanicError:
+			return fmt.Errorf("panic: %v", e.Value)
+		}
+		u, ok := target.(interface{ Unwrap() error })
+		if !ok {
+			return err
+		}
+		target = u.Unwrap()
+	}
+}

@@ -1,0 +1,222 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"emgo/internal/block"
+	"emgo/internal/fault"
+	"emgo/internal/label"
+	"emgo/internal/retry"
+	"emgo/internal/rules"
+	"emgo/internal/table"
+	"emgo/internal/tokenize"
+)
+
+// hardenedFixture assembles the full test workflow (rules + blocking +
+// matcher + veto rules) reused from workflow_test.go's fixtures.
+func hardenedFixture(t *testing.T) (*Workflow, *tableTablePair) {
+	t.Helper()
+	l, r := fixture(t)
+	m1, err := rules.NewEqual("M1", l, "Num", nil, r, "Num", nil, rules.Match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := rules.NewComparableMismatch("neg", l, "Num", nil, r, "Num", nil, rules.Set{"XXX#####"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, im, matcher := trained(t, l, r)
+	w := &Workflow{
+		Name:      "hardened",
+		SureRules: rules.NewEngine(m1),
+		Blockers: []block.Blocker{
+			block.Overlap{LeftCol: "Title", RightCol: "Title", Tokenizer: tokenize.Word{}, Threshold: 3, Normalize: true},
+		},
+		Features: fs, Imputer: im, Matcher: matcher,
+		NegativeRules: rules.NewEngine(neg),
+	}
+	return w, &tableTablePair{l: l, r: r}
+}
+
+type tableTablePair struct{ l, r *table.Table }
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	w, tp := hardenedFixture(t)
+	plain, err := w.Run(tp.l, tp.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Final.Len() != plain.Final.Len() || hard.Vetoed != plain.Vetoed {
+		t.Fatalf("hardened run diverges: final %d vs %d, vetoed %d vs %d",
+			hard.Final.Len(), plain.Final.Len(), hard.Vetoed, plain.Vetoed)
+	}
+	for _, p := range plain.Final.Pairs() {
+		if !hard.Final.Contains(p) {
+			t.Fatalf("hardened final missing %v", p)
+		}
+	}
+	if len(hard.Quarantined) != 0 {
+		t.Fatalf("quarantined without faults: %v", hard.Quarantined)
+	}
+}
+
+func TestRunCtxTransientLabelerFaultRetried(t *testing.T) {
+	defer fault.Reset()
+	w, tp := hardenedFixture(t)
+	mon := &Monitor{SampleSize: 2, MinPrecision: 0.5, Rng: rand.New(rand.NewSource(7))}
+	// The labeler's first call fails (flaky human-in-the-loop backend);
+	// the retry policy must recover and the log must say so.
+	fault.Enable("label.judge", fault.Plan{FailFirst: 1})
+	res, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{
+		Retry: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Check: &CheckStage{
+			Monitor: mon,
+			Batch:   "batch-1",
+			Label: func(p block.Pair) (label.Label, error) {
+				if ferr := fault.Inject("label.judge"); ferr != nil {
+					return 0, ferr
+				}
+				return label.Yes, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatalf("run with transient labeler fault should succeed after retry: %v", err)
+	}
+	if res.Check == nil || res.Check.Batch != "batch-1" {
+		t.Fatalf("check result missing: %+v", res.Check)
+	}
+	var entry *Entry
+	for _, e := range res.Log.Entries() {
+		if e.Step == "monitor" {
+			entry = &e
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatalf("no monitor entry:\n%s", res.Log)
+	}
+	if entry.Outcome != OutcomeRetried || !strings.Contains(entry.Detail, "2 attempts") {
+		t.Fatalf("retry not recorded: %+v", entry)
+	}
+	if len(mon.History()) != 1 {
+		t.Fatalf("monitor history = %d", len(mon.History()))
+	}
+}
+
+func TestRunCtxErrorBudgetQuarantinesFailingPair(t *testing.T) {
+	defer fault.Reset()
+	w, tp := hardenedFixture(t)
+	// One vectorization call panics; with budget the run degrades
+	// instead of dying.
+	fault.Enable("feature.vectorize", fault.Plan{Mode: fault.ModePanic, FailFirst: 1})
+	res, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{ErrorBudget: 2})
+	if err != nil {
+		t.Fatalf("budgeted run should survive a poison pair: %v", err)
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("quarantined = %v", res.Quarantined)
+	}
+	logStr := res.Log.String()
+	if !strings.Contains(logStr, "[degraded]") || !strings.Contains(logStr, "quarantined pair") {
+		t.Fatalf("degraded outcome not logged:\n%s", logStr)
+	}
+	// The quarantined pair must not appear among learned matches.
+	for _, p := range res.Quarantined {
+		if res.Learned.Contains(p) {
+			t.Fatalf("quarantined pair %v predicted anyway", p)
+		}
+	}
+}
+
+func TestRunCtxZeroBudgetAborts(t *testing.T) {
+	defer fault.Reset()
+	w, tp := hardenedFixture(t)
+	fault.Enable("feature.vectorize", fault.Plan{Mode: fault.ModePanic, FailFirst: 1})
+	res, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{})
+	if err == nil {
+		t.Fatal("zero budget must abort on a failing pair")
+	}
+	if res == nil || res.Log == nil {
+		t.Fatal("failed run must still return its provenance log")
+	}
+	if !strings.Contains(res.Log.String(), "[aborted]") {
+		t.Fatalf("abort not logged:\n%s", res.Log)
+	}
+}
+
+func TestRunCtxPredictionFaultQuarantined(t *testing.T) {
+	defer fault.Reset()
+	w, tp := hardenedFixture(t)
+	fault.Enable("ml.predict", fault.Plan{Mode: fault.ModePanic, FailFirst: 1})
+	res, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{ErrorBudget: 1})
+	if err != nil {
+		t.Fatalf("prediction fault should be quarantined: %v", err)
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("quarantined = %v", res.Quarantined)
+	}
+}
+
+func TestRunCtxStageDeadlineAborts(t *testing.T) {
+	w, tp := hardenedFixture(t)
+	res, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{
+		StageTimeouts: map[string]time.Duration{"blocked": time.Nanosecond},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err: %v", err)
+	}
+	if !strings.Contains(res.Log.String(), "[aborted]") {
+		t.Fatalf("abort not logged:\n%s", res.Log)
+	}
+}
+
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	w, tp := hardenedFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := w.RunCtx(ctx, tp.l, tp.r, RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestRunCtxBlockJoinFaultAborts(t *testing.T) {
+	defer fault.Reset()
+	w, tp := hardenedFixture(t)
+	fault.Enable("block.join", fault.Plan{FailFirst: 1})
+	res, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "blocked") {
+		t.Fatalf("err: %v", err)
+	}
+	if !strings.Contains(res.Log.String(), "[aborted]") {
+		t.Fatalf("abort not logged:\n%s", res.Log)
+	}
+}
+
+func TestMonitorNilGuards(t *testing.T) {
+	mon := &Monitor{}
+	_, err := mon.Check("b", nil, func(block.Pair) label.Label { return label.Yes })
+	if err == nil || !strings.Contains(err.Error(), "Rng") {
+		t.Fatalf("nil Rng: %v", err)
+	}
+	mon.Rng = rand.New(rand.NewSource(1))
+	// nil candidate set must be a descriptive error, not a panic.
+	_, err = mon.Check("b", nil, func(block.Pair) label.Label { return label.Yes })
+	if err == nil || !strings.Contains(err.Error(), "no candidate set") {
+		t.Fatalf("nil predicted: %v", err)
+	}
+	_, err = mon.Check("b", nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "labeler") {
+		t.Fatalf("nil labeler: %v", err)
+	}
+}

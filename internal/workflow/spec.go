@@ -1,12 +1,15 @@
 package workflow
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
 	"emgo/internal/block"
+	"emgo/internal/fault"
 	"emgo/internal/feature"
 	"emgo/internal/ml"
+	"emgo/internal/retry"
 	"emgo/internal/rules"
 	"emgo/internal/table"
 	"emgo/internal/tokenize"
@@ -89,14 +92,36 @@ func ParseSpec(data []byte) (*Spec, error) {
 	return &s, nil
 }
 
-// lookupTransform resolves a transform name.
-func lookupTransform(name string, t Transforms) (func(string) string, error) {
+// transformResolver resolves transform names under the hardened runtime:
+// each lookup passes the "workflow.spec.transform" fault-injection site
+// and transient failures are retried on the resolver's policy — the shape
+// of a deployment whose transform registry is a remote service. An
+// unknown name is permanent and never retried.
+type transformResolver struct {
+	ctx        context.Context
+	transforms Transforms
+	policy     retry.Policy
+}
+
+// lookup resolves a transform name ("" is the identity transform, nil).
+func (r transformResolver) lookup(name string) (func(string) string, error) {
 	if name == "" {
 		return nil, nil
 	}
-	fn, ok := t[name]
-	if !ok {
-		return nil, fmt.Errorf("workflow: unknown transform %q", name)
+	var fn func(string) string
+	err := retry.Do(r.ctx, r.policy, func() error {
+		if err := fault.Inject("workflow.spec.transform"); err != nil {
+			return err
+		}
+		var ok bool
+		fn, ok = r.transforms[name]
+		if !ok {
+			return retry.Permanent(fmt.Errorf("workflow: unknown transform %q", name))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fn, nil
 }
@@ -118,14 +143,14 @@ func lookupTokenizer(name string) (tokenize.Tokenizer, error) {
 }
 
 // buildBlocker constructs the blocker a spec describes.
-func buildBlocker(bs BlockerSpec, transforms Transforms) (block.Blocker, error) {
+func buildBlocker(bs BlockerSpec, resolver transformResolver) (block.Blocker, error) {
 	switch bs.Type {
 	case "attr_equiv":
-		lt, err := lookupTransform(bs.LeftTransform, transforms)
+		lt, err := resolver.lookup(bs.LeftTransform)
 		if err != nil {
 			return nil, err
 		}
-		rt, err := lookupTransform(bs.RightTransform, transforms)
+		rt, err := resolver.lookup(bs.RightTransform)
 		if err != nil {
 			return nil, err
 		}
@@ -157,12 +182,12 @@ func buildBlocker(bs BlockerSpec, transforms Transforms) (block.Blocker, error) 
 }
 
 // buildRule constructs the rule a spec describes, bound to the tables.
-func buildRule(rs RuleSpec, left, right *table.Table, transforms Transforms) (rules.Rule, error) {
-	lt, err := lookupTransform(rs.LeftTransform, transforms)
+func buildRule(rs RuleSpec, left, right *table.Table, resolver transformResolver) (rules.Rule, error) {
+	lt, err := resolver.lookup(rs.LeftTransform)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := lookupTransform(rs.RightTransform, transforms)
+	rt, err := resolver.lookup(rs.RightTransform)
 	if err != nil {
 		return nil, err
 	}
@@ -193,27 +218,35 @@ func buildRule(rs RuleSpec, left, right *table.Table, transforms Transforms) (ru
 // the given table pair. transforms must supply every transform name the
 // spec references.
 func (s *Spec) Build(left, right *table.Table, transforms Transforms) (*Workflow, error) {
+	return s.BuildCtx(context.Background(), left, right, transforms, retry.Policy{})
+}
+
+// BuildCtx is Build under the hardened runtime: transform registry
+// lookups honour ctx and are retried on the given policy when they fail
+// transiently (unknown names stay permanent errors).
+func (s *Spec) BuildCtx(ctx context.Context, left, right *table.Table, transforms Transforms, policy retry.Policy) (*Workflow, error) {
+	resolver := transformResolver{ctx: ctx, transforms: transforms, policy: policy}
 	w := &Workflow{
 		Name:          s.Name,
 		SureRules:     rules.NewEngine(),
 		NegativeRules: rules.NewEngine(),
 	}
 	for _, bs := range s.Blockers {
-		b, err := buildBlocker(bs, transforms)
+		b, err := buildBlocker(bs, resolver)
 		if err != nil {
 			return nil, err
 		}
 		w.Blockers = append(w.Blockers, b)
 	}
 	for _, rs := range s.SureRules {
-		r, err := buildRule(rs, left, right, transforms)
+		r, err := buildRule(rs, left, right, resolver)
 		if err != nil {
 			return nil, err
 		}
 		w.SureRules.Add(r)
 	}
 	for _, rs := range s.NegativeRules {
-		r, err := buildRule(rs, left, right, transforms)
+		r, err := buildRule(rs, left, right, resolver)
 		if err != nil {
 			return nil, err
 		}

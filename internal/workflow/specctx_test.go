@@ -1,0 +1,57 @@
+package workflow
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"emgo/internal/fault"
+	"emgo/internal/retry"
+)
+
+func transformSpec() *Spec {
+	return &Spec{
+		Name: "t",
+		Blockers: []BlockerSpec{
+			{Type: "attr_equiv", LeftCol: "Num", RightCol: "Num", LeftTransform: "upper"},
+		},
+	}
+}
+
+func TestBuildCtxRetriesTransientTransformLookup(t *testing.T) {
+	defer fault.Reset()
+	l, r := fixture(t)
+	transforms := Transforms{"upper": strings.ToUpper}
+	// The registry's first two lookups fail transiently (remote registry
+	// shape); the retry policy must recover.
+	fault.Enable("workflow.spec.transform", fault.Plan{FailFirst: 2})
+	w, err := transformSpec().BuildCtx(context.Background(), l, r, transforms,
+		retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("transient lookup fault should be retried: %v", err)
+	}
+	if len(w.Blockers) != 1 {
+		t.Fatalf("blockers = %d", len(w.Blockers))
+	}
+	// Without retries the same fault is fatal.
+	fault.Enable("workflow.spec.transform", fault.Plan{FailFirst: 2})
+	if _, err := transformSpec().BuildCtx(context.Background(), l, r, transforms, retry.Policy{}); err == nil {
+		t.Fatal("single-attempt build should surface the fault")
+	}
+}
+
+func TestBuildCtxUnknownTransformIsPermanent(t *testing.T) {
+	defer fault.Reset()
+	l, r := fixture(t)
+	// Arm the site just to count lookups; the plan never fires.
+	fault.Enable("workflow.spec.transform", fault.Plan{OnCall: 1 << 30})
+	_, err := transformSpec().BuildCtx(context.Background(), l, r, Transforms{},
+		retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "unknown transform") {
+		t.Fatalf("err: %v", err)
+	}
+	if got := fault.Count("workflow.spec.transform"); got != 1 {
+		t.Fatalf("unknown transform was retried: %d lookups", got)
+	}
+}

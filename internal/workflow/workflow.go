@@ -19,11 +19,30 @@ import (
 	"emgo/internal/table"
 )
 
+// Stage outcomes recorded by the hardened runtime (RunCtx). An empty
+// Outcome on an Entry means the same as OutcomeOK.
+const (
+	// OutcomeOK marks a stage that completed normally.
+	OutcomeOK = "ok"
+	// OutcomeRetried marks a stage that succeeded only after one or more
+	// retries of a transient fault.
+	OutcomeRetried = "retried"
+	// OutcomeAborted marks the stage a failed run stopped at.
+	OutcomeAborted = "aborted"
+	// OutcomeDegraded marks a stage that completed by quarantining
+	// failing pairs under the error budget.
+	OutcomeDegraded = "degraded"
+)
+
 // Entry is one provenance record.
 type Entry struct {
 	Step   string
 	Detail string
 	Count  int
+	// Outcome is how the stage ended ("" or OutcomeOK for normal
+	// completion; see the Outcome* constants). Only RunCtx records
+	// non-ok outcomes.
+	Outcome string
 }
 
 // Log collects the steps a workflow executed, in order — the record the
@@ -32,9 +51,15 @@ type Log struct {
 	entries []Entry
 }
 
-// Add appends an entry.
+// Add appends an entry with the default ok outcome.
 func (l *Log) Add(step, detail string, count int) {
 	l.entries = append(l.entries, Entry{Step: step, Detail: detail, Count: count})
+}
+
+// AddOutcome appends an entry with an explicit stage outcome — the
+// hardened runtime's record of retries, quarantines, and aborts.
+func (l *Log) AddOutcome(step, detail string, count int, outcome string) {
+	l.entries = append(l.entries, Entry{Step: step, Detail: detail, Count: count, Outcome: outcome})
 }
 
 // Entries returns a copy of the log.
@@ -44,10 +69,15 @@ func (l *Log) Entries() []Entry {
 	return out
 }
 
-// String renders the log one step per line.
+// String renders the log one step per line; non-ok outcomes are flagged
+// in brackets.
 func (l *Log) String() string {
 	var b strings.Builder
 	for _, e := range l.entries {
+		if e.Outcome != "" && e.Outcome != OutcomeOK {
+			fmt.Fprintf(&b, "%-24s %6d  [%s] %s\n", e.Step, e.Count, e.Outcome, e.Detail)
+			continue
+		}
 		fmt.Fprintf(&b, "%-24s %6d  %s\n", e.Step, e.Count, e.Detail)
 	}
 	return b.String()
@@ -90,6 +120,13 @@ type Result struct {
 	// Final is Sure ∪ (Learned minus vetoed) (S1/S2 unioned with sure
 	// matches).
 	Final *block.CandidateSet
+	// Quarantined are candidate pairs the hardened runtime (RunCtx)
+	// dropped under the error budget because vectorization or prediction
+	// failed on them; always empty for plain Run.
+	Quarantined []block.Pair
+	// Check is the production monitoring check RunCtx ran when its
+	// options asked for one (nil otherwise).
+	Check *CheckResult
 	// Log records each step.
 	Log *Log
 }
