@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race tier2 ci
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline
 
 all: tier1
 
@@ -16,12 +16,31 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (listing the offenders) when any tracked Go file is not
+# gofmt-clean; it never rewrites files, so it is safe in CI.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
-# Tier 2 — the hardened-runtime gate: static analysis plus the full test
-# suite under the race detector (the parallel fan-out, cancellation, and
-# fault-injection paths are only trustworthy race-clean).
-tier2: vet race
+# Tier 2 — the hardened-runtime gate: formatting and static analysis plus
+# the full test suite under the race detector (the parallel fan-out,
+# cancellation, fault-injection, and observability paths are only
+# trustworthy race-clean).
+tier2: fmt-check vet race
 
 ci: tier1 tier2
+
+# bench runs every benchmark (no unit tests) with allocation counts.
+# BENCHTIME shortens or lengthens each measurement (e.g. BENCHTIME=10x
+# for a quick smoke run).
+BENCHTIME ?= 1s
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./...
+
+# bench-baseline snapshots the current benchmark numbers into
+# BENCH_baseline.json so future perf work has something to diff against.
+bench-baseline:
+	BENCHTIME=$(BENCHTIME) ./scripts/bench_snapshot.sh BENCH_baseline.json

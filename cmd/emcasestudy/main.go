@@ -6,25 +6,58 @@
 //
 // Usage:
 //
-//	emcasestudy [-scale 1.0] [-seed 7] [-out matches.csv]
+//	emcasestudy [-scale 1.0] [-seed 7] [-out matches.csv] \
+//	            [-report run.json] [-trace trace.json] [-debug-addr :6060]
+//
+// Observability: -report writes a machine-readable run report (section
+// spans, hot-path counters, fault/retry counts); -trace writes just the
+// span tree; -debug-addr serves live expvar metrics and pprof during the
+// run — useful because a full-scale case study runs long enough to
+// profile. The human-readable report stays on stdout; diagnostics and
+// progress go to stderr.
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
+	"emgo/internal/obs"
 	"emgo/internal/umetrics"
+	"emgo/internal/workflow"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "data scale relative to the paper (1.0 = Figure 2 sizes)")
-	seed := flag.Int64("seed", 7, "seed for every random choice in the run")
-	out := flag.String("out", "", "optional CSV file for the final match ID pairs")
-	labelsOut := flag.String("labels", "", "optional CSV file for the released labeled pairs")
-	specOut := flag.String("spec", "", "optional JSON file for the packaged deployment workflow")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "emcasestudy:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind a testable seam.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("emcasestudy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "data scale relative to the paper (1.0 = Figure 2 sizes)")
+	seed := fs.Int64("seed", 7, "seed for every random choice in the run")
+	out := fs.String("out", "", "optional CSV file for the final match ID pairs")
+	labelsOut := fs.String("labels", "", "optional CSV file for the released labeled pairs")
+	specOut := fs.String("spec", "", "optional JSON file for the packaged deployment workflow")
+	reportPath := fs.String("report", "", "write the observability run report JSON to this path")
+	tracePath := fs.String("trace", "", "write the span trace tree JSON to this path")
+	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) at this address during the run, e.g. :6060")
+	if err := fs.Parse(args); err != nil {
+		return flag.ErrHelp // the FlagSet already printed the diagnostic
+	}
 
 	cfg := umetrics.DefaultConfig()
 	if *scale != 1.0 {
@@ -32,26 +65,79 @@ func main() {
 	}
 	cfg.Seed = *seed
 
-	rep, err := umetrics.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "emcasestudy:", err)
-		os.Exit(1)
+	if *reportPath != "" || *tracePath != "" || *debugAddr != "" {
+		obs.Enable()
 	}
-	rep.Write(os.Stdout)
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "emcasestudy: debug server on http://%s/debug/\n", dbg.Addr())
+	}
+	ctx := context.Background()
+	started := time.Now()
+	var root *obs.Span
+	if *reportPath != "" || *tracePath != "" {
+		ctx, root = obs.NewTrace(ctx, "emcasestudy")
+	}
+
+	rep, runErr := umetrics.RunCtxStudy(ctx, cfg)
+	root.End()
+	if *tracePath != "" {
+		data, err := json.MarshalIndent(root.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*tracePath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "emcasestudy: writing trace:", err)
+		} else {
+			fmt.Fprintf(stderr, "emcasestudy: wrote trace to %s\n", *tracePath)
+		}
+	}
+	if *reportPath != "" {
+		outcome := workflow.OutcomeOK
+		obsRep := &obs.Report{
+			Name:      "emcasestudy",
+			StartedAt: started, FinishedAt: time.Now(),
+			Trace: root.Snapshot(),
+		}
+		if runErr != nil {
+			outcome = workflow.OutcomeAborted
+			obsRep.Error = runErr.Error()
+		}
+		obsRep.Outcome = outcome
+		if obs.Enabled() {
+			snap := obs.Default().Snapshot()
+			obsRep.Metrics = &snap
+		}
+		data, err := obsRep.Marshal()
+		if err == nil {
+			err = os.WriteFile(*reportPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "emcasestudy: writing run report:", err)
+		} else {
+			fmt.Fprintf(stderr, "emcasestudy: wrote run report to %s\n", *reportPath)
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	rep.Write(stdout)
 
 	if *out != "" {
 		if err := writeMatches(*out, rep); err != nil {
-			fmt.Fprintln(os.Stderr, "emcasestudy:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("\nwrote %d matches to %s\n", len(rep.Matches), *out)
+		fmt.Fprintf(stderr, "wrote %d matches to %s\n", len(rep.Matches), *out)
 	}
 	if *labelsOut != "" {
 		if err := writeLabels(*labelsOut, rep); err != nil {
-			fmt.Fprintln(os.Stderr, "emcasestudy:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("wrote %d labeled pairs to %s\n", len(rep.LabeledPairs), *labelsOut)
+		fmt.Fprintf(stderr, "wrote %d labeled pairs to %s\n", len(rep.LabeledPairs), *labelsOut)
 	}
 	if *specOut != "" {
 		data, err := rep.Deployment.Marshal()
@@ -59,11 +145,11 @@ func main() {
 			err = os.WriteFile(*specOut, data, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "emcasestudy:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("wrote deployment workflow spec to %s\n", *specOut)
+		fmt.Fprintf(stderr, "wrote deployment workflow spec to %s\n", *specOut)
 	}
+	return nil
 }
 
 // writeLabels releases the labeled tuple pairs — the dataset contribution

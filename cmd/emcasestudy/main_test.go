@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emgo/internal/obs"
+	"emgo/internal/workflow"
+)
+
+// TestRunSmallScaleWithObservability runs the whole case study at a
+// small scale with -report and -trace, checking the stream discipline
+// (report on stdout? no — files; human report on stdout; progress on
+// stderr) and that the written artifacts parse.
+func TestRunSmallScaleWithObservability(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "run.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-scale", "0.15", "-seed", "7",
+		"-report", reportPath, "-trace", tracePath}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	// The human-readable report is the stdout data document.
+	if !strings.Contains(stdout.String(), "Section 4 / Figure 2") {
+		t.Fatalf("stdout does not look like the case-study report:\n%.400s", stdout.String())
+	}
+	// Diagnostics live on stderr.
+	if !strings.Contains(stderr.String(), "wrote run report") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ParseReport(data)
+	if err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Name != "emcasestudy" || rep.Outcome != workflow.OutcomeOK {
+		t.Fatalf("report header: name=%q outcome=%q error=%q", rep.Name, rep.Outcome, rep.Error)
+	}
+	if rep.Trace == nil {
+		t.Fatal("report has no trace")
+	}
+	sections := map[string]bool{}
+	for _, c := range rep.Trace.Children {
+		sections[c.Name] = true
+	}
+	for _, want := range []string{
+		"casestudy.generate", "casestudy.blocking", "casestudy.matching",
+	} {
+		if !sections[want] {
+			t.Fatalf("trace missing section span %s (have %v)", want, sections)
+		}
+	}
+	// The registry was armed, so the learning hot path must have ticked.
+	if rep.Metrics == nil || rep.Metrics.Counters["ml.predictions"] < 1 {
+		t.Fatalf("metrics missing or empty: %+v", rep.Metrics)
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traceData), `"emcasestudy"`) {
+		t.Fatalf("trace file: %.200s", traceData)
+	}
+}

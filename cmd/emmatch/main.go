@@ -10,22 +10,35 @@
 //
 //	emmatch -spec workflow.json -left UMETRICSProjected.csv -right USDAProjected.csv \
 //	        [-left-id RecordId] [-right-id RecordId] [-out matches.csv] [-transforms umetrics] \
-//	        [-timeout 0] [-stage-timeout 0] [-error-budget 0]
+//	        [-timeout 0] [-stage-timeout 0] [-error-budget 0] \
+//	        [-report run.json] [-trace trace.json] [-debug-addr :6060]
 //
 // The -transforms flag selects the registered transform set the spec's
 // rules reference ("umetrics" or "none").
+//
+// Observability: -report writes the machine-readable run report
+// (per-stage spans with durations and outcomes, hot-path counters,
+// provenance log, quarantine decisions); -trace writes just the span
+// tree; -debug-addr serves live expvar metrics (/debug/vars) and pprof
+// (/debug/pprof/) for the duration of the run. Stream discipline: only
+// data (the match CSV, or a report/trace directed at "-") goes to
+// stdout; every diagnostic and progress line goes to stderr, so reports
+// can be piped.
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"emgo/internal/obs"
 	"emgo/internal/table"
 	"emgo/internal/umetrics"
 	"emgo/internal/workflow"
@@ -65,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	timeout := fs.Duration("timeout", 0, "deadline for the whole run (0 = none)")
 	stageTimeout := fs.Duration("stage-timeout", 0, "deadline per workflow stage (0 = none)")
 	errorBudget := fs.Int("error-budget", 0, "candidate pairs that may be quarantined before aborting")
+	reportPath := fs.String("report", "", "write the run report JSON to this path ('-' = stdout)")
+	tracePath := fs.String("trace", "", "write the span trace tree JSON to this path ('-' = stdout)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) at this address during the run, e.g. :6060")
 	if err := fs.Parse(args); err != nil {
 		return flag.ErrHelp // the FlagSet already printed the diagnostic
 	}
@@ -72,6 +88,33 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *specPath == "" || *leftPath == "" || *rightPath == "" {
 		fmt.Fprintln(stderr, "usage: emmatch -spec workflow.json -left a.csv -right b.csv")
 		return flag.ErrHelp
+	}
+	// Stdout carries exactly one data document. The match CSV defaults
+	// there, so a report or trace may take it over only when -out
+	// redirects the CSV to a file, and they cannot both claim it.
+	if *reportPath == "-" && *out == "" {
+		return fmt.Errorf("-report - needs -out so the match CSV does not share stdout")
+	}
+	if *tracePath == "-" && *out == "" {
+		return fmt.Errorf("-trace - needs -out so the match CSV does not share stdout")
+	}
+	if *reportPath == "-" && *tracePath == "-" {
+		return fmt.Errorf("-report and -trace cannot both write to stdout")
+	}
+
+	// Observability: any of the three flags arms the metrics registry so
+	// hot-path counters (pairs blocked, vectors built, predictions,
+	// retries, fault trips) tick for this run.
+	if *reportPath != "" || *tracePath != "" || *debugAddr != "" {
+		obs.Enable()
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "emmatch: debug server on http://%s/debug/\n", dbg.Addr())
 	}
 
 	data, err := os.ReadFile(*specPath)
@@ -114,17 +157,94 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	started := time.Now()
+	var root *obs.Span
+	if *reportPath != "" || *tracePath != "" {
+		// Root the process-wide trace so the workflow's stage spans nest
+		// under the binary's own span.
+		ctx, root = obs.NewTrace(ctx, "emmatch")
+	}
+
+	// writeDoc routes a data document to a file, or to stdout for "-".
+	writeDoc := func(path string, data []byte) error {
+		data = append(data, '\n')
+		if path == "-" {
+			_, err := stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(path, data, 0o644)
+	}
+	// writeArtifacts emits the trace and run report, on success and on
+	// failure alike — an aborted run is exactly when the operator needs
+	// them.
+	writeArtifacts := func(res *workflow.Result, runErr error) error {
+		root.End()
+		if *tracePath != "" {
+			data, err := json.MarshalIndent(root.Snapshot(), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := writeDoc(*tracePath, data); err != nil {
+				return err
+			}
+			if *tracePath != "-" {
+				fmt.Fprintf(stderr, "emmatch: wrote trace to %s\n", *tracePath)
+			}
+		}
+		if *reportPath != "" {
+			var rep *obs.Report
+			if res != nil {
+				rep = res.Report
+			}
+			if rep == nil {
+				// The run died before RunCtx could build a report (spec
+				// or table errors): synthesize the abort record.
+				rep = &obs.Report{
+					Name: "emmatch", StartedAt: started, FinishedAt: time.Now(),
+					Outcome: workflow.OutcomeAborted, Trace: root.Snapshot(),
+				}
+				if runErr != nil {
+					rep.Error = runErr.Error()
+				}
+				if obs.Enabled() {
+					snap := obs.Default().Snapshot()
+					rep.Metrics = &snap
+				}
+			}
+			data, err := rep.Marshal()
+			if err != nil {
+				return err
+			}
+			if err := writeDoc(*reportPath, data); err != nil {
+				return err
+			}
+			if *reportPath != "-" {
+				fmt.Fprintf(stderr, "emmatch: wrote run report to %s\n", *reportPath)
+			}
+		}
+		return nil
+	}
+
 	opts := workflow.RunOptions{
 		StageTimeout: *stageTimeout,
 		ErrorBudget:  *errorBudget,
 	}
 	w, err := spec.BuildCtx(ctx, left, right, transforms, opts.Retry)
 	if err != nil {
+		if aerr := writeArtifacts(nil, err); aerr != nil {
+			fmt.Fprintln(stderr, "emmatch: writing observability artifacts:", aerr)
+		}
 		return err
 	}
 	res, err := w.RunCtx(ctx, left, right, opts)
 	if res != nil && res.Log != nil {
 		fmt.Fprintf(stderr, "%s", res.Log)
+	}
+	if aerr := writeArtifacts(res, err); aerr != nil {
+		if err == nil {
+			return aerr
+		}
+		fmt.Fprintln(stderr, "emmatch: writing observability artifacts:", aerr)
 	}
 	if err != nil {
 		return err

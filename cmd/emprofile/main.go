@@ -5,6 +5,10 @@
 // Usage:
 //
 //	emprofile [-top] [-patterns] file.csv [file2.csv ...]
+//
+// Stream discipline: stdout carries only the profile report (the data),
+// so it can be piped or redirected; per-file progress and every
+// diagnostic go to stderr.
 package main
 
 import (
@@ -52,8 +56,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	for _, path := range fs.Args() {
 		t, err := table.ReadCSVFile(path, nil)
 		if err != nil {
-			return err
+			return err // ReadCSVFile already names the file
 		}
+		fmt.Fprintf(stderr, "emprofile: %s: %d rows, %d columns\n", path, t.Len(), t.Schema().Len())
 		rep := profile.Profile(t)
 		fmt.Fprint(stdout, rep)
 		if *top {

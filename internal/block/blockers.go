@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"emgo/internal/fault"
+	"emgo/internal/obs"
 	"emgo/internal/table"
 	"emgo/internal/tokenize"
 )
@@ -337,18 +338,30 @@ func UnionBlock(left, right *table.Table, blockers ...Blocker) (*CandidateSet, e
 // site so tests can drive blocking failures deterministically.
 func UnionBlockCtx(ctx context.Context, left, right *table.Table, blockers ...Blocker) (*CandidateSet, error) {
 	out := NewCandidateSet(left, right)
+	pairsBlocked := obs.C("block.pairs_blocked")
 	for _, b := range blockers {
+		jctx, sp := obs.StartSpan(ctx, "block.join")
+		sp.Annotate("blocker", b.Name())
 		if err := fault.Inject("block.join"); err != nil {
+			sp.SetOutcome("aborted")
+			sp.End()
 			return nil, fmt.Errorf("block: %s: %w", b.Name(), err)
 		}
-		c, err := BlockWithContext(ctx, b, left, right)
+		c, err := BlockWithContext(jctx, b, left, right)
 		if err != nil {
+			sp.SetOutcome("aborted")
+			sp.End()
 			return nil, fmt.Errorf("block: %s: %w", b.Name(), err)
 		}
+		sp.SetItems(c.Len())
+		sp.SetOutcome("ok")
+		sp.End()
+		pairsBlocked.Add(int64(c.Len()))
 		out, err = out.Union(c)
 		if err != nil {
 			return nil, err
 		}
 	}
+	obs.G("block.candidates").Set(int64(out.Len()))
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"emgo/internal/obs"
 	"emgo/internal/table"
 )
 
@@ -80,6 +81,7 @@ func (c *CandidateSet) Union(o *CandidateSet) (*CandidateSet, error) {
 	if err := c.sameTables(o); err != nil {
 		return nil, err
 	}
+	obs.C("block.candset.ops").Inc()
 	out := NewCandidateSet(c.Left, c.Right)
 	for _, p := range c.pairs {
 		out.Add(p)
@@ -95,6 +97,7 @@ func (c *CandidateSet) Minus(o *CandidateSet) (*CandidateSet, error) {
 	if err := c.sameTables(o); err != nil {
 		return nil, err
 	}
+	obs.C("block.candset.ops").Inc()
 	out := NewCandidateSet(c.Left, c.Right)
 	for _, p := range c.pairs {
 		if !o.Contains(p) {
@@ -109,6 +112,7 @@ func (c *CandidateSet) Intersect(o *CandidateSet) (*CandidateSet, error) {
 	if err := c.sameTables(o); err != nil {
 		return nil, err
 	}
+	obs.C("block.candset.ops").Inc()
 	out := NewCandidateSet(c.Left, c.Right)
 	for _, p := range c.pairs {
 		if o.Contains(p) {

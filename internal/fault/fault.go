@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"emgo/internal/obs"
 )
 
 // Mode selects what an armed site does when its plan fires.
@@ -175,6 +177,12 @@ func InjectIdx(name string, idx int) error {
 	if !fire {
 		return nil
 	}
+	// A fired trip is an operational event a degraded run must expose:
+	// count it globally and per site (the site vocabulary is small and
+	// fixed, so the label cardinality is bounded). Only firing calls pay
+	// the registry lookup; the unarmed hot path returned above.
+	obs.C("fault.trips").Inc()
+	obs.C("fault.trips." + name).Inc()
 	switch p.Mode {
 	case ModePanic:
 		panic(fmt.Sprintf("fault: injected panic at site %q (idx %d)", name, idx))

@@ -15,6 +15,7 @@ import (
 
 	"emgo/internal/block"
 	"emgo/internal/fault"
+	"emgo/internal/obs"
 	"emgo/internal/parallel"
 	"emgo/internal/simfunc"
 	"emgo/internal/table"
@@ -356,8 +357,12 @@ func (s *Set) VectorizeCtx(ctx context.Context, left, right *table.Table, pairs 
 		}
 		resolved[k] = cols{lj, rj}
 	}
+	vctx, sp := obs.StartSpan(ctx, "feature.vectorize")
+	defer sp.End()
+	sp.SetItems(len(pairs))
+	vectors := obs.C("feature.vectors_built")
 	out := make([][]float64, len(pairs))
-	err := parallel.ForCtx(ctx, len(pairs), func(i int) error {
+	err := parallel.ForCtx(vctx, len(pairs), func(i int) error {
 		if err := fault.InjectIdx("feature.vectorize", i); err != nil {
 			return err
 		}
@@ -367,10 +372,13 @@ func (s *Set) VectorizeCtx(ctx context.Context, left, right *table.Table, pairs 
 			row[k] = f.Compute(left.Row(p.A)[resolved[k].lj], right.Row(p.B)[resolved[k].rj])
 		}
 		out[i] = row
+		vectors.Inc()
 		return nil
 	})
 	if err != nil {
+		sp.SetOutcome("aborted")
 		return nil, fmt.Errorf("feature: vectorize: %w", err)
 	}
+	sp.SetOutcome("ok")
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"emgo/internal/block"
 	"emgo/internal/fault"
+	"emgo/internal/obs"
 	"emgo/internal/retry"
 )
 
@@ -139,25 +140,37 @@ func (t *Tool) LabelAllCtx(ctx context.Context, user string, policy retry.Policy
 		return fmt.Errorf("label: drain needs a judge")
 	}
 	pending := t.Pending()
+	dctx, sp := obs.StartSpan(ctx, "label.drain")
+	defer sp.End()
+	sp.SetItems(len(pending))
+	labeled := obs.C("label.labeled")
+	queueGauge := obs.G("label.pending")
+	queueGauge.Set(int64(len(pending)))
 	for _, p := range pending {
-		if err := ctx.Err(); err != nil {
+		if err := dctx.Err(); err != nil {
+			sp.SetOutcome("aborted")
 			return err
 		}
 		var l Label
-		err := retry.Do(ctx, policy, func() error {
+		err := retry.Do(dctx, policy, func() error {
 			var jerr error
 			l, jerr = judge(p)
 			return jerr
 		})
 		if err != nil {
+			sp.SetOutcome("aborted")
 			return fmt.Errorf("label: judging pair (%d,%d): %w", p.A, p.B, err)
 		}
-		err = retry.Do(ctx, policy, func() error {
+		err = retry.Do(dctx, policy, func() error {
 			return t.Submit(user, p, l)
 		})
 		if err != nil {
+			sp.SetOutcome("aborted")
 			return fmt.Errorf("label: submitting pair (%d,%d): %w", p.A, p.B, err)
 		}
+		labeled.Inc()
+		queueGauge.Set(int64(len(t.pending)))
 	}
+	sp.SetOutcome("ok")
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"emgo/internal/obs"
 	"emgo/internal/parallel"
 )
 
@@ -62,7 +63,9 @@ func CrossValidate(f Factory, ds *Dataset, k int, rng *rand.Rand) (CVResult, err
 		return CVResult{}, err
 	}
 	res := CVResult{Name: f.Name, Folds: k}
+	cvFolds := obs.C("ml.cv.folds")
 	for fi := range folds {
+		cvFolds.Inc()
 		var trainIdx []int
 		for fj := range folds {
 			if fj != fi {

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"emgo/internal/fault"
+	"emgo/internal/obs"
 	"emgo/internal/parallel"
 )
 
@@ -112,9 +113,11 @@ type ProbabilisticMatcher interface {
 
 // PredictAll applies a fitted matcher to every row of x.
 func PredictAll(m Matcher, x [][]float64) []int {
+	predictions := obs.C("ml.predictions")
 	out := make([]int, len(x))
 	for i, row := range x {
 		out[i] = m.Predict(row)
+		predictions.Inc()
 	}
 	return out
 }
@@ -126,16 +129,24 @@ func PredictAll(m Matcher, x [][]float64) []int {
 // quarantine poison pairs. Each row also passes the "ml.predict"
 // fault-injection site.
 func PredictAllCtx(ctx context.Context, m Matcher, x [][]float64) ([]int, error) {
+	pctx, sp := obs.StartSpan(ctx, "ml.predict")
+	defer sp.End()
+	sp.Annotate("matcher", m.Name())
+	sp.SetItems(len(x))
+	predictions := obs.C("ml.predictions")
 	out := make([]int, len(x))
-	err := parallel.ForCtx(ctx, len(x), func(i int) error {
+	err := parallel.ForCtx(pctx, len(x), func(i int) error {
 		if err := fault.InjectIdx("ml.predict", i); err != nil {
 			return err
 		}
 		out[i] = m.Predict(x[i])
+		predictions.Inc()
 		return nil
 	})
 	if err != nil {
+		sp.SetOutcome("aborted")
 		return nil, fmt.Errorf("ml: predict: %w", err)
 	}
+	sp.SetOutcome("ok")
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"emgo/internal/fault"
+	"emgo/internal/obs"
 	"emgo/internal/parallel"
 )
 
@@ -64,8 +65,13 @@ func (f *RandomForest) FitCtx(ctx context.Context, ds *Dataset) error {
 		boots[k] = ds.Subset(idx)
 		seeds[k] = rng.Int63()
 	}
+	fctx, sp := obs.StartSpan(ctx, "ml.fit")
+	defer sp.End()
+	sp.Annotate("matcher", f.Name())
+	sp.SetItems(n)
+	trees := obs.C("ml.trees_fit")
 	f.trees = make([]*DecisionTree, n)
-	err := parallel.ForCtx(ctx, n, func(k int) error {
+	err := parallel.ForCtx(fctx, n, func(k int) error {
 		if err := fault.InjectIdx("ml.forest.fit", k); err != nil {
 			return err
 		}
@@ -78,12 +84,15 @@ func (f *RandomForest) FitCtx(ctx context.Context, ds *Dataset) error {
 			return err
 		}
 		f.trees[k] = tree
+		trees.Inc()
 		return nil
 	})
 	if err != nil {
 		f.trees = nil
+		sp.SetOutcome("aborted")
 		return fmt.Errorf("ml: random forest: %w", err)
 	}
+	sp.SetOutcome("ok")
 	return nil
 }
 

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+var untracedCtx = context.Background()
+
+// BenchmarkCounterDisabled guards the tentpole promise: with the
+// registry disabled the hot-path handle is nil and Add must cost a
+// single nil-check — well under 5ns/op. A regression here means some
+// change put work on the disabled path that every blocking/vectorize/
+// predict loop in the repository would pay for nothing.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter // what obs.C returns while disabled
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkCounterEnabled is the enabled cost: one atomic add.
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled histogram cost: a binary
+// search over fixed bounds plus atomic adds.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench", []float64{1, 5, 10, 50, 100, 500, 1000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1200))
+	}
+}
+
+// BenchmarkStartSpanUntraced is the disabled tracing cost: one context
+// value lookup.
+func BenchmarkStartSpanUntraced(b *testing.B) {
+	ctx := untracedCtx
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench")
+		sp.End()
+	}
+}

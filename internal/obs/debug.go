@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and a process may start several debug servers over
+// its lifetime (tests do).
+var publishOnce sync.Once
+
+// publishMetrics exposes the global registry under the expvar name
+// "em_metrics"; it reads the registry at request time, so a server
+// started before Enable still reports live values afterwards.
+func publishMetrics() {
+	publishOnce.Do(func() {
+		expvar.Publish("em_metrics", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// DebugServer is a live operational endpoint serving expvar metrics at
+// /debug/vars and the standard pprof handlers under /debug/pprof/.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (e.g. ":6060", or "127.0.0.1:0" for
+// an ephemeral port) and serves expvar + pprof in a background
+// goroutine until Close.
+func StartDebugServer(addr string) (*DebugServer, error) {
+	publishMetrics()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	d := &DebugServer{ln: ln, srv: srv}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server. Safe on nil.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerServesExpvarAndPprof(t *testing.T) {
+	Disable()
+	reg := Enable()
+	defer Disable()
+	reg.Counter("block.pairs_blocked").Add(7)
+
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &doc); err != nil {
+		t.Fatalf("expvar output is not JSON: %v\n%s", err, vars)
+	}
+	raw, ok := doc["em_metrics"]
+	if !ok {
+		t.Fatalf("em_metrics missing from expvar:\n%s", vars)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["block.pairs_blocked"] != 7 {
+		t.Fatalf("live counter missing: %+v", snap)
+	}
+
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("pprof index unexpected:\n%s", idx)
+	}
+}
+
+func TestDebugServerCloseNil(t *testing.T) {
+	var d *DebugServer
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

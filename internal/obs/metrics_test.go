@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(5)
+	c.Inc()
+	g.Set(3)
+	g.Add(1)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pairs")
+	c.Add(3)
+	r.Counter("pairs").Inc() // same counter by name
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("pending")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	h := r.Histogram("ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5060.5 {
+		t.Fatalf("hist sum = %v, want 5060.5", h.Sum())
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["pairs"] != 4 || snap.Gauges["pending"] != 6 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+	hs := snap.Histograms["ms"]
+	want := []int64{1, 2, 1, 1}
+	if len(hs.Counts) != len(want) {
+		t.Fatalf("bucket counts %v, want %v", hs.Counts, want)
+	}
+	for i := range want {
+		if hs.Counts[i] != want[i] {
+			t.Fatalf("bucket counts %v, want %v", hs.Counts, want)
+		}
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestGlobalEnableDisable(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("expected disabled start")
+	}
+	if C("x") != nil || G("x") != nil || H("x", nil) != nil {
+		t.Fatal("disabled global must return nil handles")
+	}
+	r := Enable()
+	defer Disable()
+	if !Enabled() || Default() != r {
+		t.Fatal("Enable must install the default registry")
+	}
+	if Enable() != r {
+		t.Fatal("Enable must be idempotent")
+	}
+	C("x").Add(2)
+	if r.Counter("x").Value() != 2 {
+		t.Fatal("global counter must write into the default registry")
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ProvEntry is one provenance-log record in a run report — the neutral
+// form of workflow.Log entries, kept here so the report schema has no
+// dependency on the workflow package.
+type ProvEntry struct {
+	Step    string `json:"step"`
+	Detail  string `json:"detail,omitempty"`
+	Count   int    `json:"count"`
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// Report is the machine-readable record of one pipeline run: the span
+// tree, the metrics snapshot, the provenance log, and the overall
+// outcome, in one JSON document. It is what -report flags write and what
+// future perf work diffs against.
+type Report struct {
+	// Name identifies the run (workflow name, binary name).
+	Name string `json:"name"`
+	// StartedAt / FinishedAt bound the run's wall time.
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	// Outcome is ok, degraded (quarantines under the error budget), or
+	// aborted.
+	Outcome string `json:"outcome"`
+	// Error is the run's terminal error, when it aborted.
+	Error string `json:"error,omitempty"`
+	// Trace is the span tree (nil when no trace was active).
+	Trace *SpanData `json:"trace,omitempty"`
+	// Metrics is the registry snapshot at the end of the run (nil when
+	// metrics were disabled).
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
+	// Provenance is the workflow log: step, detail, count, outcome.
+	Provenance []ProvEntry `json:"provenance,omitempty"`
+	// Quarantined lists the candidate pairs dropped under the error
+	// budget as "left_row,right_row" strings.
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// Marshal renders the report as indented JSON.
+func (r *Report) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseReport parses a report produced by Marshal; the two round-trip.
+func ParseReport(data []byte) (*Report, error) {
+	r := &Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("obs: parse report: %w", err)
+	}
+	return r, nil
+}
+
+// WriteFile writes the report to path as JSON ("-" writes to stdout).
+func (r *Report) WriteFile(path string) error {
+	data, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "emmatch")
+	_, sp := StartSpan(ctx, "stage.blocked")
+	sp.SetItems(120)
+	sp.SetOutcome("ok")
+	sp.End()
+	root.SetOutcome("degraded")
+	root.End()
+
+	r := NewRegistry()
+	r.Counter("block.pairs_blocked").Add(120)
+	r.Gauge("label.pending").Set(3)
+	r.Histogram("workflow.stage_ms", []float64{1, 10}).Observe(4)
+	snap := r.Snapshot()
+
+	rep := &Report{
+		Name:       "emmatch",
+		StartedAt:  time.Now().Add(-time.Second),
+		FinishedAt: time.Now(),
+		Outcome:    "degraded",
+		Trace:      root.Snapshot(),
+		Metrics:    &snap,
+		Provenance: []ProvEntry{
+			{Step: "blocked", Detail: "union of blockers", Count: 120},
+			{Step: "learned", Detail: "quarantined pair (1,2)", Count: 119, Outcome: "degraded"},
+		},
+		Quarantined: []string{"1,2"},
+	}
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != rep.Name || got.Outcome != "degraded" {
+		t.Fatalf("round trip header: %+v", got)
+	}
+	if got.Trace == nil || len(got.Trace.Children) != 1 || got.Trace.Children[0].Items != 120 {
+		t.Fatalf("round trip trace: %+v", got.Trace)
+	}
+	if got.Metrics == nil || got.Metrics.Counters["block.pairs_blocked"] != 120 {
+		t.Fatalf("round trip metrics: %+v", got.Metrics)
+	}
+	if len(got.Provenance) != 2 || got.Provenance[1].Outcome != "degraded" {
+		t.Fatalf("round trip provenance: %+v", got.Provenance)
+	}
+	if len(got.Quarantined) != 1 || got.Quarantined[0] != "1,2" {
+		t.Fatalf("round trip quarantine: %+v", got.Quarantined)
+	}
+}
+
+func TestReportWriteFile(t *testing.T) {
+	rep := &Report{Name: "x", Outcome: "ok"}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "x" || got.Outcome != "ok" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseReport([]byte("{not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

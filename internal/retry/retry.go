@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"emgo/internal/obs"
 )
 
 // Policy describes a capped exponential backoff schedule. The zero value
@@ -124,6 +126,14 @@ func DoCount(ctx context.Context, p Policy, fn func() error) (attempts int, err 
 			return attempts, cerr
 		}
 		attempts++
+		obs.C("retry.attempts").Inc()
+		if attempt > 0 {
+			// A retry beyond the first attempt is the signal operators
+			// count; it also lands on the active trace span so a run
+			// report shows where the backoff time went.
+			obs.C("retry.retries").Inc()
+			obs.AddEvent(ctx, "retry", fmt.Sprintf("attempt %d after %v", attempts, err))
+		}
 		err = fn()
 		if err == nil {
 			return attempts, nil

@@ -1,6 +1,7 @@
 package umetrics
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -10,6 +11,7 @@ import (
 	"emgo/internal/feature"
 	"emgo/internal/label"
 	"emgo/internal/ml"
+	"emgo/internal/obs"
 	"emgo/internal/profile"
 	"emgo/internal/rules"
 	"emgo/internal/table"
@@ -222,25 +224,45 @@ type study struct {
 
 // Run executes the whole case study and returns the report.
 func Run(cfg Config) (*Report, error) {
+	return RunCtxStudy(context.Background(), cfg)
+}
+
+// RunCtxStudy is Run under a context: when ctx carries an obs trace
+// (emcasestudy's -trace/-report flags open one), each case-study
+// section runs inside a "casestudy.<section>" span, so a trace of the
+// full end-to-end run shows where the wall time went; cancellation is
+// checked between sections.
+func RunCtxStudy(ctx context.Context, cfg Config) (*Report, error) {
 	s := &study{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		report: &Report{OverlapSweep: make(map[int]int)},
 	}
-	steps := []func() error{
-		s.generate,   // Sections 3-4
-		s.preprocess, // Sections 5-6
-		s.blocking,   // Section 7
-		s.labeling,   // Section 8
-		s.matching,   // Section 9 (Figure 8)
-		s.updating,   // Section 10 (Figure 9)
-		s.estimating, // Section 11
-		s.refining,   // Section 12 (Figure 10)
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"generate", s.generate},     // Sections 3-4
+		{"preprocess", s.preprocess}, // Sections 5-6
+		{"blocking", s.blocking},     // Section 7
+		{"labeling", s.labeling},     // Section 8
+		{"matching", s.matching},     // Section 9 (Figure 8)
+		{"updating", s.updating},     // Section 10 (Figure 9)
+		{"estimating", s.estimating}, // Section 11
+		{"refining", s.refining},     // Section 12 (Figure 10)
 	}
 	for _, step := range steps {
-		if err := step(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, sp := obs.StartSpan(ctx, "casestudy."+step.name)
+		if err := step.fn(); err != nil {
+			sp.SetOutcome(workflow.OutcomeAborted)
+			sp.End()
+			return nil, err
+		}
+		sp.SetOutcome(workflow.OutcomeOK)
+		sp.End()
 	}
 	return s.report, nil
 }

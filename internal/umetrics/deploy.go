@@ -94,6 +94,11 @@ func BuildDeploymentSpec(fs *feature.Set, im *feature.Imputer, matcher ml.Matche
 // run with RunCtx so the slice gets per-stage deadlines, the error
 // budget, and a provenance log even when it fails. On a build failure
 // the returned Result is nil; on a run failure it carries the log.
+//
+// Every run emits a machine-readable report by default: RunCtx roots an
+// obs trace when the caller's context has none, so Result.Report always
+// carries per-stage spans, the provenance log, quarantine decisions,
+// and (when the obs registry is enabled) the hot-path counters.
 func RunDeployed(ctx context.Context, spec *workflow.Spec, left, right *table.Table, opts workflow.RunOptions) (*workflow.Result, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("umetrics: deployment needs a workflow spec")

@@ -8,6 +8,7 @@ import (
 	"emgo/internal/block"
 	"emgo/internal/label"
 	"emgo/internal/ml"
+	"emgo/internal/obs"
 	"emgo/internal/parallel"
 	"emgo/internal/retry"
 	"emgo/internal/table"
@@ -21,6 +22,12 @@ import (
 // the batch), deterministic retries for the human/labeler boundary, and
 // a provenance log that records how each stage ended (ok / retried /
 // degraded / aborted) so an operator can reconstruct a bad run.
+//
+// RunCtx is also the observability anchor: every stage runs under an
+// obs span recording wall time, item count, and outcome, and every run
+// finishes with a machine-readable obs.Report on the Result (spans +
+// metrics snapshot + provenance log + quarantine decisions) — the
+// document -report flags write and perf work diffs against.
 
 // CheckStage asks RunCtx to finish with a production monitoring check
 // over the final matches (footnote 11's sample-label-estimate loop).
@@ -69,73 +76,138 @@ func (o RunOptions) stageCtx(ctx context.Context, stage string) (context.Context
 	return context.WithTimeout(ctx, d)
 }
 
+// stageMSBuckets are the upper bounds (milliseconds) of the per-stage
+// duration histogram "workflow.stage_ms".
+var stageMSBuckets = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+// stageObs tracks one RunCtx stage's span and duration sample.
+type stageObs struct {
+	ctx   context.Context
+	span  *obs.Span
+	hist  *obs.Histogram
+	start time.Time
+}
+
+// startStage opens the "stage.<name>" span under ctx.
+func startStage(ctx context.Context, name string, hist *obs.Histogram) stageObs {
+	sctx, sp := obs.StartSpan(ctx, "stage."+name)
+	return stageObs{ctx: sctx, span: sp, hist: hist, start: time.Now()}
+}
+
+// finish closes the stage span with its outcome and item count and
+// feeds the duration histogram.
+func (s stageObs) finish(outcome string, items int) {
+	s.span.SetItems(items)
+	s.span.SetOutcome(outcome)
+	s.span.End()
+	s.hist.Observe(float64(time.Since(s.start)) / float64(time.Millisecond))
+}
+
 // RunCtx executes the workflow on one (left, right) table pair under the
 // hardened runtime. Unlike Run, the returned Result is non-nil even on
 // failure: it carries the provenance log up to and including the aborted
-// stage, which is the record an operator needs. Pairs quarantined under
-// the error budget are listed in Result.Quarantined and excluded from
-// Learned (and therefore Final).
-func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts RunOptions) (*Result, error) {
+// stage, which is the record an operator needs, plus the run report
+// (Result.Report). Pairs quarantined under the error budget are listed
+// in Result.Quarantined and excluded from Learned (and therefore Final).
+//
+// When the caller's context already carries an obs trace (a CLI opened
+// one for the whole process), stage spans nest under it; otherwise
+// RunCtx roots its own trace so the report always has a span tree.
+func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts RunOptions) (res *Result, err error) {
 	log := &Log{}
-	res := &Result{Log: log}
-	abort := func(stage string, err error) (*Result, error) {
-		log.AddOutcome(stage, err.Error(), 0, OutcomeAborted)
-		return res, fmt.Errorf("workflow %s: %s: %w", w.Name, stage, err)
+	res = &Result{Log: log}
+	started := time.Now()
+
+	root := obs.SpanFromContext(ctx)
+	ownRoot := root == nil
+	if ownRoot {
+		ctx, root = obs.NewTrace(ctx, "workflow."+w.Name)
+	}
+	stageMS := obs.H("workflow.stage_ms", stageMSBuckets)
+	defer func() {
+		if ownRoot {
+			outcome := OutcomeOK
+			switch {
+			case err != nil:
+				outcome = OutcomeAborted
+			case len(res.Quarantined) > 0:
+				outcome = OutcomeDegraded
+			}
+			root.SetOutcome(outcome)
+			root.End()
+		}
+		res.Report = buildReport("workflow."+w.Name, started, root, res, err)
+	}()
+
+	abort := func(st stageObs, stage string, aerr error) (*Result, error) {
+		st.finish(OutcomeAborted, 0)
+		log.AddOutcome(stage, aerr.Error(), 0, OutcomeAborted)
+		return res, fmt.Errorf("workflow %s: %s: %w", w.Name, stage, aerr)
 	}
 
 	// Step 1: sure matches straight from the tables.
-	if err := ctx.Err(); err != nil {
-		return abort("sure_matches", err)
+	st := startStage(ctx, "sure_matches", stageMS)
+	if cerr := ctx.Err(); cerr != nil {
+		return abort(st, "sure_matches", cerr)
 	}
 	if w.SureRules != nil && w.SureRules.Len() > 0 {
 		res.Sure = w.SureRules.SureMatches(left, right)
 	} else {
 		res.Sure = block.NewCandidateSet(left, right)
 	}
+	st.finish(OutcomeOK, res.Sure.Len())
 	log.Add("sure_matches", "positive rules over input tables", res.Sure.Len())
 
 	// Step 2: blocking, under its stage deadline.
-	bctx, cancel := opts.stageCtx(ctx, "blocked")
-	blocked, err := block.UnionBlockCtx(bctx, left, right, w.Blockers...)
+	st = startStage(ctx, "blocked", stageMS)
+	bctx, cancel := opts.stageCtx(st.ctx, "blocked")
+	blocked, berr := block.UnionBlockCtx(bctx, left, right, w.Blockers...)
 	cancel()
-	if err != nil {
-		return abort("blocked", err)
+	if berr != nil {
+		return abort(st, "blocked", berr)
 	}
+	st.finish(OutcomeOK, blocked.Len())
 	log.Add("blocked", "union of blockers", blocked.Len())
 
 	// Step 3: remove sure matches from the candidate set.
+	st = startStage(ctx, "candidates", stageMS)
 	res.Candidates, err = blocked.Minus(res.Sure)
 	if err != nil {
-		return abort("candidates", err)
+		return abort(st, "candidates", err)
 	}
+	st.finish(OutcomeOK, res.Candidates.Len())
 	log.Add("candidates", "blocked minus sure matches", res.Candidates.Len())
 
 	// Step 4: learned predictions, with the error budget. A pair whose
 	// vectorization or prediction fails (panic or error) is quarantined
 	// and the stage re-run without it, until the budget is spent.
+	st = startStage(ctx, "learned", stageMS)
 	res.Learned = block.NewCandidateSet(left, right)
 	if w.Matcher != nil && res.Candidates.Len() > 0 {
 		if w.Features == nil || w.Imputer == nil {
-			return abort("learned", fmt.Errorf("matcher set but features/imputer missing"))
+			return abort(st, "learned", fmt.Errorf("matcher set but features/imputer missing"))
 		}
 		pairs := res.Candidates.Pairs()
 		budget := opts.ErrorBudget
+		quarantined := obs.C("workflow.quarantined")
 		var preds []int
 		for {
-			preds, err = w.predictPairs(ctx, opts, left, right, pairs)
-			if err == nil {
+			var perr error
+			preds, perr = w.predictPairs(st.ctx, opts, left, right, pairs)
+			if perr == nil {
 				break
 			}
-			idx, indexed := parallel.FailingIndex(err)
+			idx, indexed := parallel.FailingIndex(perr)
 			if !indexed || budget <= 0 || ctx.Err() != nil {
-				return abort("learned", err)
+				return abort(st, "learned", perr)
 			}
 			budget--
 			bad := pairs[idx]
 			res.Quarantined = append(res.Quarantined, bad)
-			log.AddOutcome("learned",
-				fmt.Sprintf("quarantined pair (%d,%d) after failure: %v", bad.A, bad.B, unwrapIndexed(err)),
-				len(pairs)-1, OutcomeDegraded)
+			quarantined.Inc()
+			detail := fmt.Sprintf("quarantined pair (%d,%d) after failure: %v", bad.A, bad.B, unwrapIndexed(perr))
+			st.span.Event("quarantine", detail)
+			log.AddOutcome("learned", detail, len(pairs)-1, OutcomeDegraded)
 			trimmed := make([]block.Pair, 0, len(pairs)-1)
 			trimmed = append(trimmed, pairs[:idx]...)
 			trimmed = append(trimmed, pairs[idx+1:]...)
@@ -148,48 +220,93 @@ func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts Ru
 		}
 	}
 	if len(res.Quarantined) > 0 {
+		st.finish(OutcomeDegraded, res.Learned.Len())
 		log.AddOutcome("learned",
 			fmt.Sprintf("matcher predictions on candidates (%d pairs quarantined)", len(res.Quarantined)),
 			res.Learned.Len(), OutcomeDegraded)
 	} else {
+		st.finish(OutcomeOK, res.Learned.Len())
 		log.Add("learned", "matcher predictions on candidates", res.Learned.Len())
 	}
 
 	// Step 5: negative rules veto learned matches.
+	st = startStage(ctx, "vetoed", stageMS)
 	kept := res.Learned
 	if w.NegativeRules != nil && w.NegativeRules.Len() > 0 {
 		kept, res.Vetoed = w.NegativeRules.FilterMatches(res.Learned)
 	}
+	st.finish(OutcomeOK, res.Vetoed)
 	log.Add("vetoed", "negative rules flipped", res.Vetoed)
 
 	// Step 6: final = sure ∪ kept.
+	st = startStage(ctx, "final", stageMS)
 	res.Final, err = res.Sure.Union(kept)
 	if err != nil {
-		return abort("final", err)
+		return abort(st, "final", err)
 	}
+	st.finish(OutcomeOK, res.Final.Len())
 	log.Add("final", "sure matches plus surviving predictions", res.Final.Len())
 
 	// Step 7 (optional): production monitoring check, retried on the
 	// run's policy when the labeler fails transiently.
 	if opts.Check != nil {
+		st = startStage(ctx, "monitor", stageMS)
 		if opts.Check.Monitor == nil {
-			return abort("monitor", fmt.Errorf("check stage needs a monitor"))
+			return abort(st, "monitor", fmt.Errorf("check stage needs a monitor"))
 		}
-		mctx, cancel := opts.stageCtx(ctx, "monitor")
-		cr, attempts, err := opts.Check.Monitor.CheckCtx(mctx, opts.Retry, opts.Check.Batch, res.Final, opts.Check.Label)
+		mctx, cancel := opts.stageCtx(st.ctx, "monitor")
+		cr, attempts, merr := opts.Check.Monitor.CheckCtx(mctx, opts.Retry, opts.Check.Batch, res.Final, opts.Check.Label)
 		cancel()
-		if err != nil {
-			return abort("monitor", err)
+		if merr != nil {
+			return abort(st, "monitor", merr)
 		}
 		res.Check = &cr
 		detail := fmt.Sprintf("precision [%.2f,%.2f] alarm=%v", cr.Precision.Lo, cr.Precision.Hi, cr.Alarm)
 		if attempts > 1 {
+			st.finish(OutcomeRetried, cr.Labeled)
 			log.AddOutcome("monitor", fmt.Sprintf("%s after %d attempts", detail, attempts), cr.Labeled, OutcomeRetried)
 		} else {
+			st.finish(OutcomeOK, cr.Labeled)
 			log.Add("monitor", detail, cr.Labeled)
 		}
 	}
 	return res, nil
+}
+
+// buildReport assembles the machine-readable run report: the span tree,
+// the global metrics snapshot (when enabled), the provenance log, and
+// the quarantine list, in one JSON-serializable document.
+func buildReport(name string, started time.Time, root *obs.Span, res *Result, runErr error) *obs.Report {
+	rep := &obs.Report{
+		Name:       name,
+		StartedAt:  started,
+		FinishedAt: time.Now(),
+	}
+	switch {
+	case runErr != nil:
+		rep.Outcome = OutcomeAborted
+		rep.Error = runErr.Error()
+	case len(res.Quarantined) > 0:
+		rep.Outcome = OutcomeDegraded
+	default:
+		rep.Outcome = OutcomeOK
+	}
+	rep.Trace = root.Snapshot()
+	if obs.Enabled() {
+		snap := obs.Default().Snapshot()
+		rep.Metrics = &snap
+	}
+	if res.Log != nil {
+		for _, e := range res.Log.Entries() {
+			rep.Provenance = append(rep.Provenance, obs.ProvEntry{
+				Step: e.Step, Detail: e.Detail, Count: e.Count, Outcome: e.Outcome,
+			})
+		}
+	}
+	for _, p := range res.Quarantined {
+		rep.Quarantined = append(rep.Quarantined, fmt.Sprintf("%d,%d", p.A, p.B))
+	}
+	return rep
 }
 
 // predictPairs runs the vectorize → impute → predict chain for one set

@@ -11,10 +11,12 @@ package workflow
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"emgo/internal/block"
 	"emgo/internal/feature"
 	"emgo/internal/ml"
+	"emgo/internal/obs"
 	"emgo/internal/rules"
 	"emgo/internal/table"
 )
@@ -46,24 +48,35 @@ type Entry struct {
 }
 
 // Log collects the steps a workflow executed, in order — the record the
-// two teams shared when discussing results.
+// two teams shared when discussing results. Appends and reads are safe
+// from concurrent goroutines: parallel stage workers may log while an
+// operator (or the debug endpoint) renders the log mid-run.
 type Log struct {
+	mu      sync.Mutex
 	entries []Entry
 }
 
 // Add appends an entry with the default ok outcome.
 func (l *Log) Add(step, detail string, count int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.entries = append(l.entries, Entry{Step: step, Detail: detail, Count: count})
 }
 
 // AddOutcome appends an entry with an explicit stage outcome — the
 // hardened runtime's record of retries, quarantines, and aborts.
 func (l *Log) AddOutcome(step, detail string, count int, outcome string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.entries = append(l.entries, Entry{Step: step, Detail: detail, Count: count, Outcome: outcome})
 }
 
-// Entries returns a copy of the log.
+// Entries returns a copy of the log: later appends do not grow the
+// returned slice, and mutating the returned entries does not touch the
+// log.
 func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]Entry, len(l.entries))
 	copy(out, l.entries)
 	return out
@@ -73,7 +86,7 @@ func (l *Log) Entries() []Entry {
 // in brackets.
 func (l *Log) String() string {
 	var b strings.Builder
-	for _, e := range l.entries {
+	for _, e := range l.Entries() {
 		if e.Outcome != "" && e.Outcome != OutcomeOK {
 			fmt.Fprintf(&b, "%-24s %6d  [%s] %s\n", e.Step, e.Count, e.Outcome, e.Detail)
 			continue
@@ -129,6 +142,10 @@ type Result struct {
 	Check *CheckResult
 	// Log records each step.
 	Log *Log
+	// Report is the machine-readable run record (spans, metrics,
+	// provenance, quarantines) the hardened runtime builds on every
+	// RunCtx run, success or failure; nil for plain Run.
+	Report *obs.Report
 }
 
 // Run executes the workflow on one (left, right) table pair.

@@ -1,0 +1,66 @@
+#!/bin/sh
+# bench_snapshot.sh — run every Go benchmark and snapshot the numbers as
+# JSON, so perf work has a committed baseline to diff against.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [output.json]       (default: BENCH_baseline.json)
+#   BENCHTIME=10x scripts/bench_snapshot.sh       (quick smoke snapshot)
+#
+# Only POSIX sh + awk + the go toolchain are required. The raw `go test
+# -bench` output is parsed line by line: `pkg:` lines carry the package,
+# `Benchmark...` lines carry iterations, ns/op, and (with -benchmem)
+# B/op and allocs/op.
+set -eu
+
+out="${1:-BENCH_baseline.json}"
+benchtime="${BENCHTIME:-1s}"
+go_bin="${GO:-go}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "bench_snapshot: running benchmarks (benchtime=$benchtime)..." >&2
+"$go_bin" test -run '^$' -bench . -benchmem -benchtime "$benchtime" ./... >"$raw" 2>&1 || {
+    echo "bench_snapshot: go test -bench failed:" >&2
+    cat "$raw" >&2
+    exit 1
+}
+
+goversion="$("$go_bin" version | sed 's/^go version //')"
+
+awk -v benchtime="$benchtime" -v goversion="$goversion" '
+BEGIN {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench_snapshot.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": ["
+    n = 0
+}
+/^pkg: / { pkg = $2; next }
+/^Benchmark/ {
+    # Benchmark<Name>-P  <iters>  <ns> ns/op  [<B> B/op  <allocs> allocs/op]
+    name = $1; iters = $2
+    ns = ""; bop = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++ > 0) printf ","
+    printf "\n    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", pkg, name, iters, ns
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END {
+    if (n > 0) printf "\n  "
+    printf "],\n"
+    printf "  \"count\": %d\n", n
+    printf "}\n"
+}
+' "$raw" >"$out"
+
+count="$(awk '/"count":/ {print $2}' "$out")"
+echo "bench_snapshot: wrote $count benchmarks to $out" >&2
