@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos
 
 all: tier1
 
@@ -25,11 +25,18 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
+# chaos kills the case-study pipeline (built with -race) at every
+# checkpoint boundary and once mid-write, resumes each run, and asserts
+# byte-identical results plus corruption quarantine — see
+# scripts/chaos_run.sh and docs/RELIABILITY.md.
+chaos:
+	./scripts/chaos_run.sh
+
 # Tier 2 — the hardened-runtime gate: formatting and static analysis plus
 # the full test suite under the race detector (the parallel fan-out,
 # cancellation, fault-injection, and observability paths are only
-# trustworthy race-clean).
-tier2: fmt-check vet race
+# trustworthy race-clean), and the kill/resume chaos harness.
+tier2: fmt-check vet race chaos
 
 ci: tier1 tier2
 

@@ -7,7 +7,15 @@
 // Usage:
 //
 //	emcasestudy [-scale 1.0] [-seed 7] [-out matches.csv] \
-//	            [-report run.json] [-trace trace.json] [-debug-addr :6060]
+//	            [-report run.json] [-trace trace.json] [-debug-addr :6060] \
+//	            [-checkpoint-dir ckpt/ [-resume]]
+//
+// Crash safety: -checkpoint-dir persists each completed section
+// durably; rerunning with -resume restores validated checkpoints (and
+// fast-forwards the run's random streams to match) instead of
+// recomputing, so a killed study resumes from its last durable section.
+// The store is fingerprinted by the full configuration — a different
+// -scale or -seed discards it.
 //
 // Observability: -report writes a machine-readable run report (section
 // spans, hot-path counters, fault/retry counts); -trace writes just the
@@ -28,6 +36,7 @@ import (
 	"os"
 	"time"
 
+	"emgo/internal/ckpt"
 	"emgo/internal/obs"
 	"emgo/internal/umetrics"
 	"emgo/internal/workflow"
@@ -55,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	reportPath := fs.String("report", "", "write the observability run report JSON to this path")
 	tracePath := fs.String("trace", "", "write the span trace tree JSON to this path")
 	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) at this address during the run, e.g. :6060")
+	ckptDir := fs.String("checkpoint-dir", "", "write crash-safe section checkpoints under this directory")
+	resume := fs.Bool("resume", false, "restore completed sections from -checkpoint-dir instead of recomputing them")
 	if err := fs.Parse(args); err != nil {
 		return flag.ErrHelp // the FlagSet already printed the diagnostic
 	}
@@ -64,6 +75,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg = umetrics.TestConfig(*scale)
 	}
 	cfg.Seed = *seed
+
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		store, err := ckpt.Open(*ckptDir, cfg.Fingerprint())
+		if err != nil {
+			return fmt.Errorf("checkpoint store: %w", err)
+		}
+		if reason := store.Discarded(); reason != "" {
+			fmt.Fprintf(stderr, "emcasestudy: prior checkpoints discarded: %s\n", reason)
+		}
+		if !*resume {
+			// A fresh run was requested: retire any prior artifacts to the
+			// quarantine directory so they cannot influence this run.
+			for _, name := range store.Names() {
+				store.Quarantine(name, "fresh run requested (-checkpoint-dir without -resume)")
+			}
+		} else if n := len(store.Names()); n > 0 {
+			fmt.Fprintf(stderr, "emcasestudy: resuming from %d checkpoint(s) in %s\n", n, *ckptDir)
+		}
+		cfg.Checkpoints = store
+	}
 
 	if *reportPath != "" || *tracePath != "" || *debugAddr != "" {
 		obs.Enable()

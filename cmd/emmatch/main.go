@@ -11,7 +11,14 @@
 //	emmatch -spec workflow.json -left UMETRICSProjected.csv -right USDAProjected.csv \
 //	        [-left-id RecordId] [-right-id RecordId] [-out matches.csv] [-transforms umetrics] \
 //	        [-timeout 0] [-stage-timeout 0] [-error-budget 0] \
-//	        [-report run.json] [-trace trace.json] [-debug-addr :6060]
+//	        [-report run.json] [-trace trace.json] [-debug-addr :6060] \
+//	        [-checkpoint-dir ckpt/ [-resume]]
+//
+// Crash safety: -checkpoint-dir persists each expensive stage's output
+// (blocking, matching) durably as it completes; rerunning with -resume
+// restores validated checkpoints instead of recomputing, so a killed run
+// finishes from where it stopped. The store is fingerprinted by the spec
+// bytes and both tables' contents — changed inputs discard it.
 //
 // The -transforms flag selects the registered transform set the spec's
 // rules reference ("umetrics" or "none").
@@ -38,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"emgo/internal/ckpt"
 	"emgo/internal/obs"
 	"emgo/internal/table"
 	"emgo/internal/umetrics"
@@ -81,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	reportPath := fs.String("report", "", "write the run report JSON to this path ('-' = stdout)")
 	tracePath := fs.String("trace", "", "write the span trace tree JSON to this path ('-' = stdout)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) at this address during the run, e.g. :6060")
+	ckptDir := fs.String("checkpoint-dir", "", "write crash-safe stage checkpoints under this directory")
+	resume := fs.Bool("resume", false, "restore completed stages from -checkpoint-dir instead of recomputing them")
 	if err := fs.Parse(args); err != nil {
 		return flag.ErrHelp // the FlagSet already printed the diagnostic
 	}
@@ -100,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	if *reportPath == "-" && *tracePath == "-" {
 		return fmt.Errorf("-report and -trace cannot both write to stdout")
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 
 	// Observability: any of the three flags arms the metrics registry so
@@ -228,6 +241,27 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	opts := workflow.RunOptions{
 		StageTimeout: *stageTimeout,
 		ErrorBudget:  *errorBudget,
+	}
+	if *ckptDir != "" {
+		// The store is bound to the exact spec bytes and table contents:
+		// edit any of them and every prior checkpoint is discarded rather
+		// than resumed against the wrong inputs.
+		store, err := ckpt.Open(*ckptDir, ckpt.Fingerprint(
+			"emmatch", string(data), left.Fingerprint(), right.Fingerprint()))
+		if err != nil {
+			return fmt.Errorf("checkpoint store: %w", err)
+		}
+		if reason := store.Discarded(); reason != "" {
+			fmt.Fprintf(stderr, "emmatch: prior checkpoints discarded: %s\n", reason)
+		}
+		if !*resume {
+			for _, name := range store.Names() {
+				store.Quarantine(name, "fresh run requested (-checkpoint-dir without -resume)")
+			}
+		} else if n := len(store.Names()); n > 0 {
+			fmt.Fprintf(stderr, "emmatch: resuming from %d checkpoint(s) in %s\n", n, *ckptDir)
+		}
+		opts.Checkpoints = store
 	}
 	w, err := spec.BuildCtx(ctx, left, right, transforms, opts.Retry)
 	if err != nil {

@@ -1,0 +1,92 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// This file holds the durability primitives the rest of the repository
+// shares: write-to-temp + fsync + atomic rename. A crash at any moment
+// leaves either the old file intact or the new file complete — never a
+// truncated document. table.WriteCSVFile and ml model saves use the
+// same helpers, so every artifact the pipeline persists has the same
+// guarantee the checkpoint store does.
+
+// AtomicWriteFile writes data to path atomically: the bytes go to a
+// temp file in the same directory (renames across filesystems are not
+// atomic), are fsynced, and the temp file is renamed over path. The
+// containing directory is fsynced afterwards so the rename itself is
+// durable.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	return AtomicWriteTo(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// AtomicWriteTo is AtomicWriteFile for streaming writers (CSV encoders,
+// JSON encoders): write is handed the temp file and the same
+// temp + fsync + rename + dir-fsync protocol applies. Parent
+// directories are created as needed.
+func AtomicWriteTo(path string, perm os.FileMode, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Chmod(perm); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Filesystems that refuse to sync directories (some CI overlays) are
+// tolerated: the rename is still atomic, only its durability window
+// widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncErr(err) {
+		return fmt.Errorf("ckpt: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// ignorableSyncErr reports whether a directory fsync failure is a
+// filesystem limitation rather than a durability problem worth failing
+// the write over.
+func ignorableSyncErr(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.EBADF)
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package ckpt
+
+import (
+	"os"
+	"syscall"
+)
+
+// kill terminates the process the way an external `kill -9` would: no
+// deferred functions, no flushes — the abrupt death the chaos harness
+// is testing recovery from.
+func kill() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL delivery can lag the syscall return by a scheduler tick;
+	// make death certain either way.
+	os.Exit(137)
+}

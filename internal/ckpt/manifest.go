@@ -1,0 +1,86 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+)
+
+// ManifestVersion is bumped whenever the on-disk layout changes in a
+// way old readers cannot handle; a version mismatch discards the run
+// directory rather than guessing.
+const ManifestVersion = 1
+
+// Manifest is the versioned index of a checkpoint directory. Artifacts
+// are only trusted when the manifest lists them with a matching
+// checksum; files on disk that the manifest does not reference are
+// leftovers from a crash and are ignored.
+type Manifest struct {
+	// Version is the layout version (ManifestVersion).
+	Version int `json:"version"`
+	// Fingerprint binds the run directory to one pipeline input
+	// (config, spec, table contents). A store opened with a different
+	// fingerprint discards the directory: resuming someone else's run
+	// silently would be worse than recomputing.
+	Fingerprint string `json:"fingerprint"`
+	// Artifacts indexes the completed stage outputs by artifact name.
+	Artifacts map[string]Artifact `json:"artifacts"`
+}
+
+// Artifact is one completed checkpoint file.
+type Artifact struct {
+	// File is the artifact's file name inside the run directory (never
+	// a path; decodeManifest rejects separators).
+	File string `json:"file"`
+	// SHA256 is the hex checksum of the file's contents.
+	SHA256 string `json:"sha256"`
+	// Size is the expected byte length — a quick torn-write tell.
+	Size int64 `json:"size"`
+}
+
+// artifactNameRE restricts artifact and file names to a single safe
+// path component, so a corrupted or hostile manifest can never make
+// the store read or quarantine files outside its directory.
+var artifactNameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]+$`)
+
+// ValidName reports whether name is usable as an artifact name.
+func ValidName(name string) bool {
+	return name != "" && name != "." && name != ".." && artifactNameRE.MatchString(name)
+}
+
+// decodeManifest parses and validates manifest bytes. Every error path
+// is a reason to quarantine the manifest and start fresh; none may
+// panic, whatever the bytes are (FuzzManifestDecode holds it to that).
+func decodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("ckpt: manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("ckpt: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	for name, a := range m.Artifacts {
+		if !ValidName(name) {
+			return nil, fmt.Errorf("ckpt: manifest: invalid artifact name %q", name)
+		}
+		if !ValidName(a.File) {
+			return nil, fmt.Errorf("ckpt: manifest: artifact %q: invalid file name %q", name, a.File)
+		}
+		if len(a.SHA256) != 64 {
+			return nil, fmt.Errorf("ckpt: manifest: artifact %q: malformed checksum", name)
+		}
+		if a.Size < 0 {
+			return nil, fmt.Errorf("ckpt: manifest: artifact %q: negative size", name)
+		}
+	}
+	if m.Artifacts == nil {
+		m.Artifacts = make(map[string]Artifact)
+	}
+	return &m, nil
+}
+
+// encode renders the manifest deterministically (json.Marshal sorts
+// map keys).
+func (m *Manifest) encode() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}

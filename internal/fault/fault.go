@@ -21,6 +21,9 @@
 //	label.judge              each judge call in Tool.LabelAllCtx
 //	workflow.spec.transform  each transform lookup in Spec.BuildCtx
 //	workflow.monitor         each Monitor.CheckErr invocation
+//	ckpt.write               each checkpoint artifact write (ckpt.Store.Write)
+//	ckpt.rename              the atomic rename committing an artifact
+//	ckpt.read                each checkpoint artifact read (treated as corruption)
 package fault
 
 import (

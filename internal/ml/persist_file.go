@@ -1,0 +1,48 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"emgo/internal/ckpt"
+)
+
+// SaveMatcherFile persists a fitted (serializable) matcher to path as
+// JSON. The write is crash-safe — temp file, fsync, atomic rename —
+// so a crash mid-save can never leave a truncated model file for the
+// next deploy to choke on (the same guarantee table.WriteCSVFile and
+// the checkpoint store give their artifacts).
+func SaveMatcherFile(path string, m Matcher) error {
+	spec, err := ExportMatcher(m)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return ckpt.AtomicWriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadMatcherFile rebuilds a matcher saved with SaveMatcherFile. A
+// file that does not decode into a valid matcher spec reports a
+// descriptive error rather than a zero-value model.
+func LoadMatcherFile(path string) (Matcher, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("ml: model file %s is empty", path)
+	}
+	var spec MatcherSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("ml: parse model file %s: %w", path, err)
+	}
+	m, err := ImportMatcher(&spec)
+	if err != nil {
+		return nil, fmt.Errorf("ml: model file %s: %w", path, err)
+	}
+	return m, nil
+}

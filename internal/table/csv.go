@@ -6,7 +6,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+
+	"emgo/internal/ckpt"
 )
 
 // ReadCSV parses CSV from r into a table. The first record is the header.
@@ -18,6 +21,12 @@ func ReadCSV(name string, r io.Reader, kinds map[string]Kind) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
+	if err == io.EOF {
+		// A zero-byte file is almost always a truncated write or a wrong
+		// path; returning a zero-row table here turns that operational
+		// problem into a silent "0 matches" downstream.
+		return nil, fmt.Errorf("table: csv %s is empty (no header row)", name)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("table: read csv header: %w", err)
 	}
@@ -58,6 +67,23 @@ func ReadCSV(name string, r io.Reader, kinds map[string]Kind) (*Table, error) {
 			row[i] = v
 		}
 		t.rows = append(t.rows, row)
+	}
+	if t.Len() == 0 && kinds != nil {
+		// Header-only file: with no data rows to parse, a kinds map
+		// naming columns the header lacks is the one schema error we can
+		// still catch — usually a header from the wrong table, which
+		// would otherwise flow through the pipeline as an empty table.
+		var missing []string
+		for col := range kinds {
+			if !schema.Has(col) {
+				missing = append(missing, col)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			return nil, fmt.Errorf("table: csv %s has a header but no rows, and the kinds map names columns absent from the header: %s",
+				name, strings.Join(missing, ", "))
+		}
 	}
 	return t, nil
 }
@@ -104,20 +130,12 @@ func (t *Table) WriteCSV(w io.Writer) error {
 }
 
 // WriteCSVFile writes the table to the named file, creating parent
-// directories as needed.
+// directories as needed. The write is crash-safe: rows stream to a
+// temp file in the target directory, which is fsynced and atomically
+// renamed over path — a crash mid-write leaves the previous file (or
+// no file), never a truncated CSV.
 func (t *Table) WriteCSVFile(path string) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteCSV(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return ckpt.AtomicWriteTo(path, 0o644, func(w io.Writer) error {
+		return t.WriteCSV(w)
+	})
 }

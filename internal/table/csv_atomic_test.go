@@ -1,0 +1,157 @@
+package table
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVEmptyFileErrors(t *testing.T) {
+	if _, err := ReadCSV("empty", strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty input should be a descriptive error, not a zero-row table")
+	} else if !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("error should say the file is empty, got: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSVFile(path, nil); err == nil {
+		t.Fatal("empty file should error through ReadCSVFile too")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("file-level error should name the path, got: %v", err)
+	}
+}
+
+func TestReadCSVHeaderOnlyMismatchedKinds(t *testing.T) {
+	// Header-only file whose header lacks the kinds map's columns: the
+	// wrong table's header, caught instead of returned as an empty table.
+	src := "Alpha,Beta\n"
+	kinds := map[string]Kind{"Start": Date, "Amount": Float}
+	_, err := ReadCSV("wrong", strings.NewReader(src), kinds)
+	if err == nil {
+		t.Fatal("header-only CSV with mismatched kinds map should error")
+	}
+	for _, col := range []string{"Amount", "Start"} {
+		if !strings.Contains(err.Error(), col) {
+			t.Fatalf("error should name missing column %s, got: %v", col, err)
+		}
+	}
+
+	// Header-only with a MATCHING kinds map stays legal: an empty data
+	// slice is a real (if unusual) input.
+	tab, err := ReadCSV("ok", strings.NewReader("Start,Amount\n"), map[string]Kind{"Start": Date, "Amount": Float})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Fatal("want zero rows")
+	}
+
+	// With data rows present, unknown kinds entries remain tolerated
+	// (projections routinely reuse a superset kinds map).
+	if _, err := ReadCSV("ok", strings.NewReader("A\n1\n"), map[string]Kind{"B": Int}); err != nil {
+		t.Fatalf("kinds superset over non-empty table should stay legal: %v", err)
+	}
+}
+
+func TestWriteCSVFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+
+	old := New("t", MustSchema(Field{Name: "X", Kind: String}))
+	old.MustAppend(Row{S("old")})
+	if err := old.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite with new content; on success the file is the new table…
+	niu := New("t", MustSchema(Field{Name: "X", Kind: String}))
+	niu.MustAppend(Row{S("new")})
+	if err := niu.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(0, "X").Str() != "new" {
+		t.Fatal("overwrite lost data")
+	}
+
+	// …and no temp files linger in the target directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteCSVFileFailureKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	old := New("t", MustSchema(Field{Name: "X", Kind: String}))
+	old.MustAppend(Row{S("precious")})
+	if err := old.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Make the target directory unwritable: the temp-file create fails
+	// before a single byte of the existing file is touched.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Getuid() == 0 {
+		t.Skip("running as root; chmod cannot make the dir unwritable")
+	}
+	err := old.WriteCSVFile(path)
+	if err == nil {
+		t.Fatal("write into unwritable dir should fail")
+	}
+	if !errors.Is(err, os.ErrPermission) {
+		t.Logf("note: failure kind %v", err)
+	}
+	os.Chmod(dir, 0o755)
+	got, readErr := ReadCSVFile(path, nil)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if got.Get(0, "X").Str() != "precious" {
+		t.Fatal("failed write damaged the existing file")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	mk := func(vals ...string) *Table {
+		tab := New("t", MustSchema(Field{Name: "X", Kind: String}))
+		for _, v := range vals {
+			if v == "null" {
+				tab.MustAppend(Row{Null(String)})
+				continue
+			}
+			tab.MustAppend(Row{S(v)})
+		}
+		return tab
+	}
+	if mk("a", "b").Fingerprint() != mk("a", "b").Fingerprint() {
+		t.Fatal("fingerprint must be deterministic")
+	}
+	if mk("a", "b").Fingerprint() == mk("a", "c").Fingerprint() {
+		t.Fatal("cell change must change the fingerprint")
+	}
+	if mk("").Fingerprint() == mk("null").Fingerprint() {
+		t.Fatal("null and empty string must fingerprint differently")
+	}
+	renamed := mk("a")
+	renamed.SetName("other")
+	if renamed.Fingerprint() == mk("a").Fingerprint() {
+		t.Fatal("table name is part of the identity")
+	}
+}

@@ -1,0 +1,44 @@
+package table
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a hex SHA-256 digest of the table's identity:
+// name, schema (column names and kinds), and every cell's rendered
+// value with nulls distinguished from empty strings. Two tables with
+// the same fingerprint hold the same data, which is what binds a
+// checkpoint directory to its inputs — resuming a run against edited
+// tables must read as a different run, not as completed stages.
+func (t *Table) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeStr(t.name)
+	binary.LittleEndian.PutUint64(buf[:], uint64(t.schema.Len()))
+	h.Write(buf[:])
+	for _, f := range t.schema.Fields() {
+		writeStr(f.Name)
+		binary.LittleEndian.PutUint64(buf[:], uint64(f.Kind))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(t.rows)))
+	h.Write(buf[:])
+	for _, r := range t.rows {
+		for _, v := range r {
+			if v.IsNull() {
+				h.Write([]byte{0})
+				continue
+			}
+			h.Write([]byte{1})
+			writeStr(v.Str())
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

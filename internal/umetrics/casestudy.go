@@ -2,10 +2,12 @@ package umetrics
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"emgo/internal/block"
+	"emgo/internal/ckpt"
 	"emgo/internal/cluster"
 	"emgo/internal/estimate"
 	"emgo/internal/feature"
@@ -36,7 +38,20 @@ type Config struct {
 	// first-pass labeling noise.
 	HesitateRate float64
 	MistakeRate  float64
+	// Checkpoints, when set, makes the run crash-safe: each section
+	// writes its outputs to the store, and a later run over the same
+	// Config (open the store with Config.Fingerprint) resumes from the
+	// last durable section instead of starting over. Nil disables
+	// checkpointing entirely.
+	Checkpoints *ckpt.Store `json:"-"`
+	// haltAfter stops the run with errHalted right after the named
+	// section checkpoints — the test hook simulating a crash at a
+	// section boundary without killing the process.
+	haltAfter string
 }
+
+// errHalted is returned when the haltAfter test hook stops a run.
+var errHalted = errors.New("umetrics: run halted by test hook")
 
 // DefaultConfig returns the full-scale configuration mirroring the paper.
 // The matching tables (AwardAgg, USDA, the extra slice) are at the exact
@@ -207,11 +222,18 @@ type study struct {
 	expert *label.Expert
 	report *Report
 
+	// mainSrc / expertSrc count every draw of the two shared random
+	// streams so checkpoints can record (and resumed runs replay) the
+	// exact stream positions at each section boundary.
+	mainSrc   *countedSource
+	expertSrc *countedSource
+
 	cand     *block.CandidateSet // consolidated C over the original slice
 	labels   *label.Store
 	features *feature.Set
 	imputer  *feature.Imputer
 	matcher  ml.Matcher
+	winner   string // CV winner name behind the final matcher
 	corr     map[string]string
 	order    []string
 
@@ -232,12 +254,21 @@ func Run(cfg Config) (*Report, error) {
 // section runs inside a "casestudy.<section>" span, so a trace of the
 // full end-to-end run shows where the wall time went; cancellation is
 // checked between sections.
+//
+// With cfg.Checkpoints set, each section's outputs are persisted after
+// it completes and restored — validated, with the random streams
+// fast-forwarded to the recorded positions — on the next run, so a
+// killed run resumes from its last durable section. Restored sections
+// get span outcome "resumed"; any checkpoint that cannot be trusted is
+// quarantined and the section recomputed.
 func RunCtxStudy(ctx context.Context, cfg Config) (*Report, error) {
 	s := &study{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		report: &Report{OverlapSweep: make(map[int]int)},
+		cfg:       cfg,
+		mainSrc:   newCountedSource(cfg.Seed),
+		expertSrc: newCountedSource(cfg.Seed + 1),
+		report:    &Report{OverlapSweep: make(map[int]int)},
 	}
+	s.rng = rand.New(s.mainSrc)
 	steps := []struct {
 		name string
 		fn   func() error
@@ -251,18 +282,40 @@ func RunCtxStudy(ctx context.Context, cfg Config) (*Report, error) {
 		{"estimating", s.estimating}, // Section 11
 		{"refining", s.refining},     // Section 12 (Figure 10)
 	}
+	// pendingRebuild names the most recently restored section whose
+	// derived state (feature sets, fitted matchers) has not been rebuilt
+	// yet; it is rebuilt lazily right before the next live section.
+	pendingRebuild := ""
 	for _, step := range steps {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		_, sp := obs.StartSpan(ctx, "casestudy."+step.name)
+		if s.tryRestore(step.name, sp) {
+			pendingRebuild = step.name
+			sp.SetOutcome(workflow.OutcomeResumed)
+			sp.End()
+			continue
+		}
+		if pendingRebuild != "" {
+			if err := s.rebuildDerived(pendingRebuild); err != nil {
+				sp.SetOutcome(workflow.OutcomeAborted)
+				sp.End()
+				return nil, err
+			}
+			pendingRebuild = ""
+		}
 		if err := step.fn(); err != nil {
 			sp.SetOutcome(workflow.OutcomeAborted)
 			sp.End()
 			return nil, err
 		}
+		s.saveSection(step.name)
 		sp.SetOutcome(workflow.OutcomeOK)
 		sp.End()
+		if s.cfg.haltAfter == step.name {
+			return nil, errHalted
+		}
 	}
 	return s.report, nil
 }
@@ -338,7 +391,9 @@ func (s *study) preprocess() error {
 		Tricky:           s.oracle.IsTrap,
 		TrickyUnsureRate: 0.7,
 		TrickyWrongRate:  0.1,
-		Rng:              rand.New(rand.NewSource(s.cfg.Seed + 1)),
+		// The expert draws from a counted stream so checkpoints can
+		// record how far labeling advanced it.
+		Rng: rand.New(s.expertSrc),
 	}
 	return nil
 }

@@ -157,6 +157,7 @@ func (s *study) updating() error {
 	if err != nil {
 		return err
 	}
+	s.winner = cv[0].Name
 	matcher, err := s.fitImputerAndTrain(cv[0].Name, ds)
 	if err != nil {
 		return err

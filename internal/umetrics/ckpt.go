@@ -1,0 +1,467 @@
+package umetrics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"emgo/internal/block"
+	"emgo/internal/ckpt"
+	"emgo/internal/feature"
+	"emgo/internal/label"
+	"emgo/internal/obs"
+	"emgo/internal/table"
+	"emgo/internal/workflow"
+)
+
+// This file makes the case study resumable. Each expensive section
+// (blocking through estimating) persists a checkpoint artifact to an
+// optional ckpt.Store; a later run over the same Config restores the
+// section's outputs — after bounds and consistency validation — instead
+// of recomputing them. generate and preprocess are always replayed
+// (they are pure functions of Params and Seed, and every restored
+// artifact is expressed as row indices into the tables they rebuild);
+// refining is always replayed because it produces the final report and
+// deliverables from restored state.
+//
+// The one piece of state a checkpoint cannot serialize is the position
+// of the shared random streams: labeling consumes the study rng (the
+// per-round samples) and the simulated expert's rng, and estimating
+// consumes the study rng again (the evaluation permutation). Each
+// artifact therefore records the cumulative draw counts at the moment
+// the section finished, and a restored run fast-forwards the streams by
+// replaying draws. A checkpoint whose counts cannot be replayed exactly
+// (draws interleaved across source methods, or a stream already past
+// the recorded position) is rejected and the section recomputed — the
+// fallback is always "do the work again", never "use a stream in the
+// wrong position".
+
+// Checkpoint artifact names inside the study's run store.
+const (
+	ckptBlocking   = "study.blocking.json"
+	ckptLabeling   = "study.labeling.json"
+	ckptMatching   = "study.matching.json"
+	ckptUpdating   = "study.updating.json"
+	ckptEstimating = "study.estimating.json"
+)
+
+// sectionCkpt maps a step name to its artifact name ("" = not
+// checkpointed).
+func sectionCkpt(step string) string {
+	switch step {
+	case "blocking":
+		return ckptBlocking
+	case "labeling":
+		return ckptLabeling
+	case "matching":
+		return ckptMatching
+	case "updating":
+		return ckptUpdating
+	case "estimating":
+		return ckptEstimating
+	}
+	return ""
+}
+
+// countedSource wraps a rand.Source64 and counts draws per method, so a
+// stream's position can be recorded in a checkpoint and replayed on
+// resume. math/rand advances source state differently per method (a
+// Uint64 is not two Int63s on every source), so the counts are kept
+// separate and a mixed stream refuses to fast-forward.
+type countedSource struct {
+	src    rand.Source64
+	counts rngCounts
+}
+
+// rngCounts is a stream position: cumulative draws per source method.
+type rngCounts struct {
+	Int63  uint64 `json:"int63"`
+	Uint64 uint64 `json:"uint64"`
+}
+
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countedSource) Int63() int64 {
+	c.counts.Int63++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.counts.Uint64++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.counts = rngCounts{}
+}
+
+// canReach reports whether the stream can be fast-forwarded from its
+// current position to target by replaying draws. It requires target to
+// be ahead (or equal) on both counters and at most one method to have
+// pending draws — with both pending, the original interleaving order is
+// unknown and replay would desynchronize the stream.
+func (c *countedSource) canReach(target rngCounts) bool {
+	if target.Int63 < c.counts.Int63 || target.Uint64 < c.counts.Uint64 {
+		return false
+	}
+	return target.Int63 == c.counts.Int63 || target.Uint64 == c.counts.Uint64
+}
+
+// ffwd replays draws until the stream reaches target. Callers must have
+// checked canReach first.
+func (c *countedSource) ffwd(target rngCounts) {
+	for c.counts.Int63 < target.Int63 {
+		c.Int63()
+	}
+	for c.counts.Uint64 < target.Uint64 {
+		c.Uint64()
+	}
+}
+
+// studyRng records both stream positions at a section boundary.
+type studyRng struct {
+	Main   rngCounts `json:"main"`
+	Expert rngCounts `json:"expert"`
+}
+
+// labelArt is one labeled pair in labeling order (the store's insertion
+// order is semantically significant: training sets are built in it).
+type labelArt struct {
+	Pair  [2]int `json:"pair"`
+	Label int    `json:"label"`
+}
+
+// resultArt serializes the candidate sets of one workflow result as row
+// index pairs.
+type resultArt struct {
+	Sure       [][2]int `json:"sure"`
+	Candidates [][2]int `json:"candidates"`
+	Learned    [][2]int `json:"learned"`
+	Final      [][2]int `json:"final"`
+}
+
+// evalArt is one element of the labeled estimation sample.
+type evalArt struct {
+	Slice int    `json:"slice"`
+	Pair  [2]int `json:"pair"`
+	Label int    `json:"label"`
+}
+
+// sectionArt is the on-disk form of one section checkpoint: the report
+// accumulated so far, the section's live state, and the random-stream
+// positions at the section boundary.
+type sectionArt struct {
+	Section string   `json:"section"`
+	Rng     studyRng `json:"rng"`
+	Report  *Report  `json:"report"`
+
+	// blocking
+	Cand [][2]int `json:"cand,omitempty"`
+	// labeling
+	Labels []labelArt `json:"labels,omitempty"`
+	// matching
+	Fig8 *resultArt `json:"fig8,omitempty"`
+	// updating
+	Winner string     `json:"winner,omitempty"`
+	Res1   *resultArt `json:"res1,omitempty"`
+	Res2   *resultArt `json:"res2,omitempty"`
+	// estimating
+	Eval  []evalArt `json:"eval,omitempty"`
+	Iris1 [][2]int  `json:"iris1,omitempty"`
+	Iris2 [][2]int  `json:"iris2,omitempty"`
+}
+
+func pairsOf(cs *block.CandidateSet) [][2]int {
+	out := make([][2]int, 0, cs.Len())
+	for _, p := range cs.Pairs() {
+		out = append(out, [2]int{p.A, p.B})
+	}
+	return out
+}
+
+func setOf(pairs [][2]int, left, right *table.Table) *block.CandidateSet {
+	cs := block.NewCandidateSet(left, right)
+	for _, p := range pairs {
+		cs.Add(block.Pair{A: p[0], B: p[1]})
+	}
+	return cs
+}
+
+func newResultArt(res *workflow.Result) *resultArt {
+	return &resultArt{
+		Sure:       pairsOf(res.Sure),
+		Candidates: pairsOf(res.Candidates),
+		Learned:    pairsOf(res.Learned),
+		Final:      pairsOf(res.Final),
+	}
+}
+
+func (a *resultArt) toResult(left, right *table.Table) *workflow.Result {
+	return &workflow.Result{
+		Sure:       setOf(a.Sure, left, right),
+		Candidates: setOf(a.Candidates, left, right),
+		Learned:    setOf(a.Learned, left, right),
+		Final:      setOf(a.Final, left, right),
+		Log:        &workflow.Log{},
+	}
+}
+
+func checkPairs(what string, pairs [][2]int, left, right *table.Table) error {
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= left.Len() || p[1] < 0 || p[1] >= right.Len() {
+			return fmt.Errorf("%s pair (%d,%d) out of range for %dx%d tables",
+				what, p[0], p[1], left.Len(), right.Len())
+		}
+	}
+	return nil
+}
+
+func (a *resultArt) check(what string, left, right *table.Table) error {
+	if a == nil {
+		return fmt.Errorf("%s result missing", what)
+	}
+	for _, seg := range []struct {
+		name  string
+		pairs [][2]int
+	}{
+		{"sure", a.Sure}, {"candidates", a.Candidates},
+		{"learned", a.Learned}, {"final", a.Final},
+	} {
+		if err := checkPairs(what+"."+seg.name, seg.pairs, left, right); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rngState snapshots both stream positions.
+func (s *study) rngState() studyRng {
+	return studyRng{Main: s.mainSrc.counts, Expert: s.expertSrc.counts}
+}
+
+// saveSection persists the checkpoint for a completed section; write
+// failures are recorded on the metrics registry but never fail the run.
+func (s *study) saveSection(step string) {
+	name := sectionCkpt(step)
+	if name == "" || s.cfg.Checkpoints == nil {
+		return
+	}
+	art := sectionArt{Section: step, Rng: s.rngState(), Report: s.report}
+	switch step {
+	case "blocking":
+		art.Cand = pairsOf(s.cand)
+	case "labeling":
+		for _, p := range s.labels.Pairs() {
+			art.Labels = append(art.Labels, labelArt{Pair: [2]int{p.A, p.B}, Label: int(s.labels.Get(p))})
+		}
+	case "matching":
+		art.Fig8 = newResultArt(s.fig8)
+	case "updating":
+		art.Winner = s.winner
+		art.Res1 = newResultArt(s.res1)
+		art.Res2 = newResultArt(s.res2)
+	case "estimating":
+		art.Iris1 = pairsOf(s.iris1)
+		art.Iris2 = pairsOf(s.iris2)
+		for _, it := range s.eval {
+			art.Eval = append(art.Eval, evalArt{Slice: it.slice, Pair: [2]int{it.pair.A, it.pair.B}, Label: int(it.label)})
+		}
+	}
+	if err := s.cfg.Checkpoints.WriteJSON(name, art); err != nil {
+		obs.C("umetrics.ckpt.write_failed").Inc()
+		return
+	}
+	obs.C("umetrics.ckpt.saved").Inc()
+}
+
+// tryRestore attempts to satisfy one section from its checkpoint. It
+// returns false — after quarantining an artifact that failed semantic
+// validation — whenever the section must run live.
+func (s *study) tryRestore(step string, sp *obs.Span) bool {
+	name := sectionCkpt(step)
+	store := s.cfg.Checkpoints
+	if name == "" || store == nil || !store.Has(name) {
+		return false
+	}
+	var art sectionArt
+	if err := store.ReadJSON(name, &art); err != nil {
+		// Corrupt artifacts are already quarantined by the store.
+		sp.Event("ckpt", fmt.Sprintf("checkpoint %s unreadable, recomputing: %v", name, err))
+		return false
+	}
+	if err := s.validateArt(step, &art); err != nil {
+		store.Quarantine(name, err.Error())
+		sp.Event("ckpt", fmt.Sprintf("checkpoint %s failed validation, quarantined; recomputing: %v", name, err))
+		return false
+	}
+	if !s.mainSrc.canReach(art.Rng.Main) || !s.expertSrc.canReach(art.Rng.Expert) {
+		// Not corruption — the artifact is internally consistent but the
+		// run's random streams cannot be positioned to match it (e.g. an
+		// earlier section was recomputed along a different path). Leave
+		// the artifact in place and recompute.
+		sp.Event("ckpt", fmt.Sprintf("checkpoint %s rng position unreachable, recomputing", name))
+		return false
+	}
+	s.restoreArt(step, &art)
+	s.mainSrc.ffwd(art.Rng.Main)
+	s.expertSrc.ffwd(art.Rng.Expert)
+	sp.Event("ckpt", "restored "+name)
+	obs.C("umetrics.ckpt.resumed").Inc()
+	return true
+}
+
+// validateArt bounds- and consistency-checks an artifact against the
+// replayed base state before any of it is trusted.
+func (s *study) validateArt(step string, art *sectionArt) error {
+	if art.Section != step {
+		return fmt.Errorf("artifact is for section %q, not %q", art.Section, step)
+	}
+	if art.Report == nil {
+		return fmt.Errorf("artifact has no report")
+	}
+	um, us := s.proj.UMETRICS, s.proj.USDA
+	switch step {
+	case "blocking":
+		return checkPairs("cand", art.Cand, um, us)
+	case "labeling":
+		for _, l := range art.Labels {
+			if err := checkPairs("label", [][2]int{l.Pair}, um, us); err != nil {
+				return err
+			}
+			switch label.Label(l.Label) {
+			case label.Yes, label.No, label.Unsure:
+			default:
+				return fmt.Errorf("label %d out of range", l.Label)
+			}
+		}
+		return nil
+	case "matching":
+		return art.Fig8.check("fig8", um, us)
+	case "updating":
+		if _, err := s.factoryFor(art.Winner); err != nil {
+			return fmt.Errorf("winner: %w", err)
+		}
+		if err := art.Res1.check("res1", um, us); err != nil {
+			return err
+		}
+		return art.Res2.check("res2", s.extra.UMETRICS, s.extra.USDA)
+	case "estimating":
+		if err := checkPairs("iris1", art.Iris1, um, us); err != nil {
+			return err
+		}
+		if err := checkPairs("iris2", art.Iris2, s.extra.UMETRICS, s.extra.USDA); err != nil {
+			return err
+		}
+		for _, it := range art.Eval {
+			switch it.Slice {
+			case 0:
+				if err := checkPairs("eval", [][2]int{it.Pair}, um, us); err != nil {
+					return err
+				}
+			case 1:
+				if err := checkPairs("eval", [][2]int{it.Pair}, s.extra.UMETRICS, s.extra.USDA); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("eval slice %d out of range", it.Slice)
+			}
+			switch label.Label(it.Label) {
+			case label.Yes, label.No, label.Unsure:
+			default:
+				return fmt.Errorf("eval label %d out of range", it.Label)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("section %q has no checkpoint", step)
+}
+
+// restoreArt installs a validated artifact as the section's live state.
+// Derived state a checkpoint cannot carry (feature sets, imputers,
+// fitted matchers) is rebuilt deterministically from what it can.
+func (s *study) restoreArt(step string, art *sectionArt) {
+	um, us := s.proj.UMETRICS, s.proj.USDA
+	switch step {
+	case "blocking":
+		s.cand = setOf(art.Cand, um, us)
+	case "labeling":
+		s.labels = label.NewStore()
+		for _, l := range art.Labels {
+			// Set on a fresh store in artifact order reproduces the
+			// original labeling order exactly; it cannot fail on a valid
+			// artifact (bounds were checked above).
+			_ = s.labels.Set(block.Pair{A: l.Pair[0], B: l.Pair[1]}, label.Label(l.Label))
+		}
+	case "matching":
+		s.fig8 = art.Fig8.toResult(um, us)
+	case "updating":
+		s.winner = art.Winner
+		s.res1 = art.Res1.toResult(um, us)
+		s.res2 = art.Res2.toResult(s.extra.UMETRICS, s.extra.USDA)
+	case "estimating":
+		s.iris1 = setOf(art.Iris1, um, us)
+		s.iris2 = setOf(art.Iris2, s.extra.UMETRICS, s.extra.USDA)
+		s.eval = nil
+		for _, it := range art.Eval {
+			s.eval = append(s.eval, evalItem{
+				slice: it.Slice,
+				pair:  block.Pair{A: it.Pair[0], B: it.Pair[1]},
+				label: label.Label(it.Label),
+			})
+		}
+	}
+	*s.report = *art.Report
+}
+
+// rebuildDerived reconstructs the unserializable state later sections
+// need, after the last restored section. Everything here is a
+// deterministic function of restored state, so a rebuilt object is
+// byte-equivalent to the one the original run held.
+func (s *study) rebuildDerived(lastRestored string) error {
+	switch lastRestored {
+	case "matching", "updating", "estimating":
+		// The case-insensitive feature extension of Section 9 must be
+		// present before any further training or deployment packaging.
+		corr, order := s.corrOrder()
+		fs, err := feature.Generate(s.proj.UMETRICS, s.proj.USDA, corr, order)
+		if err != nil {
+			return err
+		}
+		if err := feature.AddCaseInsensitive(fs, s.proj.UMETRICS, corr,
+			[]string{"AwardTitle", "EmployeeName"}); err != nil {
+			return err
+		}
+		s.features = fs
+	}
+	switch lastRestored {
+	case "updating", "estimating":
+		// Refit the Section 10 winner on the deterministic training set;
+		// this also restores s.imputer (vectorize fits it) and
+		// s.lastTrain, which refining's deployment packaging needs.
+		ds, _, err := s.trainingSetExcludingRule2()
+		if err != nil {
+			return err
+		}
+		s.lastTrain = ds
+		matcher, err := s.fitImputerAndTrain(s.winner, ds)
+		if err != nil {
+			return err
+		}
+		s.matcher = matcher
+	}
+	return nil
+}
+
+// Fingerprint returns the checkpoint-store fingerprint for this
+// configuration: any change to the generator parameters, seed, round
+// plan, or expert noise invalidates every checkpoint.
+func (c Config) Fingerprint() string {
+	return ckpt.Fingerprint(
+		"umetrics.casestudy",
+		fmt.Sprintf("%+v", c.Params),
+		fmt.Sprintf("seed=%d rounds=%v est=%v hes=%g mis=%g",
+			c.Seed, c.SampleRounds, c.EstimateRounds, c.HesitateRate, c.MistakeRate),
+	)
+}

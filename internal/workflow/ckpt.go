@@ -1,0 +1,147 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+
+	"emgo/internal/block"
+	"emgo/internal/ckpt"
+	"emgo/internal/obs"
+	"emgo/internal/table"
+)
+
+// This file is RunCtx's durability layer: the expensive stage outputs
+// (the blocked candidate set, the learned predictions with their
+// quarantine list) are written to an optional ckpt.Store after each
+// stage completes, and restored — after checksum and semantic
+// validation — on the next run over the same inputs. Everything here
+// is fail-open in both directions: a checkpoint that cannot be written
+// degrades to "no checkpoint" (the run continues), and a checkpoint
+// that cannot be trusted is quarantined and the stage recomputed. The
+// only way a checkpoint influences a run is by being byte-verified and
+// semantically valid.
+
+// Checkpoint artifact names inside the run store.
+const (
+	ckptBlocked = "stage.blocked.json"
+	ckptLearned = "stage.learned.json"
+)
+
+// pairsArtifact is the serialized form of one candidate set, carrying
+// the table shapes it was computed over so a stale or foreign artifact
+// is rejected even if its checksum is intact.
+type pairsArtifact struct {
+	LeftName  string   `json:"left"`
+	RightName string   `json:"right"`
+	LeftRows  int      `json:"left_rows"`
+	RightRows int      `json:"right_rows"`
+	Pairs     [][2]int `json:"pairs"`
+}
+
+// learnedArtifact persists the matching stage: predicted matches plus
+// the pairs quarantined under the error budget (resuming must not
+// silently reintroduce poison pairs).
+type learnedArtifact struct {
+	pairsArtifact
+	Quarantined [][2]int `json:"quarantined,omitempty"`
+}
+
+// newPairsArtifact snapshots a candidate set in insertion order —
+// order is part of the contract, since downstream sampling indexes
+// into it.
+func newPairsArtifact(cs *block.CandidateSet) pairsArtifact {
+	a := pairsArtifact{
+		LeftName:  cs.Left.Name(),
+		RightName: cs.Right.Name(),
+		LeftRows:  cs.Left.Len(),
+		RightRows: cs.Right.Len(),
+		Pairs:     make([][2]int, 0, cs.Len()),
+	}
+	for _, p := range cs.Pairs() {
+		a.Pairs = append(a.Pairs, [2]int{p.A, p.B})
+	}
+	return a
+}
+
+// validate checks the artifact against the live tables; any mismatch
+// means the checkpoint belongs to different inputs (or was tampered
+// with) and must be recomputed.
+func (a *pairsArtifact) validate(left, right *table.Table) error {
+	if a.LeftName != left.Name() || a.RightName != right.Name() {
+		return fmt.Errorf("tables %q/%q, checkpoint has %q/%q", left.Name(), right.Name(), a.LeftName, a.RightName)
+	}
+	if a.LeftRows != left.Len() || a.RightRows != right.Len() {
+		return fmt.Errorf("table shapes %dx%d, checkpoint has %dx%d", left.Len(), right.Len(), a.LeftRows, a.RightRows)
+	}
+	return validPairs(a.Pairs, left.Len(), right.Len())
+}
+
+// validPairs bounds-checks serialized pairs so arbitrary bytes in a
+// checkpoint can never turn into an out-of-range row access later.
+func validPairs(pairs [][2]int, leftRows, rightRows int) error {
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= leftRows || p[1] < 0 || p[1] >= rightRows {
+			return fmt.Errorf("pair (%d,%d) out of range for %dx%d tables", p[0], p[1], leftRows, rightRows)
+		}
+	}
+	return nil
+}
+
+// toSet rebuilds a candidate set in the artifact's order.
+func (a *pairsArtifact) toSet(left, right *table.Table) *block.CandidateSet {
+	cs := block.NewCandidateSet(left, right)
+	for _, p := range a.Pairs {
+		cs.Add(block.Pair{A: p[0], B: p[1]})
+	}
+	return cs
+}
+
+// toPairs converts a serialized pair list.
+func toPairs(raw [][2]int) []block.Pair {
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]block.Pair, len(raw))
+	for i, p := range raw {
+		out[i] = block.Pair{A: p[0], B: p[1]}
+	}
+	return out
+}
+
+// loadStageCkpt reads and validates one stage artifact into dst (which
+// must embed or be a pairsArtifact; validate runs the semantic check).
+// It returns false — after quarantining when appropriate — whenever
+// the stage must be recomputed, recording why on the span.
+func loadStageCkpt(store *ckpt.Store, name string, span *obs.Span, dst any, validate func() error) bool {
+	if store == nil || !store.Has(name) {
+		return false
+	}
+	if err := store.ReadJSON(name, dst); err != nil {
+		if errors.Is(err, ckpt.ErrCorrupt) {
+			span.Event("ckpt", fmt.Sprintf("checkpoint %s corrupt, quarantined; recomputing: %v", name, err))
+		}
+		return false
+	}
+	if err := validate(); err != nil {
+		store.Quarantine(name, err.Error())
+		span.Event("ckpt", fmt.Sprintf("checkpoint %s failed validation, quarantined; recomputing: %v", name, err))
+		return false
+	}
+	span.Event("ckpt", "restored "+name)
+	obs.C("workflow.ckpt.resumed").Inc()
+	return true
+}
+
+// saveStageCkpt persists one stage artifact; failures are events, not
+// errors — a run that cannot checkpoint still completes.
+func saveStageCkpt(store *ckpt.Store, name string, span *obs.Span, v any) {
+	if store == nil {
+		return
+	}
+	if err := store.WriteJSON(name, v); err != nil {
+		span.Event("ckpt", fmt.Sprintf("checkpoint %s not written: %v", name, err))
+		obs.C("workflow.ckpt.write_failed").Inc()
+		return
+	}
+	span.Event("ckpt", "wrote "+name)
+}

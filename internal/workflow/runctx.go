@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"emgo/internal/block"
+	"emgo/internal/ckpt"
 	"emgo/internal/label"
 	"emgo/internal/ml"
 	"emgo/internal/obs"
@@ -62,6 +63,15 @@ type RunOptions struct {
 	// Check, when set, runs a production monitoring check as the final
 	// stage and stores its result on the Result.
 	Check *CheckStage
+	// Checkpoints, when non-nil, makes the run durable: the blocked
+	// candidate set and the learned predictions are written to the
+	// store after their stages complete (temp file + fsync + atomic
+	// rename, checksummed in the store's manifest), and a later run
+	// over the same inputs restores them instead of recomputing —
+	// recorded in provenance and spans as OutcomeResumed. Corrupt or
+	// stale artifacts are quarantined and the stage recomputed; the
+	// store never makes a run fail.
+	Checkpoints *ckpt.Store
 }
 
 // stageCtx derives the context for one named stage.
@@ -158,16 +168,29 @@ func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts Ru
 	st.finish(OutcomeOK, res.Sure.Len())
 	log.Add("sure_matches", "positive rules over input tables", res.Sure.Len())
 
-	// Step 2: blocking, under its stage deadline.
+	// Step 2: blocking, under its stage deadline — or restored from a
+	// checkpoint written by a previous run over the same inputs.
 	st = startStage(ctx, "blocked", stageMS)
-	bctx, cancel := opts.stageCtx(st.ctx, "blocked")
-	blocked, berr := block.UnionBlockCtx(bctx, left, right, w.Blockers...)
-	cancel()
-	if berr != nil {
-		return abort(st, "blocked", berr)
+	var blocked *block.CandidateSet
+	var blockedArt pairsArtifact
+	if loadStageCkpt(opts.Checkpoints, ckptBlocked, st.span, &blockedArt, func() error {
+		return blockedArt.validate(left, right)
+	}) {
+		blocked = blockedArt.toSet(left, right)
+		st.finish(OutcomeResumed, blocked.Len())
+		log.AddOutcome("blocked", "union of blockers (restored from checkpoint)", blocked.Len(), OutcomeResumed)
+	} else {
+		bctx, cancel := opts.stageCtx(st.ctx, "blocked")
+		var berr error
+		blocked, berr = block.UnionBlockCtx(bctx, left, right, w.Blockers...)
+		cancel()
+		if berr != nil {
+			return abort(st, "blocked", berr)
+		}
+		saveStageCkpt(opts.Checkpoints, ckptBlocked, st.span, newPairsArtifact(blocked))
+		st.finish(OutcomeOK, blocked.Len())
+		log.Add("blocked", "union of blockers", blocked.Len())
 	}
-	st.finish(OutcomeOK, blocked.Len())
-	log.Add("blocked", "union of blockers", blocked.Len())
 
 	// Step 3: remove sure matches from the candidate set.
 	st = startStage(ctx, "candidates", stageMS)
@@ -180,53 +203,78 @@ func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts Ru
 
 	// Step 4: learned predictions, with the error budget. A pair whose
 	// vectorization or prediction fails (panic or error) is quarantined
-	// and the stage re-run without it, until the budget is spent.
+	// and the stage re-run without it, until the budget is spent. A
+	// checkpoint from a previous run restores both the predictions and
+	// the quarantine list, so a resumed run neither re-pays the
+	// prediction cost nor re-admits poison pairs.
 	st = startStage(ctx, "learned", stageMS)
-	res.Learned = block.NewCandidateSet(left, right)
-	if w.Matcher != nil && res.Candidates.Len() > 0 {
-		if w.Features == nil || w.Imputer == nil {
-			return abort(st, "learned", fmt.Errorf("matcher set but features/imputer missing"))
+	var learnedArt learnedArtifact
+	if loadStageCkpt(opts.Checkpoints, ckptLearned, st.span, &learnedArt, func() error {
+		if err := learnedArt.validate(left, right); err != nil {
+			return err
 		}
-		pairs := res.Candidates.Pairs()
-		budget := opts.ErrorBudget
-		quarantined := obs.C("workflow.quarantined")
-		var preds []int
-		for {
-			var perr error
-			preds, perr = w.predictPairs(st.ctx, opts, left, right, pairs)
-			if perr == nil {
-				break
-			}
-			idx, indexed := parallel.FailingIndex(perr)
-			if !indexed || budget <= 0 || ctx.Err() != nil {
-				return abort(st, "learned", perr)
-			}
-			budget--
-			bad := pairs[idx]
-			res.Quarantined = append(res.Quarantined, bad)
-			quarantined.Inc()
-			detail := fmt.Sprintf("quarantined pair (%d,%d) after failure: %v", bad.A, bad.B, unwrapIndexed(perr))
-			st.span.Event("quarantine", detail)
-			log.AddOutcome("learned", detail, len(pairs)-1, OutcomeDegraded)
-			trimmed := make([]block.Pair, 0, len(pairs)-1)
-			trimmed = append(trimmed, pairs[:idx]...)
-			trimmed = append(trimmed, pairs[idx+1:]...)
-			pairs = trimmed
+		return validPairs(learnedArt.Quarantined, left.Len(), right.Len())
+	}) {
+		res.Learned = learnedArt.toSet(left, right)
+		res.Quarantined = toPairs(learnedArt.Quarantined)
+		st.finish(OutcomeResumed, res.Learned.Len())
+		detail := "matcher predictions on candidates (restored from checkpoint)"
+		if n := len(res.Quarantined); n > 0 {
+			detail = fmt.Sprintf("%s; %d pairs quarantined by the checkpointed run", detail, n)
 		}
-		for i, p := range pairs {
-			if preds[i] == 1 {
-				res.Learned.Add(p)
-			}
-		}
-	}
-	if len(res.Quarantined) > 0 {
-		st.finish(OutcomeDegraded, res.Learned.Len())
-		log.AddOutcome("learned",
-			fmt.Sprintf("matcher predictions on candidates (%d pairs quarantined)", len(res.Quarantined)),
-			res.Learned.Len(), OutcomeDegraded)
+		log.AddOutcome("learned", detail, res.Learned.Len(), OutcomeResumed)
 	} else {
-		st.finish(OutcomeOK, res.Learned.Len())
-		log.Add("learned", "matcher predictions on candidates", res.Learned.Len())
+		res.Learned = block.NewCandidateSet(left, right)
+		if w.Matcher != nil && res.Candidates.Len() > 0 {
+			if w.Features == nil || w.Imputer == nil {
+				return abort(st, "learned", fmt.Errorf("matcher set but features/imputer missing"))
+			}
+			pairs := res.Candidates.Pairs()
+			budget := opts.ErrorBudget
+			quarantined := obs.C("workflow.quarantined")
+			var preds []int
+			for {
+				var perr error
+				preds, perr = w.predictPairs(st.ctx, opts, left, right, pairs)
+				if perr == nil {
+					break
+				}
+				idx, indexed := parallel.FailingIndex(perr)
+				if !indexed || budget <= 0 || ctx.Err() != nil {
+					return abort(st, "learned", perr)
+				}
+				budget--
+				bad := pairs[idx]
+				res.Quarantined = append(res.Quarantined, bad)
+				quarantined.Inc()
+				detail := fmt.Sprintf("quarantined pair (%d,%d) after failure: %v", bad.A, bad.B, unwrapIndexed(perr))
+				st.span.Event("quarantine", detail)
+				log.AddOutcome("learned", detail, len(pairs)-1, OutcomeDegraded)
+				trimmed := make([]block.Pair, 0, len(pairs)-1)
+				trimmed = append(trimmed, pairs[:idx]...)
+				trimmed = append(trimmed, pairs[idx+1:]...)
+				pairs = trimmed
+			}
+			for i, p := range pairs {
+				if preds[i] == 1 {
+					res.Learned.Add(p)
+				}
+			}
+		}
+		art := learnedArtifact{pairsArtifact: newPairsArtifact(res.Learned)}
+		for _, p := range res.Quarantined {
+			art.Quarantined = append(art.Quarantined, [2]int{p.A, p.B})
+		}
+		saveStageCkpt(opts.Checkpoints, ckptLearned, st.span, art)
+		if len(res.Quarantined) > 0 {
+			st.finish(OutcomeDegraded, res.Learned.Len())
+			log.AddOutcome("learned",
+				fmt.Sprintf("matcher predictions on candidates (%d pairs quarantined)", len(res.Quarantined)),
+				res.Learned.Len(), OutcomeDegraded)
+		} else {
+			st.finish(OutcomeOK, res.Learned.Len())
+			log.Add("learned", "matcher predictions on candidates", res.Learned.Len())
+		}
 	}
 
 	// Step 5: negative rules veto learned matches.

@@ -34,6 +34,10 @@ const (
 	// OutcomeDegraded marks a stage that completed by quarantining
 	// failing pairs under the error budget.
 	OutcomeDegraded = "degraded"
+	// OutcomeResumed marks a stage whose result was restored from a
+	// crash-safe checkpoint instead of recomputed — the record that
+	// distinguishes "this run did the work" from "a previous run did".
+	OutcomeResumed = "resumed"
 )
 
 // Entry is one provenance record.

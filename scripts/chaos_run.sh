@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# chaos_run.sh — kill/resume chaos harness for the checkpointing layer.
+#
+# Builds emcasestudy with the race detector, runs a golden (uncrashed)
+# case study at a fixed seed, then for every section checkpoint kills
+# the pipeline at exact boundaries — before the artifact is written,
+# right after it commits, and once mid-write (a torn temp file on disk)
+# — resumes each killed run, and asserts the resumed run's stdout
+# report and match CSV are byte-identical to golden. Finally it
+# corrupts one committed artifact on disk and asserts the resume
+# quarantines it, recomputes, and still converges to golden.
+#
+# Kill-points are driven by EMCKPT_KILL=<mode>:<artifact> (see
+# internal/ckpt/chaos.go); the process dies by SIGKILL so no cleanup
+# code can cheat.
+set -u
+
+SCALE="${CHAOS_SCALE:-0.15}"
+SEED="${CHAOS_SEED:-7}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+BIN="$TMP/emcasestudy"
+ARGS=(-scale "$SCALE" -seed "$SEED")
+FAILURES=0
+
+say() { printf 'chaos: %s\n' "$*"; }
+fail() { printf 'chaos: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+
+say "building emcasestudy with -race"
+(cd "$ROOT" && go build -race -o "$BIN" ./cmd/emcasestudy) || {
+    echo "chaos: build failed" >&2
+    exit 1
+}
+
+say "golden run (scale=$SCALE seed=$SEED)"
+"$BIN" "${ARGS[@]}" -out "$TMP/golden.csv" >"$TMP/golden.txt" 2>"$TMP/golden.err" || {
+    echo "chaos: golden run failed:" >&2
+    cat "$TMP/golden.err" >&2
+    exit 1
+}
+
+ARTIFACTS=(
+    study.blocking.json
+    study.labeling.json
+    study.matching.json
+    study.updating.json
+    study.estimating.json
+)
+
+# one_round <tag> <killspec>: kill a checkpointed run at the kill-point,
+# resume it, and compare the resumed outputs against golden.
+one_round() {
+    local tag="$1" killspec="$2"
+    local dir="$TMP/ckpt-$tag"
+    local out="$TMP/out-$tag"
+
+    EMCKPT_KILL="$killspec" "$BIN" "${ARGS[@]}" \
+        -checkpoint-dir "$dir" -resume >"$out.first.txt" 2>"$out.first.err"
+    local status=$?
+    if [ "$status" -ne 137 ]; then
+        fail "$tag: expected SIGKILL (exit 137) at $killspec, got exit $status"
+        return
+    fi
+
+    "$BIN" "${ARGS[@]}" -checkpoint-dir "$dir" -resume \
+        -out "$out.csv" >"$out.txt" 2>"$out.err"
+    if [ $? -ne 0 ]; then
+        fail "$tag: resume after $killspec failed:"
+        cat "$out.err" >&2
+        return
+    fi
+    if ! cmp -s "$TMP/golden.txt" "$out.txt"; then
+        fail "$tag: resumed report differs from golden after $killspec"
+        diff "$TMP/golden.txt" "$out.txt" | head -20 >&2
+        return
+    fi
+    if ! cmp -s "$TMP/golden.csv" "$out.csv"; then
+        fail "$tag: resumed matches differ from golden after $killspec"
+        return
+    fi
+    say "ok: kill at $killspec, resume byte-identical"
+}
+
+# Kill at every section boundary: before each artifact commits (the
+# section's work is lost and redone) and after (the section resumes).
+i=0
+for art in "${ARTIFACTS[@]}"; do
+    one_round "before-$i" "before:$art"
+    one_round "after-$i" "after:$art"
+    i=$((i + 1))
+done
+
+# Kill mid-write once: a torn half-written temp file must be swept on
+# reopen and never trusted.
+one_round "mid" "mid:study.matching.json"
+
+# Corruption: complete a checkpointed run, flip a byte in a committed
+# artifact, and resume — the store must quarantine it, recompute the
+# section, and still converge to golden.
+dir="$TMP/ckpt-corrupt"
+"$BIN" "${ARGS[@]}" -checkpoint-dir "$dir" >"$TMP/corrupt.first.txt" 2>&1 || {
+    fail "corrupt: initial checkpointed run failed"
+}
+if [ -f "$dir/study.matching.json" ]; then
+    # Flip one byte in the middle of the artifact.
+    size=$(wc -c <"$dir/study.matching.json")
+    mid=$((size / 2))
+    printf '\xff' | dd of="$dir/study.matching.json" bs=1 seek="$mid" conv=notrunc 2>/dev/null
+    "$BIN" "${ARGS[@]}" -checkpoint-dir "$dir" -resume \
+        -out "$TMP/corrupt.csv" >"$TMP/corrupt.txt" 2>"$TMP/corrupt.err"
+    if [ $? -ne 0 ]; then
+        fail "corrupt: resume with corrupt artifact failed:"
+        cat "$TMP/corrupt.err" >&2
+    elif ! cmp -s "$TMP/golden.txt" "$TMP/corrupt.txt" || ! cmp -s "$TMP/golden.csv" "$TMP/corrupt.csv"; then
+        fail "corrupt: recomputed run differs from golden"
+    elif [ -z "$(ls -A "$dir/quarantine" 2>/dev/null)" ]; then
+        fail "corrupt: corrupted artifact was not quarantined"
+    else
+        say "ok: corrupt artifact quarantined, recomputed, byte-identical"
+    fi
+else
+    fail "corrupt: expected artifact $dir/study.matching.json missing"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "chaos: $FAILURES failure(s)" >&2
+    exit 1
+fi
+say "all kill/resume rounds byte-identical to golden"
