@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke
 
 all: tier1
 
@@ -32,11 +32,19 @@ race:
 chaos:
 	./scripts/chaos_run.sh
 
+# monitor-smoke exercises the quality-monitoring loop end to end: a
+# drift-capture run persists a baseline, an identical slice passes
+# `emmonitor check` (exit 0), and a perturbed slice fails it (exit 1) —
+# see scripts/monitor_smoke.sh and docs/OBSERVABILITY.md.
+monitor-smoke:
+	./scripts/monitor_smoke.sh
+
 # Tier 2 — the hardened-runtime gate: formatting and static analysis plus
 # the full test suite under the race detector (the parallel fan-out,
 # cancellation, fault-injection, and observability paths are only
-# trustworthy race-clean), and the kill/resume chaos harness.
-tier2: fmt-check vet race chaos
+# trustworthy race-clean), the kill/resume chaos harness, and the
+# quality-monitoring smoke loop.
+tier2: fmt-check vet race chaos monitor-smoke
 
 ci: tier1 tier2
 

@@ -8,7 +8,7 @@
 //
 //	emcasestudy [-scale 1.0] [-seed 7] [-out matches.csv] \
 //	            [-report run.json] [-trace trace.json] [-debug-addr :6060] \
-//	            [-checkpoint-dir ckpt/ [-resume]]
+//	            [-checkpoint-dir ckpt/ [-resume]] [-history runs/]
 //
 // Crash safety: -checkpoint-dir persists each completed section
 // durably; rerunning with -resume restores validated checkpoints (and
@@ -21,8 +21,10 @@
 // spans, hot-path counters, fault/retry counts); -trace writes just the
 // span tree; -debug-addr serves live expvar metrics and pprof during the
 // run — useful because a full-scale case study runs long enough to
-// profile. The human-readable report stays on stdout; diagnostics and
-// progress go to stderr.
+// profile. -history appends the run report to an append-only JSONL
+// directory so emmonitor can diff and track study runs over time. The
+// human-readable report stays on stdout; diagnostics and progress go to
+// stderr.
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 
 	"emgo/internal/ckpt"
 	"emgo/internal/obs"
+	"emgo/internal/obs/history"
 	"emgo/internal/umetrics"
 	"emgo/internal/workflow"
 )
@@ -66,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) at this address during the run, e.g. :6060")
 	ckptDir := fs.String("checkpoint-dir", "", "write crash-safe section checkpoints under this directory")
 	resume := fs.Bool("resume", false, "restore completed sections from -checkpoint-dir instead of recomputing them")
+	historyDir := fs.String("history", "", "append the run report to this run-history directory (for emmonitor)")
 	if err := fs.Parse(args); err != nil {
 		return flag.ErrHelp // the FlagSet already printed the diagnostic
 	}
@@ -99,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Checkpoints = store
 	}
 
-	if *reportPath != "" || *tracePath != "" || *debugAddr != "" {
+	if *reportPath != "" || *tracePath != "" || *debugAddr != "" || *historyDir != "" {
 		obs.Enable()
 	}
 	if *debugAddr != "" {
@@ -113,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ctx := context.Background()
 	started := time.Now()
 	var root *obs.Span
-	if *reportPath != "" || *tracePath != "" {
+	if *reportPath != "" || *tracePath != "" || *historyDir != "" {
 		ctx, root = obs.NewTrace(ctx, "emcasestudy")
 	}
 
@@ -130,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "emcasestudy: wrote trace to %s\n", *tracePath)
 		}
 	}
-	if *reportPath != "" {
+	if *reportPath != "" || *historyDir != "" {
 		outcome := workflow.OutcomeOK
 		obsRep := &obs.Report{
 			Name:      "emcasestudy",
@@ -146,14 +150,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 			snap := obs.Default().Snapshot()
 			obsRep.Metrics = &snap
 		}
-		data, err := obsRep.Marshal()
-		if err == nil {
-			err = os.WriteFile(*reportPath, append(data, '\n'), 0o644)
+		if *reportPath != "" {
+			data, err := obsRep.Marshal()
+			if err == nil {
+				err = os.WriteFile(*reportPath, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "emcasestudy: writing run report:", err)
+			} else {
+				fmt.Fprintf(stderr, "emcasestudy: wrote run report to %s\n", *reportPath)
+			}
 		}
-		if err != nil {
-			fmt.Fprintln(stderr, "emcasestudy: writing run report:", err)
-		} else {
-			fmt.Fprintf(stderr, "emcasestudy: wrote run report to %s\n", *reportPath)
+		if *historyDir != "" {
+			store, err := history.Open(*historyDir)
+			if err == nil {
+				err = store.Append(obsRep)
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "emcasestudy: appending run history:", err)
+			} else {
+				fmt.Fprintf(stderr, "emcasestudy: appended run report to %s\n", store.Path())
+			}
 		}
 	}
 	if runErr != nil {

@@ -12,7 +12,8 @@
 //	        [-left-id RecordId] [-right-id RecordId] [-out matches.csv] [-transforms umetrics] \
 //	        [-timeout 0] [-stage-timeout 0] [-error-budget 0] \
 //	        [-report run.json] [-trace trace.json] [-debug-addr :6060] \
-//	        [-checkpoint-dir ckpt/ [-resume]]
+//	        [-checkpoint-dir ckpt/ [-resume]] \
+//	        [-drift-capture baseline.json | -drift-baseline baseline.json] [-history runs/]
 //
 // Crash safety: -checkpoint-dir persists each expensive stage's output
 // (blocking, matching) durably as it completes; rerunning with -resume
@@ -26,11 +27,20 @@
 // Observability: -report writes the machine-readable run report
 // (per-stage spans with durations and outcomes, hot-path counters,
 // provenance log, quarantine decisions); -trace writes just the span
-// tree; -debug-addr serves live expvar metrics (/debug/vars) and pprof
-// (/debug/pprof/) for the duration of the run. Stream discipline: only
-// data (the match CSV, or a report/trace directed at "-") goes to
-// stdout; every diagnostic and progress line goes to stderr, so reports
-// can be piped.
+// tree; -debug-addr serves live expvar metrics (/debug/vars), pprof
+// (/debug/pprof/), and Prometheus text exposition (/metrics) for the
+// duration of the run. Stream discipline: only data (the match CSV, or
+// a report/trace directed at "-") goes to stdout; every diagnostic and
+// progress line goes to stderr, so reports can be piped.
+//
+// Quality monitoring (see docs/OBSERVABILITY.md): -drift-capture
+// profiles this run's inputs, features, candidates, and scores and
+// writes the statistical baseline to the given path; -drift-baseline
+// re-profiles the run and scores it against such a baseline (PSI, KS,
+// null-rate / coverage / match-rate deltas), stamping the verdict into
+// the run report — a breach marks the quality stage degraded_quality
+// but never fails the run. -history appends the run report to an
+// append-only JSONL directory that emmonitor check/diff/history reads.
 package main
 
 import (
@@ -46,7 +56,9 @@ import (
 	"time"
 
 	"emgo/internal/ckpt"
+	"emgo/internal/drift"
 	"emgo/internal/obs"
+	"emgo/internal/obs/history"
 	"emgo/internal/table"
 	"emgo/internal/umetrics"
 	"emgo/internal/workflow"
@@ -91,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	debugAddr := fs.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) at this address during the run, e.g. :6060")
 	ckptDir := fs.String("checkpoint-dir", "", "write crash-safe stage checkpoints under this directory")
 	resume := fs.Bool("resume", false, "restore completed stages from -checkpoint-dir instead of recomputing them")
+	driftCapture := fs.String("drift-capture", "", "profile this run and write the quality baseline JSON to this path")
+	driftBaseline := fs.String("drift-baseline", "", "score this run's quality profile against the baseline at this path")
+	historyDir := fs.String("history", "", "append the run report to this run-history directory (for emmonitor)")
 	if err := fs.Parse(args); err != nil {
 		return flag.ErrHelp // the FlagSet already printed the diagnostic
 	}
@@ -114,11 +129,14 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
+	if *driftCapture != "" && *driftBaseline != "" {
+		return fmt.Errorf("-drift-capture and -drift-baseline are mutually exclusive")
+	}
 
-	// Observability: any of the three flags arms the metrics registry so
+	// Observability: any of these flags arms the metrics registry so
 	// hot-path counters (pairs blocked, vectors built, predictions,
 	// retries, fault trips) tick for this run.
-	if *reportPath != "" || *tracePath != "" || *debugAddr != "" {
+	if *reportPath != "" || *tracePath != "" || *debugAddr != "" || *historyDir != "" {
 		obs.Enable()
 	}
 	if *debugAddr != "" {
@@ -172,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	started := time.Now()
 	var root *obs.Span
-	if *reportPath != "" || *tracePath != "" {
+	if *reportPath != "" || *tracePath != "" || *historyDir != "" {
 		// Root the process-wide trace so the workflow's stage spans nest
 		// under the binary's own span.
 		ctx, root = obs.NewTrace(ctx, "emmatch")
@@ -204,7 +222,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 				fmt.Fprintf(stderr, "emmatch: wrote trace to %s\n", *tracePath)
 			}
 		}
-		if *reportPath != "" {
+		if *reportPath != "" || *historyDir != "" {
 			var rep *obs.Report
 			if res != nil {
 				rep = res.Report
@@ -224,15 +242,27 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 					rep.Metrics = &snap
 				}
 			}
-			data, err := rep.Marshal()
-			if err != nil {
-				return err
+			if *reportPath != "" {
+				data, err := rep.Marshal()
+				if err != nil {
+					return err
+				}
+				if err := writeDoc(*reportPath, data); err != nil {
+					return err
+				}
+				if *reportPath != "-" {
+					fmt.Fprintf(stderr, "emmatch: wrote run report to %s\n", *reportPath)
+				}
 			}
-			if err := writeDoc(*reportPath, data); err != nil {
-				return err
-			}
-			if *reportPath != "-" {
-				fmt.Fprintf(stderr, "emmatch: wrote run report to %s\n", *reportPath)
+			if *historyDir != "" {
+				store, err := history.Open(*historyDir)
+				if err != nil {
+					return err
+				}
+				if err := store.Append(rep); err != nil {
+					return err
+				}
+				fmt.Fprintf(stderr, "emmatch: appended run report to %s\n", store.Path())
 			}
 		}
 		return nil
@@ -241,6 +271,17 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	opts := workflow.RunOptions{
 		StageTimeout: *stageTimeout,
 		ErrorBudget:  *errorBudget,
+	}
+	switch {
+	case *driftCapture != "":
+		// Capture mode: profile this run and persist the baseline.
+		opts.Drift = &workflow.DriftStage{BaselinePath: *driftCapture}
+	case *driftBaseline != "":
+		base, err := drift.LoadProfile(*driftBaseline)
+		if err != nil {
+			return fmt.Errorf("drift baseline: %w", err)
+		}
+		opts.Drift = &workflow.DriftStage{Baseline: base}
 	}
 	if *ckptDir != "" {
 		// The store is bound to the exact spec bytes and table contents:
@@ -285,6 +326,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	if n := len(res.Quarantined); n > 0 {
 		fmt.Fprintf(stderr, "emmatch: %d pairs quarantined under the error budget\n", n)
+	}
+	if res.Quality != nil {
+		fmt.Fprintf(stderr, "emmatch: quality verdict %s (see emmonitor check for details)\n", res.Quality.Verdict)
 	}
 
 	ids, err := res.MatchIDs(*leftID, *rightID)

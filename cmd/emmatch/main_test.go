@@ -112,3 +112,56 @@ func TestRunSpecReferencingMissingTransform(t *testing.T) {
 		t.Fatalf("err: %v", err)
 	}
 }
+
+func TestRunDriftCaptureThenCheckAndHistory(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "spec.json", tinySpec)
+	left := writeFile(t, dir, "left.csv", leftCSV)
+	right := writeFile(t, dir, "right.csv", rightCSV)
+	baseline := filepath.Join(dir, "baseline.json")
+	hist := filepath.Join(dir, "hist")
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-spec", spec, "-left", left, "-right", right, "-transforms", "none",
+		"-out", filepath.Join(dir, "m1.csv"), "-drift-capture", baseline, "-history", hist},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("capture run: %v\nstderr: %s", err, stderr.String())
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("baseline not persisted: %v", err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	err = run([]string{"-spec", spec, "-left", left, "-right", right, "-transforms", "none",
+		"-out", filepath.Join(dir, "m2.csv"), "-drift-baseline", baseline, "-history", hist},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("check run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "quality verdict ok") {
+		t.Fatalf("check run stderr:\n%s", stderr.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(hist, "runs.jsonl"))
+	if err != nil {
+		t.Fatalf("history not written: %v", err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("history has %d lines, want 2", n)
+	}
+}
+
+func TestRunDriftFlagsMutuallyExclusive(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeFile(t, dir, "spec.json", tinySpec)
+	left := writeFile(t, dir, "left.csv", leftCSV)
+	right := writeFile(t, dir, "right.csv", rightCSV)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-spec", spec, "-left", left, "-right", right, "-transforms", "none",
+		"-drift-capture", "a.json", "-drift-baseline", "b.json"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err: %v", err)
+	}
+}

@@ -146,6 +146,18 @@ func (c *CandidateSet) Filter(keep func(Pair) bool) *CandidateSet {
 	return out
 }
 
+// PerLeftCounts returns, for every left-table row, how many candidate
+// pairs reference it — the per-input-row candidate-set size that quality
+// monitoring profiles (a row with zero candidates was not covered by
+// blocking).
+func (c *CandidateSet) PerLeftCounts() []int {
+	out := make([]int, c.Left.Len())
+	for _, p := range c.pairs {
+		out[p.A]++
+	}
+	return out
+}
+
 // Sorted returns the pairs ordered by (A, B); used for deterministic
 // output in reports.
 func (c *CandidateSet) Sorted() []Pair {

@@ -1,0 +1,112 @@
+package drift
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the distribution-distance primitives the assessment
+// is built from: the population stability index (PSI) used across the
+// model-monitoring literature (≤ 0.1 stable, 0.1-0.25 moderate shift,
+// > 0.25 major shift), and the two-sample Kolmogorov-Smirnov statistic,
+// which is threshold-free and catches shape changes PSI's coarse bins
+// miss.
+
+// psiFloor keeps empty bins from producing infinite PSI terms; both
+// distributions are smoothed by the same floor, so identical samples
+// still score exactly zero.
+const psiFloor = 1e-4
+
+// psiBins is how many quantile bins PSI uses (deciles, the conventional
+// choice).
+const psiBins = 10
+
+// PSI computes the population stability index of live against base.
+// Bin edges are the deciles of the baseline sample, so the baseline is
+// uniform across bins by construction and the score reflects where the
+// live mass moved. Degenerate baselines (constant values, too few
+// distinct points) collapse to fewer bins. Either sample empty scores
+// 0: there is nothing to compare, and the missing-data story is told by
+// the null-rate signal instead.
+func PSI(base, live []float64) float64 {
+	if len(base) == 0 || len(live) == 0 {
+		return 0
+	}
+	edges := quantileEdges(base, psiBins)
+	bp := binShares(base, edges)
+	lp := binShares(live, edges)
+	var psi float64
+	for i := range bp {
+		p := math.Max(bp[i], psiFloor)
+		q := math.Max(lp[i], psiFloor)
+		psi += (q - p) * math.Log(q/p)
+	}
+	return psi
+}
+
+// quantileEdges returns the deduplicated interior quantile cut points of
+// a sorted-or-not sample; k bins need k-1 edges.
+func quantileEdges(sample []float64, k int) []float64 {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	edges := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		q := s[(i*len(s))/k]
+		if len(edges) == 0 || q > edges[len(edges)-1] {
+			edges = append(edges, q)
+		}
+	}
+	return edges
+}
+
+// binShares returns the fraction of sample in each bin defined by the
+// interior edges (len(edges)+1 bins). The exact tie convention does not
+// matter for correctness as long as it is the same for both samples:
+// identical samples then bin identically and PSI scores exactly zero.
+func binShares(sample []float64, edges []float64) []float64 {
+	counts := make([]float64, len(edges)+1)
+	for _, v := range sample {
+		counts[sort.SearchFloat64s(edges, v)]++
+	}
+	n := float64(len(sample))
+	for i := range counts {
+		counts[i] /= n
+	}
+	return counts
+}
+
+// KS computes the two-sample Kolmogorov-Smirnov statistic
+// D = sup |F_base(x) - F_live(x)| in [0,1]. Either sample empty scores
+// 0 (see PSI).
+func KS(base, live []float64) float64 {
+	if len(base) == 0 || len(live) == 0 {
+		return 0
+	}
+	a := append([]float64(nil), base...)
+	b := append([]float64(nil), live...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	// Walk the merged support one distinct value at a time, consuming
+	// ties from both samples before comparing the CDFs — comparing
+	// mid-tie would report a spurious gap on identical samples.
+	for i < len(a) && j < len(b) {
+		x := a[i]
+		if b[j] < x {
+			x = b[j]
+		}
+		for i < len(a) && a[i] == x {
+			i++
+		}
+		for j < len(b) && b[j] == x {
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

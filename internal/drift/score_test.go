@@ -1,0 +1,74 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func normals(n int, mean, sd float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + sd*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestPSIIdenticalIsZero(t *testing.T) {
+	base := normals(500, 10, 2, 1)
+	if got := PSI(base, base); got != 0 {
+		t.Fatalf("PSI(x, x) = %g, want exactly 0", got)
+	}
+}
+
+func TestPSISameDistributionIsSmall(t *testing.T) {
+	base := normals(2000, 10, 2, 1)
+	live := normals(2000, 10, 2, 2)
+	if got := PSI(base, live); got >= 0.1 {
+		t.Fatalf("PSI over same distribution = %g, want < 0.1", got)
+	}
+}
+
+func TestPSIShiftedIsLarge(t *testing.T) {
+	base := normals(2000, 10, 2, 1)
+	live := normals(2000, 16, 2, 2)
+	if got := PSI(base, live); got < 0.25 {
+		t.Fatalf("PSI over 3-sigma shift = %g, want >= 0.25", got)
+	}
+}
+
+func TestPSIEmptySamples(t *testing.T) {
+	if got := PSI(nil, normals(10, 0, 1, 1)); got != 0 {
+		t.Fatalf("PSI with empty baseline = %g, want 0", got)
+	}
+	if got := PSI(normals(10, 0, 1, 1), nil); got != 0 {
+		t.Fatalf("PSI with empty live = %g, want 0", got)
+	}
+}
+
+func TestKSIdenticalIsZero(t *testing.T) {
+	base := normals(500, 10, 2, 1)
+	if got := KS(base, base); got != 0 {
+		t.Fatalf("KS(x, x) = %g, want exactly 0", got)
+	}
+}
+
+func TestKSDisjointIsOne(t *testing.T) {
+	base := []float64{1, 2, 3}
+	live := []float64{10, 11, 12}
+	if got := KS(base, live); got != 1 {
+		t.Fatalf("KS over disjoint supports = %g, want 1", got)
+	}
+}
+
+func TestKSShiftDetectable(t *testing.T) {
+	base := normals(2000, 0, 1, 1)
+	same := normals(2000, 0, 1, 2)
+	shift := normals(2000, 1.5, 1, 3)
+	if got := KS(base, same); got >= 0.1 {
+		t.Fatalf("KS over same distribution = %g, want < 0.1", got)
+	}
+	if got := KS(base, shift); got < 0.3 {
+		t.Fatalf("KS over 1.5-sigma shift = %g, want >= 0.3", got)
+	}
+}

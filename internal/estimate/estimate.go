@@ -27,6 +27,25 @@ func (iv Interval) String() string {
 // Width returns Hi - Lo.
 func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
 
+// Widen expands the interval by delta on both sides, clamped to [0,1].
+// Quality monitoring uses it to discount a training-time accuracy
+// estimate by observed drift: the point estimate is kept, but the
+// claimed certainty around it shrinks as the deployed slice moves away
+// from the slice the estimate was measured on.
+func (iv Interval) Widen(delta float64) Interval {
+	if delta <= 0 {
+		return iv
+	}
+	out := Interval{Lo: iv.Lo - delta, Point: iv.Point, Hi: iv.Hi + delta}
+	if out.Lo < 0 {
+		out.Lo = 0
+	}
+	if out.Hi > 1 {
+		out.Hi = 1
+	}
+	return out
+}
+
 // Estimate is the estimated accuracy of a predicted match set.
 type Estimate struct {
 	Precision Interval
@@ -90,6 +109,28 @@ func WilsonInterval(k, n int) Interval {
 		hi = 1
 	}
 	return Interval{Lo: lo, Point: p, Hi: hi}
+}
+
+// WilsonFromRate returns the Wilson-score 95% CI for an observed success
+// rate over n trials — the form quality monitoring needs when it has a
+// calibrated score average (mean P(match) over predicted matches)
+// rather than integer label counts. The rate is clamped to [0,1]; n <= 0
+// yields the vacuous (1,1) interval, matching WilsonInterval's n == 0
+// convention.
+func WilsonFromRate(rate float64, n int) Interval {
+	if n <= 0 {
+		return Interval{Lo: 1, Point: 1, Hi: 1}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	k := int(math.Round(rate * float64(n)))
+	iv := WilsonInterval(k, n)
+	iv.Point = rate
+	return iv
 }
 
 // PrecisionRecall estimates the accuracy of the predicted match set pred

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"emgo/internal/block"
+	"emgo/internal/drift"
 	"emgo/internal/fault"
 	"emgo/internal/obs"
 	"emgo/internal/parallel"
@@ -361,6 +362,10 @@ func (s *Set) VectorizeCtx(ctx context.Context, left, right *table.Table, pairs 
 	defer sp.End()
 	sp.SetItems(len(pairs))
 	vectors := obs.C("feature.vectors_built")
+	// prof is the quality-profile collector, fetched once per stage like
+	// the metric handles; nil (a single nil check per row) unless a
+	// monitored run armed one.
+	prof := drift.FromContext(ctx)
 	out := make([][]float64, len(pairs))
 	err := parallel.ForCtx(vctx, len(pairs), func(i int) error {
 		if err := fault.InjectIdx("feature.vectorize", i); err != nil {
@@ -372,6 +377,7 @@ func (s *Set) VectorizeCtx(ctx context.Context, left, right *table.Table, pairs 
 			row[k] = f.Compute(left.Row(p.A)[resolved[k].lj], right.Row(p.B)[resolved[k].rj])
 		}
 		out[i] = row
+		prof.ObserveVector(row)
 		vectors.Inc()
 		return nil
 	})

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -25,16 +26,25 @@ func publishMetrics() {
 	})
 }
 
+// DefaultDrainTimeout bounds how long a context-tied debug server waits
+// for in-flight scrapes before closing their connections.
+const DefaultDrainTimeout = 2 * time.Second
+
 // DebugServer is a live operational endpoint serving expvar metrics at
-// /debug/vars and the standard pprof handlers under /debug/pprof/.
+// /debug/vars, Prometheus text exposition at /metrics, and the standard
+// pprof handlers under /debug/pprof/.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed once the server has fully stopped
 }
 
 // StartDebugServer listens on addr (e.g. ":6060", or "127.0.0.1:0" for
-// an ephemeral port) and serves expvar + pprof in a background
-// goroutine until Close.
+// an ephemeral port) and serves expvar + prometheus + pprof in a
+// background goroutine until Close/Shutdown.
 func StartDebugServer(addr string) (*DebugServer, error) {
 	publishMetrics()
 	ln, err := net.Listen("tcp", addr)
@@ -43,24 +53,86 @@ func StartDebugServer(addr string) (*DebugServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", promHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	d := &DebugServer{ln: ln, srv: srv}
-	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	d := &DebugServer{ln: ln, srv: srv, done: make(chan struct{})}
+	go func() {
+		srv.Serve(ln) //nolint:errcheck // Serve always returns on Close/Shutdown
+		close(d.done)
+	}()
+	return d, nil
+}
+
+// StartDebugServerCtx is StartDebugServer tied to a run context: when
+// ctx is cancelled (the run finished, timed out, or was interrupted)
+// the server drains in-flight requests for up to drain and then stops,
+// so a cancelled run never leaks the listener. drain <= 0 selects
+// DefaultDrainTimeout. Close/Shutdown remain safe to call as well.
+func StartDebugServerCtx(ctx context.Context, addr string, drain time.Duration) (*DebugServer, error) {
+	d, err := StartDebugServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			d.Shutdown(drain) //nolint:errcheck // best-effort drain on cancellation
+		case <-d.done:
+		}
+	}()
 	return d, nil
 }
 
 // Addr returns the bound address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server. Safe on nil.
+// Done returns a channel closed once the server has fully stopped.
+func (d *DebugServer) Done() <-chan struct{} { return d.done }
+
+// Shutdown stops accepting new connections and waits up to timeout for
+// in-flight requests to finish before closing the rest. Safe on nil and
+// idempotent with Close.
+func (d *DebugServer) Shutdown(timeout time.Duration) error {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		// The drain deadline passed with requests still in flight (a
+		// hanging pprof profile, say): close their connections.
+		return d.srv.Close()
+	}
+	return nil
+}
+
+// Close stops the server immediately. Safe on nil and idempotent with
+// Shutdown.
 func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
 	return d.srv.Close()
 }

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDebugServerServesExpvarAndPprof(t *testing.T) {
@@ -63,5 +66,119 @@ func TestDebugServerCloseNil(t *testing.T) {
 	var d *DebugServer
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
+	}
+	if err := d.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDebugServerServesPrometheus(t *testing.T) {
+	Disable()
+	reg := Enable()
+	defer Disable()
+	reg.Counter("ml.predictions").Add(11)
+	reg.FloatGauge("drift.psi").Set(0.5)
+
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"em_ml_predictions 11", "em_drift_psi 0.5"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugServerShutdownOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := StartDebugServerCtx(ctx, "127.0.0.1:0", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	// Live before cancellation.
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("server not serving before cancel: %v", err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop within 5s of context cancellation")
+	}
+
+	// The listener must be released: new connections are refused.
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting connections after shutdown")
+	}
+
+	// Shutdown/Close after the context drain are idempotent no-ops.
+	if err := srv.Shutdown(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDebugServerShutdownDrainsInFlight(t *testing.T) {
+	srv, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	srv.srv.Handler.(*http.ServeMux).HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		<-release
+		w.Write([]byte("done")) //nolint:errcheck
+	})
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{body: string(body), err: err}
+	}()
+
+	// Let the request reach the handler, then shut down while it is in
+	// flight and release it inside the drain window.
+	time.Sleep(100 * time.Millisecond)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(release)
+	}()
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "done" {
+		t.Fatalf("in-flight request not drained: body %q err %v", r.body, r.err)
 	}
 }

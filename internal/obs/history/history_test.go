@@ -1,0 +1,176 @@
+package history
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"emgo/internal/obs"
+)
+
+func sampleReport(name string, counters map[string]int64) *obs.Report {
+	snap := &obs.MetricsSnapshot{Counters: counters}
+	return &obs.Report{
+		Name: name, Outcome: "ok",
+		StartedAt: time.Unix(100, 0), FinishedAt: time.Unix(101, 0),
+		Metrics: snap,
+	}
+}
+
+func TestStoreAppendAndList(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps, skipped, err := s.List(); err != nil || len(reps) != 0 || skipped != 0 {
+		t.Fatalf("fresh store: %v %d %d", err, len(reps), skipped)
+	}
+	if last, err := s.Last(); err != nil || last != nil {
+		t.Fatalf("fresh store Last: %v %v", last, err)
+	}
+
+	for i, name := range []string{"run-a", "run-b", "run-c"} {
+		if err := s.Append(sampleReport(name, map[string]int64{"n": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps, skipped, err := s.List()
+	if err != nil || skipped != 0 {
+		t.Fatalf("List: %v, %d skipped", err, skipped)
+	}
+	if len(reps) != 3 || reps[0].Name != "run-a" || reps[2].Name != "run-c" {
+		t.Fatalf("append order lost: %+v", reps)
+	}
+	last, err := s.Last()
+	if err != nil || last.Name != "run-c" {
+		t.Fatalf("Last = %+v, %v", last, err)
+	}
+}
+
+func TestStoreSkipsCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(sampleReport("good-1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash-truncated line followed by a good append.
+	f, err := os.OpenFile(s.Path(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"name":"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("\n") //nolint:errcheck
+	f.Close()
+	if err := s.Append(sampleReport("good-2", nil)); err != nil {
+		t.Fatal(err)
+	}
+	reps, skipped, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || len(reps) != 2 || reps[1].Name != "good-2" {
+		t.Fatalf("corrupt-line handling: %d skipped, reps %+v", skipped, reps)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open accepted an empty directory")
+	}
+}
+
+func TestAppendRejectsNil(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(nil); err == nil {
+		t.Fatal("Append accepted nil")
+	}
+}
+
+func TestDiffReports(t *testing.T) {
+	a := sampleReport("run-a", map[string]int64{"ml.predictions": 100, "only_a": 1})
+	a.Trace = &obs.SpanData{Name: "workflow", DurationMS: 100, Children: []*obs.SpanData{
+		{Name: "stage.blocked", DurationMS: 40},
+		{Name: "stage.learned", DurationMS: 60},
+	}}
+	a.Metrics.Histograms = map[string]obs.HistogramSnapshot{
+		"workflow.stage_ms": {Count: 10, P50: 5, P90: 9, P99: 10},
+	}
+	a.Quality = &obs.QualityData{Verdict: "ok", Signals: []obs.QualitySignal{{Name: "psi.scores", Value: 0.01}}}
+
+	b := sampleReport("run-b", map[string]int64{"ml.predictions": 150, "only_b": 2})
+	b.Trace = &obs.SpanData{Name: "workflow", DurationMS: 130, Children: []*obs.SpanData{
+		{Name: "stage.blocked", DurationMS: 40}, // unchanged: not in diff
+		{Name: "stage.learned", DurationMS: 90},
+	}}
+	b.Metrics.Histograms = map[string]obs.HistogramSnapshot{
+		"workflow.stage_ms": {Count: 12, P50: 6, P90: 9, P99: 30},
+	}
+	b.Quality = &obs.QualityData{Verdict: "warn", Signals: []obs.QualitySignal{{Name: "psi.scores", Value: 0.15}}}
+
+	d := DiffReports(a, b)
+	if d.VerdictA != "ok" || d.VerdictB != "warn" {
+		t.Fatalf("verdicts: %q -> %q", d.VerdictA, d.VerdictB)
+	}
+	find := func(rows []DeltaRow, name string) *DeltaRow {
+		for i := range rows {
+			if rows[i].Name == name {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	if r := find(d.Stages, "stage.learned"); r == nil || r.Delta() != 30 {
+		t.Fatalf("stage.learned delta: %+v", r)
+	}
+	if r := find(d.Stages, "stage.blocked"); r != nil {
+		t.Fatalf("unchanged stage should not appear: %+v", r)
+	}
+	if r := find(d.Counters, "ml.predictions"); r == nil || r.Delta() != 50 {
+		t.Fatalf("counter delta: %+v", r)
+	}
+	if r := find(d.Counters, "only_a"); r == nil || !math.IsNaN(r.B) || r.Delta() != 0 {
+		t.Fatalf("one-sided counter: %+v", r)
+	}
+	if r := find(d.Quantiles, "workflow.stage_ms p99"); r == nil || r.Delta() != 20 {
+		t.Fatalf("p99 delta: %+v", r)
+	}
+	if r := find(d.Quantiles, "workflow.stage_ms p90"); r != nil {
+		t.Fatalf("unchanged percentile should not appear: %+v", r)
+	}
+	if r := find(d.Signals, "psi.scores"); r == nil || math.Abs(r.Delta()-0.14) > 1e-12 {
+		t.Fatalf("signal delta: %+v", r)
+	}
+
+	var sb strings.Builder
+	if err := d.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"run-a", "run-b", "quality warn", "stage.learned", "ml.predictions", "p99", "psi.scores", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffIdenticalReportsRendersNoDifferences(t *testing.T) {
+	a := sampleReport("same", map[string]int64{"n": 1})
+	d := DiffReports(a, a)
+	var sb strings.Builder
+	if err := d.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no differences") {
+		t.Fatalf("identical reports rendered:\n%s", sb.String())
+	}
+}

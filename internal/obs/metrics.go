@@ -80,6 +80,25 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a last-value-wins float metric (drift scores, rates).
+// Reads and writes are atomic over the float's bit pattern.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value. Safe on nil.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(floatBits(v))
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFrom(g.bits.Load())
+}
+
 // Histogram is a fixed-bucket histogram. Bounds are upper bounds of the
 // first len(bounds) buckets; one extra overflow bucket catches the rest.
 // Observe is lock-free: a binary search over the (immutable) bounds and
@@ -141,31 +160,89 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// P50/P90/P99 are bucket-interpolated quantile estimates, filled by
+	// Snapshot so run reports carry latency percentiles that diffing
+	// tools (emmonitor diff) can regress against. Zero when no samples
+	// were observed.
+	P50 float64 `json:"p50,omitempty"`
+	P90 float64 `json:"p90,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket
+// counts by linear interpolation inside the holding bucket. Histograms
+// in this repository observe non-negative measures, so the first
+// bucket interpolates from zero; ranks landing in the overflow bucket
+// return the last bound (the estimate cannot exceed what the buckets
+// resolve).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// fillQuantiles computes the exported percentile estimates.
+func (h *HistogramSnapshot) fillQuantiles() {
+	if h.Count == 0 {
+		return
+	}
+	h.P50 = h.Quantile(0.50)
+	h.P90 = h.Quantile(0.90)
+	h.P99 = h.Quantile(0.99)
 }
 
 // MetricsSnapshot is the JSON form of a registry at one instant.
 type MetricsSnapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]int64             `json:"gauges,omitempty"`
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Registry holds named metrics. Lookups take a lock, so instrumented
 // code fetches handles once per stage and holds them across the loop.
 // The nil registry is valid: every lookup returns the nil handle.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
 	}
 }
 
@@ -197,6 +274,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.floatGauges[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.floatGauges[name] = g
 	}
 	return g
 }
@@ -241,6 +334,12 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 			snap.Gauges[name] = g.Value()
 		}
 	}
+	if len(r.floatGauges) > 0 {
+		snap.FloatGauges = make(map[string]float64, len(r.floatGauges))
+		for name, g := range r.floatGauges {
+			snap.FloatGauges[name] = g.Value()
+		}
+	}
 	if len(r.histograms) > 0 {
 		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
 		for name, h := range r.histograms {
@@ -253,6 +352,7 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 			for i := range h.counts {
 				hs.Counts[i] = h.counts[i].Load()
 			}
+			hs.fillQuantiles()
 			snap.Histograms[name] = hs
 		}
 	}
@@ -294,6 +394,10 @@ func C(name string) *Counter { return global.Load().Counter(name) }
 // G returns the named gauge from the global registry (nil when
 // disabled).
 func G(name string) *Gauge { return global.Load().Gauge(name) }
+
+// FG returns the named float gauge from the global registry (nil when
+// disabled).
+func FG(name string) *FloatGauge { return global.Load().FloatGauge(name) }
 
 // H returns the named histogram from the global registry (nil when
 // disabled).

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"block.pairs_blocked": "em_block_pairs_blocked",
+		"drift.psi":           "em_drift_psi",
+		"weird-name/x":        "em_weird_name_x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ml.predictions").Add(42)
+	r.Gauge("label.pending").Set(3)
+	r.FloatGauge("drift.psi").Set(0.125)
+	h := r.Histogram("workflow.stage_ms", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000) // overflow bucket
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE em_ml_predictions counter\nem_ml_predictions 42\n",
+		"# TYPE em_label_pending gauge\nem_label_pending 3\n",
+		"# TYPE em_drift_psi gauge\nem_drift_psi 0.125\n",
+		"# TYPE em_workflow_stage_ms histogram\n",
+		`em_workflow_stage_ms_bucket{le="1"} 1`,
+		`em_workflow_stage_ms_bucket{le="10"} 2`,
+		`em_workflow_stage_ms_bucket{le="100"} 2`,
+		`em_workflow_stage_ms_bucket{le="+Inf"} 3`,
+		"em_workflow_stage_ms_sum 5005.5",
+		"em_workflow_stage_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // second bucket
+	}
+	snap := r.Snapshot().Histograms["q"]
+	if snap.P50 <= 0 || snap.P50 > 10 {
+		t.Fatalf("p50 = %g, want in (0, 10]", snap.P50)
+	}
+	if snap.P90 > 10 {
+		t.Fatalf("p90 = %g, want inside the first bucket (rank 90 of 100)", snap.P90)
+	}
+	if snap.P99 <= 10 || snap.P99 > 100 {
+		t.Fatalf("p99 = %g, want in the second bucket", snap.P99)
+	}
+
+	// Quantiles landing in the overflow bucket report the last bound.
+	h2 := r.Histogram("q2", []float64{10})
+	h2.Observe(9999)
+	snap2 := r.Snapshot().Histograms["q2"]
+	if snap2.P50 != 10 {
+		t.Fatalf("overflow p50 = %g, want last bound 10", snap2.P50)
+	}
+
+	// Empty histogram: no quantiles exported.
+	r.Histogram("q3", []float64{10})
+	snap3 := r.Snapshot().Histograms["q3"]
+	if snap3.P50 != 0 || snap3.P90 != 0 || snap3.P99 != 0 {
+		t.Fatalf("empty histogram exported quantiles: %+v", snap3)
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	var nilG *FloatGauge
+	nilG.Set(1) // no-op, must not panic
+	if nilG.Value() != 0 {
+		t.Fatal("nil float gauge value != 0")
+	}
+	r := NewRegistry()
+	g := r.FloatGauge("drift.ks")
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("value = %g", g.Value())
+	}
+	if r.FloatGauge("drift.ks") != g {
+		t.Fatal("lookup did not return the same handle")
+	}
+	if snap := r.Snapshot(); snap.FloatGauges["drift.ks"] != 0.25 {
+		t.Fatalf("snapshot float gauges: %+v", snap.FloatGauges)
+	}
+}

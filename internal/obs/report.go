@@ -42,6 +42,40 @@ type Report struct {
 	// Quarantined lists the candidate pairs dropped under the error
 	// budget as "left_row,right_row" strings.
 	Quarantined []string `json:"quarantined,omitempty"`
+	// Quality is the drift assessment of a monitored run (nil when the
+	// run was not checked against a baseline). The schema is neutral —
+	// internal/drift fills it — so reports stay parseable without that
+	// package.
+	Quality *QualityData `json:"quality,omitempty"`
+}
+
+// QualitySignal is one scored drift indicator in a run report.
+type QualitySignal struct {
+	// Name identifies the signal ("psi.feature.X", "coverage_drop", ...).
+	Name string `json:"name"`
+	// Value is the observed statistic; Warn and Fail are the thresholds
+	// it was judged against; Status is ok, warn, or fail.
+	Value  float64 `json:"value"`
+	Warn   float64 `json:"warn"`
+	Fail   float64 `json:"fail"`
+	Status string  `json:"status"`
+}
+
+// QualityData is the quality-observability section of a run report:
+// the drift verdict of a deployed run against its training baseline,
+// the signals behind it, the drift-discounted accuracy estimate, and
+// the live statistical profile (schema owned by internal/drift, embedded
+// raw so it round-trips untouched).
+type QualityData struct {
+	// Verdict is ok, warn, or fail — the worst signal status.
+	Verdict string `json:"verdict"`
+	// Signals are the scored drift indicators, headline entries first.
+	Signals []QualitySignal `json:"signals,omitempty"`
+	// EstimatedPrecision is [lo, point, hi] in [0,1] — the
+	// Corleone-style estimate widened by the observed drift.
+	EstimatedPrecision []float64 `json:"estimated_precision,omitempty"`
+	// Profile is the live drift profile (internal/drift schema).
+	Profile json.RawMessage `json:"profile,omitempty"`
 }
 
 // Marshal renders the report as indented JSON.

@@ -1,8 +1,12 @@
 package umetrics
 
 import (
+	"context"
 	"math/rand"
+	"path/filepath"
 	"testing"
+
+	"emgo/internal/drift"
 
 	"emgo/internal/block"
 	"emgo/internal/feature"
@@ -212,5 +216,59 @@ func TestBuildDeploymentSpecValidation(t *testing.T) {
 	_, _, fs, im, _ := trainForDeploy(t)
 	if _, err := BuildDeploymentSpec(fs, im, &ml.LogisticRegression{}); err == nil {
 		t.Fatal("unserializable matcher should error")
+	}
+}
+
+func TestCaptureDeployBaselineAndMonitoredSlice(t *testing.T) {
+	// Train, capture the baseline over the training slice, then check a
+	// fresh slice from the same generator against it — the quality-
+	// monitoring half of the "matching for other data slices" story.
+	_, proj, fs, im, matcher := trainForDeploy(t)
+	spec, err := BuildDeploymentSpec(fs, im, matcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	base, err := CaptureDeployBaseline(context.Background(), spec,
+		proj.UMETRICS, proj.USDA, workflow.RunOptions{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil || len(base.Features) == 0 {
+		t.Fatalf("baseline missing feature distributions: %+v", base)
+	}
+	loaded, err := drift.LoadProfile(path)
+	if err != nil {
+		t.Fatalf("baseline not persisted: %v", err)
+	}
+
+	// A new slice from the same world distribution should not breach.
+	params := TestParams(0.25)
+	params.Seed = 99
+	newDS, err := Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newProj, _, err := Preprocess(newDS.AwardAgg, newDS.Employees, newDS.USDA, "u", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddProjectNumber(newProj, newDS.USDA); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDeployed(context.Background(), spec, newProj.UMETRICS, newProj.USDA,
+		workflow.RunOptions{Drift: &workflow.DriftStage{Baseline: loaded}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality == nil {
+		t.Fatal("monitored deployed run produced no assessment")
+	}
+	if res.Quality.Breached() {
+		t.Fatalf("same-distribution slice breached: %+v", res.Quality.Signals)
+	}
+	if res.Report == nil || res.Report.Quality == nil {
+		t.Fatal("monitored run report missing the quality section")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"emgo/internal/block"
 	"emgo/internal/ckpt"
+	"emgo/internal/drift"
 	"emgo/internal/label"
 	"emgo/internal/ml"
 	"emgo/internal/obs"
@@ -42,6 +43,36 @@ type CheckStage struct {
 	Label func(block.Pair) (label.Label, error)
 }
 
+// DriftStage asks RunCtx to run the quality-observability layer
+// (internal/drift): a collector rides along the run profiling feature
+// vectors, prediction scores, input-table attributes, and blocking
+// coverage, and a final "quality" stage assembles the profile. With a
+// Baseline the stage is a drift check — the live profile is scored
+// against the baseline and a breach surfaces as the degraded_quality
+// stage outcome; without one the stage is a baseline capture, optionally
+// persisted to BaselinePath with the crash-safe write protocol.
+type DriftStage struct {
+	// Baseline, when non-nil, switches the stage from capture to check:
+	// the live profile is evaluated against it under Thresholds.
+	Baseline *drift.Profile
+	// BaselinePath, in capture mode, is where the snapshot is persisted
+	// (temp file + fsync + atomic rename); empty keeps it in memory only
+	// (Result.DriftProfile).
+	BaselinePath string
+	// Thresholds are the warn/fail cut points for a check; the zero value
+	// selects drift.DefaultThresholds.
+	Thresholds drift.Thresholds
+	// SampleCap is the reservoir capacity per profiled distribution
+	// (<= 0 selects drift.DefaultSampleCap); Seed makes subsampling
+	// reproducible.
+	SampleCap int
+	Seed      int64
+	// EstimatedPrecision optionally embeds a capture-time labeled
+	// accuracy estimate ([lo, point, hi], Section 11) in the baseline so
+	// later checks can report a drift-discounted version of it.
+	EstimatedPrecision []float64
+}
+
 // RunOptions configures the hardened runtime. The zero value behaves
 // like Run with cancellation: no per-stage deadlines, no retries, an
 // empty error budget.
@@ -63,6 +94,11 @@ type RunOptions struct {
 	// Check, when set, runs a production monitoring check as the final
 	// stage and stores its result on the Result.
 	Check *CheckStage
+	// Drift, when non-nil, arms quality observability: the run is
+	// profiled and finishes with a "quality" stage that captures a
+	// baseline snapshot or checks the live profile against one (see
+	// DriftStage).
+	Drift *DriftStage
 	// Checkpoints, when non-nil, makes the run durable: the blocked
 	// candidate set and the learned predictions are written to the
 	// store after their stages complete (temp file + fsync + atomic
@@ -132,6 +168,17 @@ func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts Ru
 	ownRoot := root == nil
 	if ownRoot {
 		ctx, root = obs.NewTrace(ctx, "workflow."+w.Name)
+	}
+	// Arm the quality-profile collector before any stage runs, so the
+	// vectorize and predict hot loops (which fetch it from the context
+	// once per stage) see it.
+	var prof *drift.Collector
+	if opts.Drift != nil {
+		prof = drift.NewCollector(opts.Drift.SampleCap, opts.Drift.Seed)
+		if w.Features != nil {
+			prof.SetFeatureNames(w.Features.Names())
+		}
+		ctx = drift.WithCollector(ctx, prof)
 	}
 	stageMS := obs.H("workflow.stage_ms", stageMSBuckets)
 	defer func() {
@@ -318,6 +365,46 @@ func (w *Workflow) RunCtx(ctx context.Context, left, right *table.Table, opts Ru
 			log.Add("monitor", detail, cr.Labeled)
 		}
 	}
+
+	// Step 8 (optional): quality stage — assemble the statistical profile
+	// the collector gathered and either snapshot it as the baseline or
+	// check it against one. A breach is not an error: the run completed;
+	// the degraded_quality outcome in spans and provenance (and the
+	// report's quality section) is the signal operators and emmonitor
+	// act on.
+	if opts.Drift != nil {
+		st = startStage(ctx, "quality", stageMS)
+		cols := append(prof.ObserveTable("left", left), prof.ObserveTable("right", right)...)
+		res.DriftProfile = prof.Profile("workflow."+w.Name, left.Len(), right.Len(), blocked.PerLeftCounts(), cols)
+		if d := opts.Drift; d.Baseline == nil {
+			res.DriftProfile.EstimatedPrecision = d.EstimatedPrecision
+			if d.BaselinePath != "" {
+				if werr := res.DriftProfile.WriteFile(d.BaselinePath); werr != nil {
+					return abort(st, "quality", werr)
+				}
+			}
+			st.finish(OutcomeOK, len(res.DriftProfile.Features))
+			log.Add("quality", "captured baseline quality profile", len(res.DriftProfile.Features))
+		} else {
+			asmt, aerr := drift.Evaluate(d.Baseline, res.DriftProfile, d.Thresholds)
+			if aerr != nil {
+				return abort(st, "quality", aerr)
+			}
+			res.Quality = asmt
+			asmt.Gauges()
+			detail := fmt.Sprintf("drift verdict %s vs baseline %q", asmt.Verdict, d.Baseline.Name)
+			if asmt.EstimatedPrecision != nil {
+				detail += " est precision " + asmt.EstimatedPrecision.String()
+			}
+			if asmt.Verdict == drift.StatusOK {
+				st.finish(OutcomeOK, len(asmt.Signals))
+				log.Add("quality", detail, len(asmt.Signals))
+			} else {
+				st.finish(OutcomeDegradedQuality, len(asmt.Signals))
+				log.AddOutcome("quality", detail, len(asmt.Signals), OutcomeDegradedQuality)
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -353,6 +440,12 @@ func buildReport(name string, started time.Time, root *obs.Span, res *Result, ru
 	}
 	for _, p := range res.Quarantined {
 		rep.Quarantined = append(rep.Quarantined, fmt.Sprintf("%d,%d", p.A, p.B))
+	}
+	switch {
+	case res.Quality != nil:
+		rep.Quality = res.Quality.QualityData(res.DriftProfile)
+	case res.DriftProfile != nil:
+		rep.Quality = drift.CaptureQuality(res.DriftProfile)
 	}
 	return rep
 }

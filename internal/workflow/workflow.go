@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"emgo/internal/block"
+	"emgo/internal/drift"
 	"emgo/internal/feature"
 	"emgo/internal/ml"
 	"emgo/internal/obs"
@@ -38,6 +39,11 @@ const (
 	// crash-safe checkpoint instead of recomputed — the record that
 	// distinguishes "this run did the work" from "a previous run did".
 	OutcomeResumed = "resumed"
+	// OutcomeDegradedQuality marks the quality stage of a monitored run
+	// whose live profile drifted past the configured warn/fail thresholds
+	// relative to its training baseline: the run completed, but its
+	// training-time accuracy claim should be re-examined for this slice.
+	OutcomeDegradedQuality = "degraded_quality"
 )
 
 // Entry is one provenance record.
@@ -144,6 +150,14 @@ type Result struct {
 	// Check is the production monitoring check RunCtx ran when its
 	// options asked for one (nil otherwise).
 	Check *CheckResult
+	// DriftProfile is the statistical profile the quality stage captured
+	// when RunOptions.Drift armed a collector (nil otherwise). In capture
+	// mode it is the baseline snapshot; in check mode it is the live
+	// profile that was scored against the baseline.
+	DriftProfile *drift.Profile
+	// Quality is the drift assessment of a checked run against its
+	// baseline (nil unless RunOptions.Drift supplied one).
+	Quality *drift.Assessment
 	// Log records each step.
 	Log *Log
 	// Report is the machine-readable run record (spans, metrics,

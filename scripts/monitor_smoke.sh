@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# monitor_smoke.sh — end-to-end smoke test for quality monitoring.
+#
+# Exercises the whole drift-detection loop the way a deployment would:
+#
+#   1. generate a projected UMETRICS/USDA slice (emgen -projected) and a
+#      packaged deployment spec (emcasestudy -spec),
+#   2. run emmatch with -drift-capture to profile the slice and persist
+#      the training-time baseline,
+#   3. re-run emmatch on the *identical* slice with -drift-baseline and
+#      assert `emmonitor check` passes (exit 0) with verdict ok — the
+#      deterministic pipeline must score exactly zero drift against its
+#      own baseline,
+#   4. perturb the right table (null out AwardNumber on half the rows),
+#      re-run, and assert `emmonitor check` fails (exit 1) with verdict
+#      fail — nulling a blocking attribute must trip the PSI/null-rate
+#      gates,
+#   5. sanity-check `emmonitor history` and `emmonitor diff` over the
+#      run-history directory every run appended to.
+#
+# Everything runs in a temp dir; only POSIX tools + the go toolchain are
+# required.
+set -u
+
+SCALE="${MONITOR_SCALE:-0.1}"
+SEED="${MONITOR_SEED:-5}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+say() { printf 'monitor-smoke: %s\n' "$*"; }
+fail() { printf 'monitor-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+
+say "building emgen, emcasestudy, emmatch, emmonitor"
+for bin in emgen emcasestudy emmatch emmonitor; do
+    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
+        echo "monitor-smoke: build of $bin failed" >&2
+        exit 1
+    }
+done
+
+say "generating projected slice (scale=$SCALE seed=$SEED) and deployment spec"
+"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
+    echo "monitor-smoke: emgen failed" >&2
+    exit 1
+}
+"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
+    >"$TMP/study.txt" 2>"$TMP/study.err" || {
+    echo "monitor-smoke: emcasestudy failed:" >&2
+    cat "$TMP/study.err" >&2
+    exit 1
+}
+
+LEFT="$TMP/data/UMETRICSProjected.csv"
+RIGHT="$TMP/data/USDAProjected.csv"
+MATCH=("$TMP/emmatch" -spec "$TMP/spec.json" -left "$LEFT" -history "$TMP/hist")
+
+say "capture run: profiling the slice into baseline.json"
+"${MATCH[@]}" -right "$RIGHT" -out "$TMP/run1.csv" \
+    -drift-capture "$TMP/baseline.json" 2>"$TMP/run1.err" || {
+    fail "capture run failed:"
+    cat "$TMP/run1.err" >&2
+}
+[ -s "$TMP/baseline.json" ] || fail "no baseline was persisted"
+
+say "identical slice: emmonitor check must pass"
+"${MATCH[@]}" -right "$RIGHT" -out "$TMP/run2.csv" \
+    -drift-baseline "$TMP/baseline.json" 2>"$TMP/run2.err" || {
+    fail "clean check run failed:"
+    cat "$TMP/run2.err" >&2
+}
+if ! cmp -s "$TMP/run1.csv" "$TMP/run2.csv"; then
+    fail "identical inputs produced different matches"
+fi
+"$TMP/emmonitor" check -baseline "$TMP/baseline.json" -dir "$TMP/hist" \
+    >"$TMP/check2.txt" 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+    fail "check on the identical slice exited $status, want 0:"
+    cat "$TMP/check2.txt" >&2
+elif ! grep -q "verdict ok" "$TMP/check2.txt"; then
+    fail "clean check did not report verdict ok:"
+    cat "$TMP/check2.txt" >&2
+fi
+
+say "perturbed slice (AwardNumber nulled on half the rows): check must fail"
+awk -F, 'BEGIN{OFS=","} NR==1{print;next} NR%2==0{$2="";print;next} {print}' \
+    "$RIGHT" >"$TMP/data/USDAPerturbed.csv"
+"${MATCH[@]}" -right "$TMP/data/USDAPerturbed.csv" -out "$TMP/run3.csv" \
+    -drift-baseline "$TMP/baseline.json" 2>"$TMP/run3.err" || {
+    fail "perturbed run failed (a quality breach must not fail the run):"
+    cat "$TMP/run3.err" >&2
+}
+grep -q "quality verdict fail" "$TMP/run3.err" ||
+    fail "perturbed run did not report a fail verdict on stderr"
+"$TMP/emmonitor" check -baseline "$TMP/baseline.json" -dir "$TMP/hist" \
+    >"$TMP/check3.txt" 2>&1
+status=$?
+if [ "$status" -ne 1 ]; then
+    fail "check on the perturbed slice exited $status, want 1:"
+    cat "$TMP/check3.txt" >&2
+elif ! grep -q "verdict fail" "$TMP/check3.txt"; then
+    fail "perturbed check did not report verdict fail:"
+    cat "$TMP/check3.txt" >&2
+fi
+
+say "history and diff over the appended runs"
+"$TMP/emmonitor" history -dir "$TMP/hist" >"$TMP/hist.txt" 2>&1 ||
+    fail "emmonitor history failed"
+runs=$(tail -n +2 "$TMP/hist.txt" | wc -l)
+[ "$runs" -eq 3 ] || fail "history lists $runs runs, want 3"
+tail -1 "$TMP/hist.txt" | grep -q "fail" ||
+    fail "latest history row does not carry the fail verdict"
+"$TMP/emmonitor" diff <(sed -n 2p "$TMP/hist/runs.jsonl") \
+    <(sed -n 3p "$TMP/hist/runs.jsonl") >"$TMP/diff.txt" 2>&1 ||
+    fail "emmonitor diff failed"
+grep -q "quality signals" "$TMP/diff.txt" ||
+    fail "diff did not surface the quality-signal changes"
+
+if [ "$FAILURES" -gt 0 ]; then
+    echo "monitor-smoke: $FAILURES failure(s)" >&2
+    exit 1
+fi
+say "PASS (capture -> clean check exit 0 -> perturbed check exit 1)"
