@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke
 
 all: tier1
 
@@ -39,12 +39,21 @@ chaos:
 monitor-smoke:
 	./scripts/monitor_smoke.sh
 
+# serve-smoke runs the online matching service under injected matcher
+# faults and latency with a race-built emserve: the burst must shed
+# (429 + Retry-After), matcher failures must degrade to rule-only
+# responses, hot reload must not drop in-flight requests, a corrupt
+# artifact must roll back, and SIGTERM must drain with zero leaked
+# goroutines — see scripts/serve_smoke.sh and docs/SERVING.md.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # Tier 2 — the hardened-runtime gate: formatting and static analysis plus
 # the full test suite under the race detector (the parallel fan-out,
 # cancellation, fault-injection, and observability paths are only
 # trustworthy race-clean), the kill/resume chaos harness, and the
-# quality-monitoring smoke loop.
-tier2: fmt-check vet race chaos monitor-smoke
+# quality-monitoring and serving smoke loops.
+tier2: fmt-check vet race chaos monitor-smoke serve-smoke
 
 ci: tier1 tier2
 

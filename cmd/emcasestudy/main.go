@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"emgo/internal/ckpt"
+	"emgo/internal/cliutil"
 	"emgo/internal/obs"
 	"emgo/internal/obs/history"
 	"emgo/internal/umetrics"
@@ -46,17 +47,32 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// SIGINT/SIGTERM cancel the study context: sections stop at their
+	// next cancellation check, completed-section checkpoints and the run
+	// report flush on the way out, and the interrupt exits distinctly.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	interrupted := cliutil.Interrupted(ctx, err)
+	stop()
+	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
 		fmt.Fprintln(os.Stderr, "emcasestudy:", err)
+		if interrupted {
+			os.Exit(cliutil.ExitInterrupted)
+		}
 		os.Exit(1)
 	}
 }
 
-// run is the whole program behind a testable seam.
+// run is runCtx without cancellation, kept as the testable seam.
 func run(args []string, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+// runCtx is the whole program behind a testable seam.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("emcasestudy", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scale := fs.Float64("scale", 1.0, "data scale relative to the paper (1.0 = Figure 2 sizes)")
@@ -114,7 +130,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer dbg.Close()
 		fmt.Fprintf(stderr, "emcasestudy: debug server on http://%s/debug/\n", dbg.Addr())
 	}
-	ctx := context.Background()
 	started := time.Now()
 	var root *obs.Span
 	if *reportPath != "" || *tracePath != "" || *historyDir != "" {

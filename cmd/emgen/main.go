@@ -12,24 +12,57 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"emgo/internal/cliutil"
 	"emgo/internal/table"
 	"emgo/internal/umetrics"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "data scale relative to the paper (1.0 = Figure 2 sizes)")
-	seed := flag.Int64("seed", 1, "generator seed")
-	full := flag.Bool("full", false, "generate auxiliary tables at full Figure 2 size")
-	projected := flag.Bool("projected", false, "also run the Section 6 pre-processing and write the projected matching tables")
-	out := flag.String("out", "data", "output directory")
-	flag.Parse()
+	// SIGINT/SIGTERM stop the run between table writes (each write is
+	// atomic, so no truncated CSV is ever left behind) and exit 130.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	interrupted := cliutil.Interrupted(ctx, err)
+	stop()
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "emgen:", err)
+		if interrupted {
+			os.Exit(cliutil.ExitInterrupted)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is runCtx without cancellation, kept as the testable seam.
+func run(args []string, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+// runCtx is the whole program behind a testable seam.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("emgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "data scale relative to the paper (1.0 = Figure 2 sizes)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	full := fs.Bool("full", false, "generate auxiliary tables at full Figure 2 size")
+	projected := fs.Bool("projected", false, "also run the Section 6 pre-processing and write the projected matching tables")
+	out := fs.String("out", "data", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return flag.ErrHelp // the FlagSet already printed the diagnostic
+	}
 
 	var params umetrics.Params
 	if *scale == 1.0 && *full {
@@ -47,10 +80,10 @@ func main() {
 
 	ds, err := umetrics.Generate(params)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
+		return err
 	}
 	tables := map[string]*table.Table{
 		"UMETRICSAwardAggMatching.csv":    ds.AwardAgg,
@@ -68,36 +101,48 @@ func main() {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		// A signal between writes stops the run with every finished file
+		// intact (WriteCSVFile is atomic, so none is ever truncated).
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		t := tables[name]
 		path := filepath.Join(*out, name)
 		if err := t.WriteCSVFile(path); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("%-36s %9d rows x %2d cols\n", name, t.Len(), t.Schema().Len())
+		fmt.Fprintf(stdout, "%-36s %9d rows x %2d cols\n", name, t.Len(), t.Schema().Len())
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
 	}
 	if err := writeTruth(filepath.Join(*out, "ground_truth.csv"), ds); err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("%-36s %9d true match pairs\n", "ground_truth.csv", ds.Truth.NumMatches())
+	fmt.Fprintf(stdout, "%-36s %9d true match pairs\n", "ground_truth.csv", ds.Truth.NumMatches())
 
 	if *projected {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		proj, _, err := umetrics.Preprocess(ds.AwardAgg, ds.Employees, ds.USDA, "u", "s")
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := umetrics.AddProjectNumber(proj, ds.USDA); err != nil {
-			fail(err)
+			return err
 		}
 		for name, t := range map[string]*table.Table{
 			"UMETRICSProjected.csv": proj.UMETRICS,
 			"USDAProjected.csv":     proj.USDA,
 		} {
 			if err := t.WriteCSVFile(filepath.Join(*out, name)); err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Printf("%-36s %9d rows x %2d cols\n", name, t.Len(), t.Schema().Len())
+			fmt.Fprintf(stdout, "%-36s %9d rows x %2d cols\n", name, t.Len(), t.Schema().Len())
 		}
 	}
+	return nil
 }
 
 // writeTruth dumps the true (UniqueAwardNumber, AccessionNumber) pairs
@@ -132,9 +177,4 @@ func writeTruth(path string, ds *umetrics.Dataset) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "emgen:", err)
-	os.Exit(1)
 }

@@ -14,7 +14,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,43 +25,74 @@ import (
 	"strings"
 
 	"emgo/internal/block"
+	"emgo/internal/cliutil"
 	"emgo/internal/label"
 	"emgo/internal/table"
 	"emgo/internal/tokenize"
 )
 
 func main() {
-	leftPath := flag.String("left", "", "left table CSV")
-	rightPath := flag.String("right", "", "right table CSV")
-	on := flag.String("on", "", "column to block on (word overlap, K=2)")
-	n := flag.Int("n", 20, "how many pairs to sample")
-	seed := flag.Int64("seed", 1, "sampling seed")
-	leftID := flag.String("left-id", "", "left ID column for the output (default: row index)")
-	rightID := flag.String("right-id", "", "right ID column for the output (default: row index)")
-	out := flag.String("out", "labels.csv", "output CSV (left,right,label)")
-	flag.Parse()
+	// SIGINT/SIGTERM end the labeling session gracefully: judgments
+	// recorded so far are flushed to -out before exiting 130, so an
+	// interrupted session never loses the labels already collected.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := runCtx(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+	interrupted := cliutil.Interrupted(ctx, err)
+	stop()
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "emlabel:", err)
+		if interrupted {
+			os.Exit(cliutil.ExitInterrupted)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is runCtx without cancellation, kept as the testable seam.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdin, stdout, stderr)
+}
+
+// runCtx is the whole program behind a testable seam.
+func runCtx(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("emlabel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	leftPath := fs.String("left", "", "left table CSV")
+	rightPath := fs.String("right", "", "right table CSV")
+	on := fs.String("on", "", "column to block on (word overlap, K=2)")
+	n := fs.Int("n", 20, "how many pairs to sample")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	leftID := fs.String("left-id", "", "left ID column for the output (default: row index)")
+	rightID := fs.String("right-id", "", "right ID column for the output (default: row index)")
+	out := fs.String("out", "labels.csv", "output CSV (left,right,label)")
+	if err := fs.Parse(args); err != nil {
+		return flag.ErrHelp // the FlagSet already printed the diagnostic
+	}
 
 	if *leftPath == "" || *rightPath == "" || *on == "" {
-		fmt.Fprintln(os.Stderr, "usage: emlabel -left a.csv -right b.csv -on Column")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: emlabel -left a.csv -right b.csv -on Column")
+		return flag.ErrHelp
 	}
 	left, err := table.ReadCSVFile(*leftPath, nil)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	right, err := table.ReadCSVFile(*rightPath, nil)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	cand, err := (block.Overlap{
 		LeftCol: *on, RightCol: *on,
 		Tokenizer: tokenize.Word{}, Threshold: 2, Normalize: true,
 	}).Block(left, right)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if cand.Len() == 0 {
-		fail(fmt.Errorf("no candidate pairs; try a different -on column"))
+		return fmt.Errorf("no candidate pairs; try a different -on column")
 	}
 	count := *n
 	if count > cand.Len() {
@@ -67,28 +100,40 @@ func main() {
 	}
 	pairs, err := cand.Sample(count, rand.New(rand.NewSource(*seed)))
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	store := label.NewStore()
-	fmt.Printf("labeling %d of %d candidate pairs (y/n/u, s=skip, q=quit)\n\n", count, cand.Len())
-	if err := labelLoop(os.Stdin, os.Stdout, left, right, pairs, store); err != nil {
-		fail(err)
+	fmt.Fprintf(stdout, "labeling %d of %d candidate pairs (y/n/u, s=skip, q=quit)\n\n", count, cand.Len())
+	if err := labelLoop(ctx, stdin, stdout, left, right, pairs, store); err != nil {
+		return err
 	}
 
+	// The session's judgments are flushed whether it finished, quit, or
+	// was interrupted — collected labels are too expensive to lose.
 	if err := writeLabels(*out, left, right, *leftID, *rightID, store); err != nil {
-		fail(err)
+		return err
 	}
 	c := store.Counts()
-	fmt.Printf("wrote %d labels (%d Yes / %d No / %d Unsure) to %s\n",
+	fmt.Fprintf(stdout, "wrote %d labels (%d Yes / %d No / %d Unsure) to %s\n",
 		c.Total(), c.Yes, c.No, c.Unsure, *out)
+	if cerr := ctx.Err(); cerr != nil {
+		fmt.Fprintln(stderr, "emlabel: session interrupted; partial labels saved")
+		return cerr
+	}
+	return nil
 }
 
 // labelLoop drives the interactive session: render each pair, read a
-// judgment, store it. It is separated from main for testing.
-func labelLoop(in io.Reader, out io.Writer, left, right *table.Table, pairs []block.Pair, store *label.Store) error {
+// judgment, store it. It is separated from main for testing. A
+// cancelled ctx ends the session between pairs like "q" does; the
+// caller flushes whatever was recorded.
+func labelLoop(ctx context.Context, in io.Reader, out io.Writer, left, right *table.Table, pairs []block.Pair, store *label.Store) error {
 	reader := bufio.NewScanner(in)
 	for i, p := range pairs {
+		if ctx.Err() != nil {
+			return nil
+		}
 		fmt.Fprintf(out, "--- pair %d/%d ---\n", i+1, len(pairs))
 		renderPair(out, left, right, p)
 		for {
@@ -182,9 +227,4 @@ func writeLabels(path string, left, right *table.Table, leftID, rightID string, 
 		return err
 	}
 	return f.Close()
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "emlabel:", err)
-	os.Exit(1)
 }

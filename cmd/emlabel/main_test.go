@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,7 +35,7 @@ func TestLabelLoop(t *testing.T) {
 	// y, garbage then u, then quit before the third pair.
 	in := strings.NewReader("y\nmaybe\nu\nq\n")
 	var out bytes.Buffer
-	if err := labelLoop(in, &out, l, r, pairs, store); err != nil {
+	if err := labelLoop(context.Background(), in, &out, l, r, pairs, store); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != 2 {
@@ -61,7 +63,7 @@ func TestLabelLoopSkipAndEOF(t *testing.T) {
 	// Skip the first; EOF before answering the second.
 	in := strings.NewReader("s\n")
 	var out bytes.Buffer
-	if err := labelLoop(in, &out, l, r, pairs, store); err != nil {
+	if err := labelLoop(context.Background(), in, &out, l, r, pairs, store); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != 0 {
@@ -119,4 +121,80 @@ func TestRenderPairRightOnlyColumns(t *testing.T) {
 	if !strings.Contains(text, "(no column)") {
 		t.Fatalf("missing-column marker absent: %s", text)
 	}
+}
+
+// TestLabelLoopInterrupted: a cancelled context ends the session like
+// "q" — no error, and judgments recorded before the interrupt survive
+// for the caller to flush.
+func TestLabelLoopInterrupted(t *testing.T) {
+	l, r := labelFixture()
+	pairs := []block.Pair{{A: 0, B: 0}, {A: 1, B: 1}}
+	store := label.NewStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	in := strings.NewReader("y\ny\n")
+	if err := labelLoop(ctx, in, &out, l, r, pairs, store); err != nil {
+		t.Fatalf("interrupted session must end cleanly: %v", err)
+	}
+	if store.Counts().Total() != 0 {
+		t.Fatalf("pre-cancelled session recorded %d labels", store.Counts().Total())
+	}
+}
+
+// TestRunCtxInterruptFlushesPartialLabels drives the whole seam: the
+// context is cancelled mid-session (after the first judgment), and the
+// output CSV must still contain the labels collected so far.
+func TestRunCtxInterruptFlushesPartialLabels(t *testing.T) {
+	dir := t.TempDir()
+	l, r := labelFixture()
+	lPath := filepath.Join(dir, "l.csv")
+	rPath := filepath.Join(dir, "r.csv")
+	if err := l.WriteCSVFile(lPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSVFile(rPath); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "labels.csv")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// The reader cancels the context after serving the first judgment,
+	// simulating SIGINT between pairs.
+	in := &cancelAfterFirstRead{data: strings.NewReader("y\n"), cancel: cancel}
+	var stdout, stderr bytes.Buffer
+	err := runCtx(ctx, []string{
+		"-left", lPath, "-right", rPath, "-on", "Title",
+		"-left-id", "ID", "-right-id", "ID", "-out", out, "-n", "5",
+	}, in, &stdout, &stderr)
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("interrupted run should surface the cancellation, got %v", err)
+	}
+	data, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("partial labels not flushed: %v", rerr)
+	}
+	if !strings.Contains(string(data), "Yes") {
+		t.Fatalf("flushed labels missing the recorded judgment: %s", data)
+	}
+	if !strings.Contains(stderr.String(), "partial labels saved") {
+		t.Fatalf("stderr should note the flush: %s", stderr.String())
+	}
+}
+
+// cancelAfterFirstRead serves its underlying reader, firing cancel once
+// the first read completes.
+type cancelAfterFirstRead struct {
+	data   io.Reader
+	cancel context.CancelFunc
+	done   bool
+}
+
+func (c *cancelAfterFirstRead) Read(p []byte) (int, error) {
+	n, err := c.data.Read(p)
+	if !c.done && n > 0 {
+		c.done = true
+		defer c.cancel()
+	}
+	return n, err
 }

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"emgo/internal/ckpt"
+	"emgo/internal/cliutil"
 	"emgo/internal/drift"
 	"emgo/internal/obs"
 	"emgo/internal/obs/history"
@@ -65,19 +66,34 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// SIGINT/SIGTERM cancel the run context: stages stop at their next
+	// cancellation check, checkpoints and run reports flush on the way
+	// out, and the process reports the interrupt distinctly (130).
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	interrupted := cliutil.Interrupted(ctx, err)
+	stop()
+	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
 		fmt.Fprintln(os.Stderr, "emmatch:", err)
+		if interrupted {
+			os.Exit(cliutil.ExitInterrupted)
+		}
 		os.Exit(1)
 	}
 }
 
-// run is the whole program behind a testable seam. Any panic escaping
+// run is runCtx without cancellation, kept as the testable seam.
+func run(args []string, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+// runCtx is the whole program behind a testable seam. Any panic escaping
 // the pipeline is recovered into a one-line diagnostic — a production
 // binary must never greet the operator with a stack trace.
-func run(args []string, stdout, stderr io.Writer) (err error) {
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("internal error: %v", r)
@@ -182,7 +198,6 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -18,7 +18,8 @@
 // than the run used) and prints every signal; with -dir it checks the
 // most recent run in the history. Exit status: 0 when quality holds,
 // 1 on a fail-threshold breach (or any warn under -strict), 2 on usage
-// or I/O errors.
+// or I/O errors, 130 when interrupted by SIGINT/SIGTERM (so a breach
+// verdict is never confused with an operator abort).
 //
 // diff compares two run reports: per-stage wall time, counters,
 // histogram percentiles (p50/p90/p99), and quality signals.
@@ -29,6 +30,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"emgo/internal/cliutil"
 	"emgo/internal/drift"
 	"emgo/internal/obs"
 	"emgo/internal/obs/history"
@@ -48,9 +51,17 @@ import (
 var errBreach = errors.New("quality degraded")
 
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	// SIGINT/SIGTERM cancel the run context before the next subcommand
+	// step; an interrupt exits 130, never masquerading as a breach.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	interrupted := cliutil.Interrupted(ctx, err)
+	stop()
 	switch {
 	case err == nil:
+	case interrupted:
+		fmt.Fprintln(os.Stderr, "emmonitor:", err)
+		os.Exit(cliutil.ExitInterrupted)
 	case errors.Is(err, errBreach):
 		fmt.Fprintln(os.Stderr, "emmonitor:", err)
 		os.Exit(1)
@@ -62,13 +73,21 @@ func main() {
 	}
 }
 
-// run is the whole program behind a testable seam.
-func run(args []string, stdout, stderr io.Writer) (err error) {
+// run is runCtx without cancellation, kept as the testable seam.
+func run(args []string, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+// runCtx is the whole program behind a testable seam.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("internal error: %v", r)
 		}
 	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
 	if len(args) == 0 {
 		usage(stderr)
 		return flag.ErrHelp
@@ -93,7 +112,13 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   emmonitor check -baseline baseline.json (-run run.json | -dir history/) [-thresholds th.json] [-strict]
   emmonitor diff runA.json runB.json
-  emmonitor history -dir history/ [-n 20]`)
+  emmonitor history -dir history/ [-n 20]
+
+exit status:
+  0    success (check: quality holds)
+  1    check found a fail-threshold breach (or any warn under -strict)
+  2    usage error, unreadable input, or internal failure
+  130  interrupted by SIGINT/SIGTERM before finishing`)
 }
 
 // loadReport reads and parses a run report.

@@ -12,30 +12,46 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"emgo/internal/cliutil"
 	"emgo/internal/profile"
 	"emgo/internal/rules"
 	"emgo/internal/table"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// SIGINT/SIGTERM stop the run between files; the interrupt exits
+	// with the conventional 130 instead of a generic failure.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	interrupted := cliutil.Interrupted(ctx, err)
+	stop()
+	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
 		fmt.Fprintln(os.Stderr, "emprofile:", err)
+		if interrupted {
+			os.Exit(cliutil.ExitInterrupted)
+		}
 		os.Exit(1)
 	}
 }
 
-// run is the program behind a testable seam; a panic anywhere in
+// run is runCtx without cancellation, kept as the testable seam.
+func run(args []string, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+// runCtx is the program behind a testable seam; a panic anywhere in
 // profiling becomes a one-line diagnostic instead of a stack trace.
-func run(args []string, stdout, stderr io.Writer) (err error) {
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("internal error: %v", r)
@@ -54,6 +70,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return flag.ErrHelp
 	}
 	for _, path := range fs.Args() {
+		// A signal between files stops the sweep cleanly: finished
+		// profiles have already been written to stdout.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		t, err := table.ReadCSVFile(path, nil)
 		if err != nil {
 			return err // ReadCSVFile already names the file

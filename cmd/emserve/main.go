@@ -1,0 +1,312 @@
+// Command emserve is the online matching service: it loads a deployed
+// workflow spec (JSON, as produced by the development process), rebuilds
+// the workflow against the two deployment tables, and answers single-record
+// match requests over HTTP/JSON — the "matching as a service" end state of
+// Section 12, run under hostile-conditions machinery: bounded admission
+// with load shedding (429 + Retry-After), per-request deadlines, a circuit
+// breaker that degrades the learned matcher to the rule-only path, and
+// atomic hot reload of the matcher artifact with checksum validation and
+// rollback.
+//
+// Usage:
+//
+//	emserve -spec workflow.json -left left.csv -right right.csv \
+//	        [-addr 127.0.0.1:8080] [-addr-file addr.txt] [-matcher matcher.json] \
+//	        [-max-inflight 8] [-max-queue 64] [-request-timeout 5s] [-max-body 1048576] \
+//	        [-breaker-failures 5] [-breaker-cooldown 10s] [-breaker-latency 0] \
+//	        [-transforms umetrics] [-date-cols ...] [-drift-baseline baseline.json] \
+//	        [-no-debug] [-inject site:spec ...]
+//
+//	emserve -spec workflow.json -left left.csv -right right.csv \
+//	        -export-matcher matcher.json
+//
+// Endpoints (see docs/SERVING.md): POST /v1/match answers one record;
+// GET /healthz, /readyz and /-/status report liveness, readiness and the
+// live breaker/queue counters; POST /-/reload hot-swaps the matcher
+// artifact; POST /-/drain starts a graceful drain; GET /-/drift serves the
+// live serving-traffic profile; /debug/ and /metrics expose expvar, pprof
+// and Prometheus text (disable with -no-debug).
+//
+// Signals: SIGTERM/SIGINT drain the server — stop admitting (503), wait
+// for in-flight requests up to the drain timeout, shut the listener down,
+// verify no goroutines leaked, exit 130. SIGHUP reloads the matcher
+// artifact from its current path (same protocol as POST /-/reload).
+//
+// -export-matcher extracts the spec-embedded matcher to a standalone
+// artifact file and exits; serving with -matcher on such a file is what
+// makes the artifact hot-reloadable (a spec-embedded matcher has no path
+// to re-read).
+//
+// -inject arms a fault-injection plan (site:spec, repeatable; see
+// internal/fault) — the smoke tests use it to force matcher failures and
+// latency so shedding and degradation are exercised for real.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"emgo/internal/cliutil"
+	"emgo/internal/drift"
+	"emgo/internal/fault"
+	"emgo/internal/ml"
+	"emgo/internal/obs"
+	"emgo/internal/retry"
+	"emgo/internal/serve"
+	"emgo/internal/table"
+	"emgo/internal/umetrics"
+	"emgo/internal/workflow"
+)
+
+func main() {
+	ctx, stop := cliutil.SignalContext(context.Background())
+	err := runCtx(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	interrupted := cliutil.Interrupted(ctx, err)
+	stop()
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "emserve:", err)
+		if interrupted {
+			os.Exit(cliutil.ExitInterrupted)
+		}
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// run is runCtx without cancellation, kept as the testable seam.
+func run(args []string, stdout, stderr io.Writer) error {
+	return runCtx(context.Background(), args, stdout, stderr)
+}
+
+// runCtx is the whole program behind a testable seam.
+func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+
+	fs := flag.NewFlagSet("emserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "packaged workflow spec (JSON)")
+	leftPath := fs.String("left", "", "left table CSV (request records use its schema)")
+	rightPath := fs.String("right", "", "right table CSV (the deployed corpus matched against)")
+	matcherPath := fs.String("matcher", "", "standalone matcher artifact to serve (hot-reloadable; default: the spec-embedded matcher)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts binding port 0)")
+	exportMatcher := fs.String("export-matcher", "", "write the spec-embedded matcher to this artifact file and exit")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent requests executing the pipeline (0 = default)")
+	maxQueue := fs.Int("max-queue", 0, "requests allowed to wait for a slot before shedding (0 = default, <0 = never wait)")
+	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request deadline ceiling")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight requests")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive matcher failures that trip the breaker (0 = default)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = default)")
+	breakerLatency := fs.Duration("breaker-latency", 0, "matcher calls slower than this count as failures (0 = off)")
+	transformSet := fs.String("transforms", "umetrics", "transform registry the spec references: umetrics | none")
+	dateCols := fs.String("date-cols", "FirstTransDate,LastTransDate",
+		"comma-separated columns parsed as dates (needed by date features)")
+	driftBaseline := fs.String("drift-baseline", "", "training-time baseline profile; arms GET /-/drift?check=1")
+	rightID := fs.String("right-id", "RecordId", "right-table ID column echoed in match responses")
+	noDebug := fs.Bool("no-debug", false, "do not mount /debug/ (expvar, pprof) and /metrics on the service")
+	var injects multiFlag
+	fs.Var(&injects, "inject", "arm a fault-injection plan, site:spec (repeatable; e.g. ml.predict:prob=0.5)")
+	if err := fs.Parse(args); err != nil {
+		return flag.ErrHelp // the FlagSet already printed the diagnostic
+	}
+
+	if *specPath == "" || *leftPath == "" || *rightPath == "" {
+		fmt.Fprintln(stderr, "usage: emserve -spec workflow.json -left a.csv -right b.csv [-addr :8080]")
+		return flag.ErrHelp
+	}
+	for _, spec := range injects {
+		site, err := fault.EnableSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-inject %q: %w", spec, err)
+		}
+		fmt.Fprintf(stderr, "emserve: fault injection armed at %s\n", site)
+	}
+
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := workflow.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	var transforms workflow.Transforms
+	switch *transformSet {
+	case "umetrics":
+		transforms = umetrics.DeployTransforms()
+	case "none":
+		transforms = workflow.Transforms{}
+	default:
+		return fmt.Errorf("unknown transform set %q", *transformSet)
+	}
+	kinds := map[string]table.Kind{}
+	for _, c := range strings.Split(*dateCols, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			kinds[c] = table.Date
+		}
+	}
+	left, err := table.ReadCSVFile(*leftPath, kinds)
+	if err != nil {
+		return err
+	}
+	right, err := table.ReadCSVFile(*rightPath, kinds)
+	if err != nil {
+		return err
+	}
+
+	// A served request must never trip a training pass: the spec is built
+	// here exactly as emmatch builds it, then only its fitted parts run.
+	wf, err := spec.BuildCtx(ctx, left, right, transforms, retry.Policy{})
+	if err != nil {
+		return err
+	}
+
+	if *exportMatcher != "" {
+		if wf.Matcher == nil {
+			return fmt.Errorf("-export-matcher: the spec embeds no fitted matcher")
+		}
+		if err := ml.SaveMatcherFile(*exportMatcher, wf.Matcher); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "emserve: wrote matcher artifact to %s\n", *exportMatcher)
+		return nil
+	}
+
+	cfg := serve.Config{
+		Admission:      serve.AdmissionConfig{MaxInFlight: *maxInflight, MaxQueue: *maxQueue},
+		Breaker:        serve.BreakerConfig{Failures: *breakerFailures, Cooldown: *breakerCooldown, LatencyLimit: *breakerLatency},
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBody,
+		DrainTimeout:   *drainTimeout,
+		MatcherPath:    *matcherPath,
+		RightIDCol:     *rightID,
+		MountDebug:     !*noDebug,
+	}
+	if *driftBaseline != "" {
+		base, err := drift.LoadProfile(*driftBaseline)
+		if err != nil {
+			return fmt.Errorf("drift baseline: %w", err)
+		}
+		cfg.DriftBaseline = base
+	}
+
+	// Serving always counts: the status/drift endpoints and /metrics are
+	// only as good as the counters behind them.
+	obs.Enable()
+	srv, err := serve.New(ctx, cfg, wf, left, right)
+	if err != nil {
+		return err
+	}
+
+	// SIGHUP re-reads the matcher artifact from its current path — the
+	// same validated swap-or-rollback protocol as POST /-/reload.
+	// Registered before the leak baseline: the first signal.Notify in a
+	// process starts the runtime's signal-delivery goroutine, which
+	// lives until exit and must not read as a leak.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	// Baseline for the post-drain leak self-check, taken before the
+	// listener spins up its accept loop.
+	baseGoroutines := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	art := srv.Artifact()
+	switch {
+	case art == nil:
+		fmt.Fprintf(stderr, "emserve: serving rule-only (no matcher) on http://%s/\n", bound)
+	default:
+		fmt.Fprintf(stderr, "emserve: serving matcher %s (%s) on http://%s/\n", art.Matcher.Name(), art.Checksum[:12], bound)
+	}
+
+	for {
+		select {
+		case <-hup:
+			if art, rerr := srv.Reload(context.Background(), ""); rerr != nil {
+				fmt.Fprintf(stderr, "emserve: SIGHUP reload failed (previous matcher stays active): %v\n", rerr)
+			} else {
+				fmt.Fprintf(stderr, "emserve: SIGHUP reloaded matcher %s (%s)\n", art.Path, art.Checksum[:12])
+			}
+		case err := <-serveErr:
+			// The listener died on its own — a real serving failure.
+			return fmt.Errorf("serve: %w", err)
+		case <-ctx.Done():
+			return shutdown(ctx, srv, httpSrv, *drainTimeout, baseGoroutines, stderr)
+		}
+	}
+}
+
+// shutdown runs the graceful-drain sequence: stop admitting, wait for
+// in-flight requests, close the listener, then self-check for leaked
+// goroutines. It returns the context's error so the interrupt exits 130.
+func shutdown(ctx context.Context, srv *serve.Server, httpSrv *http.Server, drainTimeout time.Duration, baseGoroutines int, stderr io.Writer) error {
+	fmt.Fprintln(stderr, "emserve: signal received; draining")
+	srv.StartDrain()
+	select {
+	case <-srv.Drained():
+		fmt.Fprintln(stderr, "emserve: drain complete")
+	case <-time.After(drainTimeout + time.Second):
+		fmt.Fprintln(stderr, "emserve: drain timed out; shutting down anyway")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "emserve: listener shutdown: %v\n", err)
+	}
+	// Self-check: after the drain everything we started must be gone.
+	// Keep-alive conns and the runtime need a beat to wind down, so poll
+	// with the same grace the test helper uses.
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseGoroutines && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseGoroutines {
+		fmt.Fprintf(stderr, "emserve: warning: %d goroutine(s) may have leaked (%d -> %d)\n", n-baseGoroutines, baseGoroutines, n)
+	} else {
+		fmt.Fprintln(stderr, "emserve: no leaked goroutines")
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,49 @@
+// Package cliutil is the shared signal-handling seam for the repo's
+// binaries. Every CLI runs its work under a context cancelled by
+// SIGINT/SIGTERM, so an operator's Ctrl-C (or a supervisor's TERM
+// during redeploy) propagates through the same ctx plumbing the
+// pipeline already honors: stages stop at their next cancellation
+// check, pending checkpoints and run reports flush on the way out, and
+// the process exits with the conventional interrupted status instead of
+// dying mid-write.
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the exit status for a run stopped by SIGINT or
+// SIGTERM after flushing its state (128+SIGINT, the shell convention —
+// distinct from 1 "the run failed" and 2 "the invocation was wrong").
+const ExitInterrupted = 130
+
+// SignalContext derives a context cancelled on SIGINT or SIGTERM. The
+// first signal cancels ctx and lets the program wind down gracefully; a
+// second signal restores default handling, so an operator's repeated
+// Ctrl-C still force-kills a wedged shutdown. The returned stop releases
+// the signal registration.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		// Once cancelled (first signal or parent cancellation), drop the
+		// registration so the next signal gets default handling.
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// Interrupted reports whether a run's failure was the operator's
+// interrupt rather than the program's fault: the signal context was
+// cancelled and the error (if any) is cancellation-shaped. Callers map
+// this to ExitInterrupted.
+func Interrupted(ctx context.Context, err error) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	return err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,70 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+
+	"emgo/internal/leakcheck"
+)
+
+func TestSignalContextCancelsOnSIGTERM(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("SIGTERM did not cancel the context")
+	}
+	if !Interrupted(ctx, ctx.Err()) {
+		t.Fatal("signal cancellation not reported as interrupted")
+	}
+}
+
+func TestSignalContextStopWithoutSignal(t *testing.T) {
+	leakcheck.Check(t)
+	ctx, stop := SignalContext(context.Background())
+	// No signal arrived: the run is not interrupted. (Callers must check
+	// Interrupted before stop — stop itself cancels the context.)
+	if Interrupted(ctx, nil) {
+		t.Fatal("un-cancelled context reported interrupted")
+	}
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	live := context.Background()
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		ctx  context.Context
+		err  error
+		want bool
+	}{
+		{"live ctx, no error", live, nil, false},
+		{"live ctx, cancel-shaped error", live, context.Canceled, false},
+		{"cancelled ctx, no error", done, nil, true},
+		{"cancelled ctx, canceled error", done, context.Canceled, true},
+		{"cancelled ctx, wrapped canceled", done, fmt.Errorf("stage: %w", context.Canceled), true},
+		{"cancelled ctx, deadline error", done, context.DeadlineExceeded, true},
+		{"cancelled ctx, unrelated error", done, errors.New("disk full"), false},
+	}
+	for _, tc := range cases {
+		if got := Interrupted(tc.ctx, tc.err); got != tc.want {
+			t.Errorf("%s: Interrupted = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -24,6 +24,8 @@
 //	ckpt.write               each checkpoint artifact write (ckpt.Store.Write)
 //	ckpt.rename              the atomic rename committing an artifact
 //	ckpt.read                each checkpoint artifact read (treated as corruption)
+//	serve.match              each admitted request in the online matching service
+//	serve.reload             each matcher-artifact read during serve hot reload
 package fault
 
 import (

@@ -1,0 +1,153 @@
+// Package leakcheck is the shared goroutine-leak test helper: a test
+// calls leakcheck.Check(t) at its top and, when the test finishes, the
+// helper fails it if goroutines started during the test are still
+// running. The concurrency-heavy packages (parallel fan-out, workflow
+// runtime, debug server, matching service) use it so "cancellation
+// stops the workers" and "shutdown drains the server" are verified
+// claims, not hopes.
+//
+// Detection is stack-based, not count-based: the helper snapshots the
+// stacks of the goroutines alive when Check is called, and at cleanup
+// time waits (with backoff, up to a grace period) for every goroutine
+// not in that snapshot — and not on the ignore list of runtime-managed
+// stacks — to exit. Waiting matters: a goroutine legitimately winding
+// down after its channel closed needs a scheduler turn or two, and
+// failing the instant the test body returns would make the helper too
+// noisy to keep enabled.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; taking the
+// interface keeps this package free of a testing import in its API and
+// usable from TestMain-style callers.
+type TB interface {
+	Cleanup(func())
+	Errorf(format string, args ...any)
+	Helper()
+}
+
+// grace is how long cleanup waits for stragglers to exit before
+// declaring them leaked. Long enough for deferred worker teardown under
+// a loaded -race run, short enough not to stall the suite.
+const grace = 2 * time.Second
+
+// ignored reports whether a goroutine stack is runtime- or
+// toolchain-managed and can never be a leak the test under check caused.
+func ignored(stack string) bool {
+	for _, frag := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*T).Run(",
+		"testing.(*M).startAlarm",
+		"testing.runFuzzing(",
+		"testing.runFuzzTests(",
+		"runtime.goexit",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime/pprof.readProfile",
+		"runtime.ReadTrace",
+		"runtime.MHeap_Scavenger",
+		"created by runtime.gc",
+		"net/http.(*persistConn)", // client keep-alive conns close lazily
+		"net/http.setRequestCancel",
+		"internal/poll.runtime_pollWait",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// stacks returns the stacks of all live goroutines, one stanza per
+// goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		if stanza != "" {
+			out = append(out, stanza)
+		}
+	}
+	return out
+}
+
+// goid extracts the goroutine ID from a stanza header
+// ("goroutine 42 [chan receive]: ..." -> "42"). Identity must be the ID,
+// not the stanza text: a parked goroutine's stack text drifts over time
+// (the header grows a wait duration, "[chan receive, 2 minutes]"), and
+// the runtime never reuses IDs, so the ID is the one stable key.
+func goid(stanza string) string {
+	rest, ok := strings.CutPrefix(stanza, "goroutine ")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		return rest[:i]
+	}
+	return ""
+}
+
+// snapshot returns the IDs of all live goroutines (ignored or not — a
+// pre-existing goroutine is never a leak regardless of what it is doing
+// now).
+func snapshot() map[string]bool {
+	out := make(map[string]bool)
+	for _, stanza := range stacks() {
+		if id := goid(stanza); id != "" {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// leaked returns the stanzas of goroutines alive now that were not
+// alive in base and are not runtime-managed.
+func leaked(base map[string]bool) []string {
+	var out []string
+	for _, stanza := range stacks() {
+		if base[goid(stanza)] || ignored(stanza) {
+			continue
+		}
+		out = append(out, stanza)
+	}
+	return out
+}
+
+// Check snapshots the live goroutines and registers a cleanup that
+// fails t if, after a grace period, goroutines created during the test
+// are still running. Call it first in the test so the snapshot precedes
+// any goroutine the test starts.
+func Check(t TB) {
+	t.Helper()
+	base := snapshot()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var extra []string
+		for {
+			extra = leaked(base)
+			if len(extra) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked by this test:\n\n%s",
+			len(extra), strings.Join(extra, "\n\n"))
+	})
+}

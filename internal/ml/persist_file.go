@@ -33,16 +33,23 @@ func LoadMatcherFile(path string) (Matcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	return LoadMatcherBytes(path, data)
+}
+
+// LoadMatcherBytes rebuilds a matcher from artifact bytes already read
+// (the serving hot-reload path reads once so it can checksum and decode
+// the same bytes). name labels errors, usually the source path.
+func LoadMatcherBytes(name string, data []byte) (Matcher, error) {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("ml: model file %s is empty", path)
+		return nil, fmt.Errorf("ml: model file %s is empty", name)
 	}
 	var spec MatcherSpec
 	if err := json.Unmarshal(data, &spec); err != nil {
-		return nil, fmt.Errorf("ml: parse model file %s: %w", path, err)
+		return nil, fmt.Errorf("ml: parse model file %s: %w", name, err)
 	}
 	m, err := ImportMatcher(&spec)
 	if err != nil {
-		return nil, fmt.Errorf("ml: model file %s: %w", path, err)
+		return nil, fmt.Errorf("ml: model file %s: %w", name, err)
 	}
 	return m, nil
 }

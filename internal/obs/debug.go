@@ -26,6 +26,25 @@ func publishMetrics() {
 	})
 }
 
+// NewDebugMux builds the standard debug mux — expvar metrics at
+// /debug/vars, Prometheus text exposition at /metrics, pprof under
+// /debug/pprof/ — and registers the metrics expvar. It is how a binary
+// that already runs its own HTTP server (the matching service) mounts
+// the debug surface alongside its application routes instead of opening
+// a second port.
+func NewDebugMux() *http.ServeMux {
+	publishMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", promHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // DefaultDrainTimeout bounds how long a context-tied debug server waits
 // for in-flight scrapes before closing their connections.
 const DefaultDrainTimeout = 2 * time.Second
@@ -46,20 +65,11 @@ type DebugServer struct {
 // an ephemeral port) and serves expvar + prometheus + pprof in a
 // background goroutine until Close/Shutdown.
 func StartDebugServer(addr string) (*DebugServer, error) {
-	publishMetrics()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", promHandler)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewDebugMux(), ReadHeaderTimeout: 5 * time.Second}
 	d := &DebugServer{ln: ln, srv: srv, done: make(chan struct{})}
 	go func() {
 		srv.Serve(ln) //nolint:errcheck // Serve always returns on Close/Shutdown

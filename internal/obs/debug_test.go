@@ -9,9 +9,12 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"emgo/internal/leakcheck"
 )
 
 func TestDebugServerServesExpvarAndPprof(t *testing.T) {
+	leakcheck.Check(t)
 	Disable()
 	reg := Enable()
 	defer Disable()
@@ -105,6 +108,7 @@ func TestDebugServerServesPrometheus(t *testing.T) {
 }
 
 func TestDebugServerShutdownOnContextCancel(t *testing.T) {
+	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	srv, err := StartDebugServerCtx(ctx, "127.0.0.1:0", time.Second)
 	if err != nil {
@@ -141,6 +145,7 @@ func TestDebugServerShutdownOnContextCancel(t *testing.T) {
 }
 
 func TestDebugServerShutdownDrainsInFlight(t *testing.T) {
+	leakcheck.Check(t)
 	srv, err := StartDebugServer("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -4,26 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
-)
 
-// settleGoroutines polls until the goroutine count drops back to at most
-// base (with a small tolerance for runtime housekeeping) or the deadline
-// expires, returning the final count.
-func settleGoroutines(t *testing.T, base int) int {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	n := runtime.NumGoroutine()
-	for n > base+2 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-		n = runtime.NumGoroutine()
-	}
-	return n
-}
+	"emgo/internal/leakcheck"
+)
 
 func TestForCtxMatchesSerial(t *testing.T) {
 	const n = 1000
@@ -140,7 +127,7 @@ func TestForCtxPreCancelled(t *testing.T) {
 }
 
 func TestForCtxCancellationPromptNoLeak(t *testing.T) {
-	base := runtime.NumGoroutine()
+	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int64
 	const n = 5000
@@ -173,13 +160,10 @@ func TestForCtxCancellationPromptNoLeak(t *testing.T) {
 	if elapsed > 3*time.Second {
 		t.Fatalf("cancelled run took %v", elapsed)
 	}
-	if got := settleGoroutines(t, base); got > base+2 {
-		t.Fatalf("goroutines leaked: %d -> %d", base, got)
-	}
 }
 
 func TestForCtxNoLeakAfterPanic(t *testing.T) {
-	base := runtime.NumGoroutine()
+	leakcheck.Check(t)
 	for round := 0; round < 10; round++ {
 		err := ForWorkersCtx(context.Background(), 200, 8, func(i int) error {
 			if i == 100 {
@@ -190,9 +174,6 @@ func TestForCtxNoLeakAfterPanic(t *testing.T) {
 		if err == nil {
 			t.Fatal("expected error")
 		}
-	}
-	if got := settleGoroutines(t, base); got > base+2 {
-		t.Fatalf("goroutines leaked: %d -> %d", base, got)
 	}
 }
 

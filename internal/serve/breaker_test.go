@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+var errBoom = errors.New("boom")
+
+func TestBreakerStartsClosed(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{})
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Failures: 3, Cooldown: time.Minute})
+	// Two failures, then a success: the consecutive counter must reset.
+	b.Record(errBoom, 0)
+	b.Record(errBoom, 0)
+	b.Record(nil, 0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after reset-by-success = %v, want closed", b.State())
+	}
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		b.Record(errBoom, 0)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must not allow")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbeThenClose(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{Failures: 1, Cooldown: time.Minute})
+	b.Record(errBoom, 0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// Before the cooldown: still refusing.
+	clk.advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker allowed before cooldown elapsed")
+	}
+	// After the cooldown: exactly one probe admitted.
+	clk.advance(31 * time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half_open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker must admit the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe succeeds: breaker closes and counting restarts.
+	b.Record(nil, 0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker must allow")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second})
+	b.Record(errBoom, 0)
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(errBoom, 0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The re-open restarts the cooldown from the probe failure.
+	clk.advance(900 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker allowed during restarted cooldown")
+	}
+	clk.advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused after restarted cooldown elapsed")
+	}
+}
+
+func TestBreakerLatencyCountsAsFailure(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Failures: 2, Cooldown: time.Minute, LatencyLimit: 10 * time.Millisecond})
+	// Errors-free but slow calls must still trip the breaker.
+	b.Record(nil, 50*time.Millisecond)
+	b.Record(nil, 50*time.Millisecond)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after slow successes = %v, want open", b.State())
+	}
+}
+
+func TestBreakerResetForceCloses(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Failures: 1, Cooldown: time.Hour})
+	b.Record(errBoom, 0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	gen := b.Generation()
+	b.Reset()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after Reset = %v, want closed", b.State())
+	}
+	if b.Generation() <= gen {
+		t.Fatal("Reset must count as a transition")
+	}
+	if !b.Allow() {
+		t.Fatal("reset breaker must allow")
+	}
+}
+
+func TestBreakerLateRecordWhileOpenIgnored(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Failures: 1, Cooldown: time.Hour})
+	b.Record(errBoom, 0)
+	gen := b.Generation()
+	// A straggler call admitted before the trip reports in: no state
+	// churn, no counter corruption.
+	b.Record(errBoom, 0)
+	b.Record(nil, 0)
+	if b.State() != BreakerOpen || b.Generation() != gen {
+		t.Fatalf("late records disturbed the open breaker: state=%v gen=%d want open/%d",
+			b.State(), b.Generation(), gen)
+	}
+}

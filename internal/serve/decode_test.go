@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"emgo/internal/table"
+)
+
+func reqSchema() *table.Schema {
+	return table.MustSchema(
+		table.Field{Name: "ID", Kind: table.String},
+		table.Field{Name: "Num", Kind: table.String},
+		table.Field{Name: "Year", Kind: table.Int},
+	)
+}
+
+func TestDecodeMatchRequestValid(t *testing.T) {
+	body := `{"record":{"ID":"l0","Num":"2008-1","Year":2008},"timeout_ms":250,"trace":true}`
+	req, err := DecodeMatchRequest(strings.NewReader(body), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.TimeoutMS != 250 || !req.Trace || len(req.Record) != 3 {
+		t.Fatalf("decoded %+v", req)
+	}
+	row, err := RecordRow(reqSchema(), req.Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Str() != "l0" || row[2].IsNull() {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestDecodeMatchRequestRejections(t *testing.T) {
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+	}{
+		{"empty body", "", 400},
+		{"not json", "hello", 400},
+		{"wrong top-level type", `[1,2,3]`, 400},
+		{"unknown field", `{"record":{"ID":"x"},"bogus":1}`, 400},
+		{"missing record", `{"timeout_ms":5}`, 400},
+		{"empty record", `{"record":{}}`, 400},
+		{"negative timeout", `{"record":{"ID":"x"},"timeout_ms":-1}`, 400},
+		{"trailing garbage", `{"record":{"ID":"x"}} extra`, 400},
+		{"oversized", `{"record":{"ID":"` + strings.Repeat("a", 2048) + `"}}`, 413},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeMatchRequest(strings.NewReader(tc.body), 1024)
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want *RequestError", err)
+			}
+			if re.Status != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (%s)", re.Status, tc.wantStatus, re.Msg)
+			}
+		})
+	}
+}
+
+func TestDecodeMatchRequestAtCapExactlyOK(t *testing.T) {
+	body := `{"record":{"ID":"x"}}`
+	if _, err := DecodeMatchRequest(strings.NewReader(body), int64(len(body))); err != nil {
+		t.Fatalf("body exactly at cap rejected: %v", err)
+	}
+}
+
+func TestRecordRowUnknownColumn(t *testing.T) {
+	_, err := RecordRow(reqSchema(), map[string]any{"Titel": "typo"})
+	var re *RequestError
+	if !errors.As(err, &re) || re.Status != 400 {
+		t.Fatalf("err = %v, want 400 RequestError", err)
+	}
+	if !strings.Contains(re.Msg, "Titel") {
+		t.Fatalf("error should name the bad column: %q", re.Msg)
+	}
+}
+
+func TestRecordRowMissingAndDirtyCells(t *testing.T) {
+	row, err := RecordRow(reqSchema(), map[string]any{
+		"ID":   "l0",
+		"Year": "not-a-number", // unparseable under Int -> null, like ReadCSV
+		// Num absent -> null
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Str() != "l0" {
+		t.Fatalf("ID = %v", row[0])
+	}
+	if !row[1].IsNull() {
+		t.Fatalf("missing column should be null, got %v", row[1])
+	}
+	if !row[2].IsNull() {
+		t.Fatalf("unparseable int should be null, got %v", row[2])
+	}
+}
+
+func TestRecordRowNestedValuesBecomeNull(t *testing.T) {
+	row, err := RecordRow(reqSchema(), map[string]any{
+		"ID": []any{"arrays", "have", "no", "cell", "form"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row[0].IsNull() {
+		t.Fatalf("array value should decode to null, got %v", row[0])
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeMatchRequest proves the request decoder's contract on
+// arbitrary bytes: it never panics, and every rejection is a typed
+// *RequestError carrying a 4xx status (malformed input is the client's
+// problem, never a 500 and never a process crash). Accepted requests
+// must satisfy the invariants the handler relies on, and must survive
+// RecordRow without panicking either.
+func FuzzDecodeMatchRequest(f *testing.F) {
+	f.Add([]byte(`{"record":{"ID":"l0","Num":"2008-1"}}`))
+	f.Add([]byte(`{"record":{"Year":2008},"timeout_ms":100,"trace":true}`))
+	f.Add([]byte(`{"record":{"ID":null}}`))
+	f.Add([]byte(`{"record":{"ID":["nested"]}}`))
+	f.Add([]byte(`{"record":{}}`))
+	f.Add([]byte(`{"record":{"ID":"x"}}trailing`))
+	f.Add([]byte(`{"timeout_ms":-5,"record":{"ID":"x"}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte(`[{"record":{}}]`))
+	f.Add([]byte(`{"record":{"ID":"` + strings.Repeat("a", 5000) + `"}}`))
+	f.Add([]byte("{\"record\":{\"\x00\xff\":\"�\"}}"))
+
+	schema := reqSchema()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxBody = 4096
+		req, err := DecodeMatchRequest(bytes.NewReader(data), maxBody)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *RequestError: %T %v", err, err)
+			}
+			if re.Status < 400 || re.Status > 499 {
+				t.Fatalf("rejection status %d is not 4xx (%s)", re.Status, re.Msg)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request with nil error")
+		}
+		if len(req.Record) == 0 {
+			t.Fatal("accepted request with empty record")
+		}
+		if req.TimeoutMS < 0 {
+			t.Fatal("accepted request with negative timeout")
+		}
+		if int64(len(data)) > maxBody {
+			t.Fatalf("accepted %d-byte body over the %d-byte cap", len(data), maxBody)
+		}
+		// The accepted record must also convert without panicking; the
+		// only permitted failure is the typed unknown-column rejection.
+		if _, rerr := RecordRow(schema, req.Record); rerr != nil {
+			var re *RequestError
+			if !errors.As(rerr, &re) || re.Status != 400 {
+				t.Fatalf("RecordRow rejection is not a 400 RequestError: %v", rerr)
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"emgo/internal/fault"
+	"emgo/internal/leakcheck"
+	"emgo/internal/ml"
+	"emgo/internal/retry"
+)
+
+// saveFixtureMatcher trains the fixture matcher and persists it as an
+// artifact file, returning the path.
+func saveFixtureMatcher(t *testing.T, dir, name string) string {
+	t.Helper()
+	w, _, _ := fixtureWorkflow(t)
+	path := filepath.Join(dir, name)
+	if err := ml.SaveMatcherFile(path, w.Matcher); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadArtifactChecksumAndProbe(t *testing.T) {
+	dir := t.TempDir()
+	path := saveFixtureMatcher(t, dir, "model.json")
+	art, err := LoadArtifact(context.Background(), path, 2, retry.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Checksum == "" || art.Matcher == nil || art.Path != path {
+		t.Fatalf("artifact = %+v", art)
+	}
+	// Same bytes load to the same checksum (the provenance contract).
+	art2, err := LoadArtifact(context.Background(), path, 2, retry.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art2.Checksum != art.Checksum {
+		t.Fatalf("checksums differ for identical bytes: %s vs %s", art.Checksum, art2.Checksum)
+	}
+}
+
+func TestLoadArtifactRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.json": `{"kind":"tree","payl`,
+		"empty.json":     ``,
+		"not-json.json":  `hello world`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadArtifact(context.Background(), path, 2, retry.Policy{}); err == nil {
+			t.Fatalf("%s: corrupt artifact loaded without error", name)
+		}
+	}
+	if _, err := LoadArtifact(context.Background(), filepath.Join(dir, "missing.json"), 2, retry.Policy{}); err == nil {
+		t.Fatal("missing artifact loaded without error")
+	}
+}
+
+func TestLoadArtifactRetriesTransientReads(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	path := saveFixtureMatcher(t, dir, "model.json")
+	fault.Enable("serve.reload", fault.Plan{FailFirst: 2})
+	art, err := LoadArtifact(context.Background(), path, 2,
+		retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("transient read faults should be retried away: %v", err)
+	}
+	if art.Matcher == nil {
+		t.Fatal("nil matcher after retried load")
+	}
+	if fault.Count("serve.reload") != 3 {
+		t.Fatalf("reload site reached %d times, want 3 (2 failures + success)", fault.Count("serve.reload"))
+	}
+}
+
+func TestReloadSwapAndRollback(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	dir := t.TempDir()
+	path := saveFixtureMatcher(t, dir, "model.json")
+
+	w, l, r := fixtureWorkflow(t)
+	s, err := New(context.Background(), Config{
+		MatcherPath: path,
+		RetryPolicy: retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	}, w, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Artifact()
+	if first == nil || first.Path != path {
+		t.Fatalf("initial artifact = %+v", first)
+	}
+
+	// Trip the breaker so we can verify a successful reload resets it.
+	s.Breaker().Record(errBoom, 0)
+	s.Breaker().Record(errBoom, 0)
+	s.Breaker().Record(errBoom, 0)
+	s.Breaker().Record(errBoom, 0)
+	s.Breaker().Record(errBoom, 0)
+
+	// Reload the same file: succeeds, same checksum, breaker re-closed.
+	art, err := s.Reload(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Checksum != first.Checksum {
+		t.Fatalf("checksum changed on identical bytes: %s vs %s", art.Checksum, first.Checksum)
+	}
+	if st := s.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker after successful reload = %v, want closed", st)
+	}
+
+	// Corrupt the artifact on disk: reload must fail and roll back.
+	if err := os.WriteFile(path, []byte(`{"garbage":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reload(context.Background(), ""); err == nil {
+		t.Fatal("corrupt reload reported success")
+	}
+	if got := s.Artifact(); got == nil || got.Checksum != first.Checksum {
+		t.Fatalf("rollback failed: artifact = %+v, want checksum %s", got, first.Checksum)
+	}
+
+	// The service still answers with the rolled-back matcher.
+	row, err := RecordRow(l.Schema(), map[string]any{
+		"Num": "2008-11111-11111", "Title": "corn fungicide guidelines north central",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.matchOne(context.Background(), row, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Fatalf("post-rollback request degraded: %+v", resp)
+	}
+}
+
+func TestReloadSpecEmbeddedRefused(t *testing.T) {
+	w, l, r := fixtureWorkflow(t)
+	s, err := New(context.Background(), Config{}, w, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Artifact() == nil || s.Artifact().Path != specArtifactPath {
+		t.Fatalf("spec-embedded artifact = %+v", s.Artifact())
+	}
+	if _, err := s.Reload(context.Background(), ""); err == nil {
+		t.Fatal("reload without an artifact path must be refused")
+	}
+}
+
+func TestNewRejectsMissingArtifact(t *testing.T) {
+	w, l, r := fixtureWorkflow(t)
+	_, err := New(context.Background(), Config{MatcherPath: filepath.Join(t.TempDir(), "nope.json")}, w, l, r)
+	if err == nil {
+		t.Fatal("New with a missing artifact path must fail")
+	}
+}

@@ -1,0 +1,710 @@
+// Package serve is the online matching service: it wraps a deployed EM
+// workflow (blockers, rule layers, fitted matcher) behind an HTTP/JSON
+// API and keeps it answering under hostile conditions. The paper's
+// endgame is a deployed workflow matching production slices; this
+// package is that deployment as a long-running service rather than a
+// batch run.
+//
+// The machinery is overload-robustness first, routing second:
+//
+//   - bounded admission (MaxInFlight executing, MaxQueue waiting,
+//     everything else shed with 429 + Retry-After),
+//   - per-request deadlines propagated through the existing ctx plumbing
+//     into blocking, vectorization, and prediction,
+//   - a circuit breaker around the learned matcher that degrades to the
+//     always-available rule-only path (responses marked "degraded"),
+//   - atomic hot reload of the matcher artifact with checksum
+//     verification and rollback on bad loads,
+//   - health/readiness/drain endpoints plus the standard obs debug
+//     surface (expvar, Prometheus text, pprof),
+//   - per-request drift capture feeding internal/drift, so the serving
+//     distribution can be scored against the training baseline.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emgo/internal/block"
+	"emgo/internal/ckpt"
+	"emgo/internal/drift"
+	"emgo/internal/fault"
+	"emgo/internal/ml"
+	"emgo/internal/obs"
+	"emgo/internal/retry"
+	"emgo/internal/rules"
+	"emgo/internal/table"
+	"emgo/internal/workflow"
+)
+
+// specArtifactPath marks a matcher that came embedded in the workflow
+// spec rather than from a standalone artifact file (not hot-reloadable).
+const specArtifactPath = "<spec>"
+
+// latencyMSBuckets are the upper bounds (milliseconds) of the request
+// latency histogram "serve.latency_ms".
+var latencyMSBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Degraded-response reasons.
+const (
+	ReasonBreakerOpen  = "breaker_open"
+	ReasonMatcherError = "matcher_error"
+	ReasonMatcherSlow  = "matcher_timeout"
+	ReasonNoMatcher    = "no_matcher"
+	ReasonBlockerError = "blocker_error"
+)
+
+// Config tunes the service. The zero value serves with defaults.
+type Config struct {
+	// Admission bounds concurrency and the wait line.
+	Admission AdmissionConfig
+	// Breaker tunes the matcher circuit breaker.
+	Breaker BreakerConfig
+	// RequestTimeout is the per-request deadline (default 5s). A
+	// request's timeout_ms may lower it, never raise it.
+	RequestTimeout time.Duration
+	// MLBudgetFrac is the fraction of the request's remaining deadline
+	// budget granted to the learned-matcher stage, so a slow matcher
+	// times out with room left to fall back to rules (default 0.7).
+	MLBudgetFrac float64
+	// MaxBodyBytes caps request bodies (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// DrainTimeout bounds how long Drain waits for in-flight requests
+	// (default 10s).
+	DrainTimeout time.Duration
+	// RetryPolicy governs artifact-read retries during hot reload.
+	RetryPolicy retry.Policy
+	// MatcherPath is the standalone matcher artifact to load and serve
+	// (hot-reloadable). Empty uses the spec-embedded matcher, if any.
+	MatcherPath string
+	// RightIDCol names the right table's identifier column echoed in
+	// responses (default "RecordId"; missing column falls back to row
+	// indices).
+	RightIDCol string
+	// DriftSampleCap and DriftSeed size the per-request drift reservoirs.
+	DriftSampleCap int
+	DriftSeed      int64
+	// DriftBaseline, when set, lets GET /-/drift?check=1 score the live
+	// serving profile against the training-time baseline.
+	DriftBaseline *drift.Profile
+	// MountDebug mounts the obs debug mux (expvar, /metrics, pprof) on
+	// the service handler.
+	MountDebug bool
+}
+
+// Server is the online matching service.
+type Server struct {
+	cfg         Config
+	wf          *workflow.Workflow
+	left        *table.Table // schema donor for request records
+	right       *table.Table
+	rightIDs    []string
+	matcherPath string
+
+	artifact atomic.Pointer[Artifact]
+	breaker  *Breaker
+	adm      *Admission
+	reloadMu sync.Mutex
+
+	collector *drift.Collector
+	rightCols []drift.ColumnProfile
+
+	mu       sync.Mutex
+	requests int64
+	degraded int64
+	perRow   []int
+
+	started   time.Time
+	draining  atomic.Bool
+	drained   chan struct{}
+	drainOnce sync.Once
+}
+
+// New builds the service around a deployed workflow. left donates the
+// request schema (its rows are ignored); right is the table requests
+// are matched against. When cfg.MatcherPath is set the matcher artifact
+// is loaded from it (and becomes hot-reloadable); otherwise the
+// spec-embedded matcher, if any, serves. With neither, the service runs
+// rule-only and every response is marked degraded.
+func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *table.Table) (*Server, error) {
+	if wf == nil {
+		return nil, fmt.Errorf("serve: nil workflow")
+	}
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("serve: nil table")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MLBudgetFrac <= 0 || cfg.MLBudgetFrac > 1 {
+		cfg.MLBudgetFrac = 0.7
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.RightIDCol == "" {
+		cfg.RightIDCol = "RecordId"
+	}
+	s := &Server{
+		cfg:         cfg,
+		wf:          wf,
+		left:        left,
+		right:       right,
+		matcherPath: cfg.MatcherPath,
+		breaker:     NewBreaker(cfg.Breaker),
+		adm:         NewAdmission(cfg.Admission),
+		collector:   drift.NewCollector(cfg.DriftSampleCap, cfg.DriftSeed),
+		started:     time.Now(),
+		drained:     make(chan struct{}),
+	}
+	if wf.Features != nil {
+		s.collector.SetFeatureNames(wf.Features.Names())
+	}
+	// The right table is static for the server's lifetime: profile its
+	// columns once so the drift endpoint reports them without rescanning.
+	s.rightCols = s.collector.ObserveTable("right", right)
+	// Resolve right IDs up front; a missing ID column degrades to row
+	// indices rather than failing every request.
+	if j, err := right.Col(cfg.RightIDCol); err == nil {
+		s.rightIDs = make([]string, right.Len())
+		for i := 0; i < right.Len(); i++ {
+			s.rightIDs[i] = right.Row(i)[j].Str()
+		}
+	}
+	switch {
+	case cfg.MatcherPath != "":
+		art, err := LoadArtifact(ctx, cfg.MatcherPath, s.featureWidth(), cfg.RetryPolicy)
+		if err != nil {
+			return nil, err
+		}
+		s.artifact.Store(art)
+	case wf.Matcher != nil:
+		spec, err := ml.ExportMatcher(wf.Matcher)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fingerprint spec-embedded matcher: %w", err)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: fingerprint spec-embedded matcher: %w", err)
+		}
+		s.artifact.Store(&Artifact{
+			Matcher:  wf.Matcher,
+			Checksum: ckpt.Fingerprint(string(data)),
+			Path:     specArtifactPath,
+			LoadedAt: time.Now(),
+		})
+	}
+	if s.artifact.Load() != nil && (wf.Features == nil || wf.Imputer == nil) {
+		return nil, fmt.Errorf("serve: matcher deployed without features/imputer")
+	}
+	return s, nil
+}
+
+// featureWidth is the deployed feature-vector width (0 = rule-only).
+func (s *Server) featureWidth() int {
+	if s.wf.Features == nil {
+		return 0
+	}
+	return s.wf.Features.Len()
+}
+
+// Artifact returns the live matcher artifact (nil = rule-only service).
+func (s *Server) Artifact() *Artifact { return s.artifact.Load() }
+
+// Breaker returns the matcher circuit breaker (test/status surface).
+func (s *Server) Breaker() *Breaker { return s.breaker }
+
+// Handler builds the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("POST /-/reload", s.handleReload)
+	mux.HandleFunc("POST /-/drain", s.handleDrain)
+	mux.HandleFunc("GET /-/status", s.handleStatus)
+	mux.HandleFunc("GET /-/drift", s.handleDrift)
+	if s.cfg.MountDebug {
+		dbg := obs.NewDebugMux()
+		mux.Handle("/debug/", dbg)
+		mux.Handle("/metrics", dbg)
+	}
+	return mux
+}
+
+// writeJSON writes one JSON response with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", waitHint(retryAfter)))
+		writeJSON(w, status, ErrorResponse{Error: msg, Status: status, RetryAfterS: waitHint(retryAfter)})
+		return
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg, Status: status})
+}
+
+// handleMatch is the matching endpoint under the full admission /
+// deadline / degradation machinery.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	obs.C("serve.requests").Inc()
+	if s.draining.Load() {
+		obs.C("serve.shed.draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
+		return
+	}
+	// Decode before admission: a malformed request must never occupy a
+	// pipeline slot, and the decoder is panic-proof on arbitrary bytes.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := DecodeMatchRequest(r.Body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	row, err := RecordRow(s.left.Schema(), req.Record)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+
+	// Per-request deadline: the server's budget, lowered (never raised)
+	// by the request's own timeout_ms.
+	budget := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < budget {
+			budget = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+
+	release, err := s.adm.Acquire(ctx)
+	switch {
+	case errors.Is(err, ErrShed):
+		writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full", s.adm.RetryAfter())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
+		return
+	case err != nil: // deadline expired while queued
+		writeError(w, http.StatusTooManyRequests, "overloaded: deadline expired in admission queue", s.adm.RetryAfter())
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	resp, err := s.matchOne(ctx, row, req.Trace)
+	elapsed := time.Since(start)
+	obs.H("serve.latency_ms", latencyMSBuckets).Observe(float64(elapsed) / float64(time.Millisecond))
+	if err != nil {
+		if ctx.Err() != nil {
+			obs.C("serve.timeouts").Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded", 0)
+			return
+		}
+		obs.C("serve.errors").Inc()
+		writeError(w, http.StatusInternalServerError, "internal error: "+err.Error(), 0)
+		return
+	}
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if resp.Degraded {
+		obs.C("serve.degraded").Inc()
+	}
+	obs.C("serve.matches").Add(int64(len(resp.Matches)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeRequestError maps a decode/validation failure to its status.
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
+	obs.C("serve.bad_requests").Inc()
+	var re *RequestError
+	if errors.As(err, &re) {
+		writeError(w, re.Status, re.Msg, 0)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error(), 0)
+}
+
+// matchOne runs the deployed workflow for one request record. A
+// recovered panic is returned as an error: one poison record must never
+// take the service down.
+func (s *Server) matchOne(ctx context.Context, row table.Row, wantTrace bool) (resp *MatchResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: match panicked: %v", r)
+		}
+	}()
+	ctx, root := obs.NewTrace(ctx, "serve.match")
+	defer root.End()
+	if err := fault.Inject("serve.match"); err != nil {
+		return nil, err
+	}
+	// Per-request drift capture: the armed collector makes vectorize and
+	// predict feed the serving-distribution reservoirs.
+	ctx = drift.WithCollector(ctx, s.collector)
+
+	leftOne := table.New("request", s.left.Schema())
+	if err := leftOne.Append(row); err != nil {
+		return nil, err
+	}
+	resp = &MatchResponse{}
+
+	// Stage 1: positive rules straight against the right table — the
+	// always-available path that keeps the service useful when the
+	// learned matcher is down.
+	sure := block.NewCandidateSet(leftOne, s.right)
+	sureRule := map[int]string{}
+	if s.wf.SureRules != nil && s.wf.SureRules.Len() > 0 {
+		for j := 0; j < s.right.Len(); j++ {
+			if j%256 == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+			}
+			if v, name := s.wf.SureRules.JudgeWithRule(row, s.right.Row(j)); v == rules.Match {
+				sure.Add(block.Pair{A: 0, B: j})
+				sureRule[j] = name
+			}
+		}
+	}
+
+	// Stage 2: blocking. A blocker failure (not a deadline) degrades to
+	// the sure-rule answer instead of failing the request.
+	var candidates *block.CandidateSet
+	blocked, berr := block.UnionBlockCtx(ctx, leftOne, s.right, s.wf.Blockers...)
+	switch {
+	case berr != nil && ctx.Err() != nil:
+		return nil, berr
+	case berr != nil:
+		resp.Degraded = true
+		resp.DegradedReason = ReasonBlockerError
+		candidates = block.NewCandidateSet(leftOne, s.right)
+	default:
+		candidates, berr = blocked.Minus(sure)
+		if berr != nil {
+			return nil, berr
+		}
+	}
+	resp.Candidates = candidates.Len()
+
+	// Stage 3: the learned matcher behind the circuit breaker.
+	learned := block.NewCandidateSet(leftOne, s.right)
+	scores := map[int]float64{}
+	if !resp.Degraded && candidates.Len() > 0 {
+		learned, scores, resp.DegradedReason = s.predict(ctx, leftOne, candidates)
+		resp.Degraded = resp.DegradedReason != ""
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	} else if art := s.artifact.Load(); art == nil && !resp.Degraded {
+		resp.Degraded = true
+		resp.DegradedReason = ReasonNoMatcher
+	}
+
+	// Stage 4: negative rules veto learned matches (sure matches bypass
+	// them, as in the batch workflow).
+	kept := learned
+	if s.wf.NegativeRules != nil && s.wf.NegativeRules.Len() > 0 && learned.Len() > 0 {
+		kept, resp.Vetoed = s.wf.NegativeRules.FilterMatches(learned)
+	}
+
+	// Assemble: sure matches first, then surviving learned matches.
+	for _, p := range sure.Sorted() {
+		resp.Matches = append(resp.Matches, Match{
+			RightID:    s.rightID(p.B),
+			RightIndex: p.B,
+			Source:     "rule:" + sureRule[p.B],
+		})
+	}
+	for _, p := range kept.Sorted() {
+		m := Match{RightID: s.rightID(p.B), RightIndex: p.B, Source: "matcher"}
+		if sc, ok := scores[p.B]; ok {
+			score := sc
+			m.Score = &score
+		}
+		resp.Matches = append(resp.Matches, m)
+	}
+	resp.Breaker = s.breaker.State().String()
+
+	// Coverage accounting for the drift profile.
+	s.mu.Lock()
+	s.requests++
+	if resp.Degraded {
+		s.degraded++
+	}
+	if len(s.perRow) < 65536 {
+		s.perRow = append(s.perRow, resp.Candidates)
+	}
+	s.mu.Unlock()
+
+	if wantTrace {
+		root.End()
+		if data, merr := json.Marshal(root.Snapshot()); merr == nil {
+			resp.Trace = data
+		}
+	}
+	return resp, nil
+}
+
+// predict runs vectorize + impute + predict under the breaker and an ML
+// sub-budget of the request deadline. It returns the learned match set,
+// per-right-row scores, and a degradation reason ("" = the learned path
+// served normally).
+func (s *Server) predict(ctx context.Context, leftOne *table.Table, candidates *block.CandidateSet) (*block.CandidateSet, map[int]float64, string) {
+	learned := block.NewCandidateSet(leftOne, s.right)
+	scores := map[int]float64{}
+	art := s.artifact.Load()
+	if art == nil {
+		return learned, scores, ReasonNoMatcher
+	}
+	if !s.breaker.Allow() {
+		obs.C("serve.breaker.rejections").Inc()
+		return learned, scores, ReasonBreakerOpen
+	}
+
+	// Grant the matcher a fraction of the remaining budget so its
+	// timeout leaves room to respond with the rule-only answer.
+	mlCtx := ctx
+	var cancel context.CancelFunc = func() {}
+	if deadline, ok := ctx.Deadline(); ok {
+		sub := time.Duration(float64(time.Until(deadline)) * s.cfg.MLBudgetFrac)
+		mlCtx, cancel = context.WithTimeout(ctx, sub)
+	}
+	defer cancel()
+
+	start := time.Now()
+	preds, scored, err := s.predictVectors(mlCtx, leftOne, candidates.Pairs(), art.Matcher)
+	latency := time.Since(start)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The whole request deadline died: the caller turns this
+			// into 504; the slow call still counts against the breaker.
+			s.breaker.Record(err, latency)
+			return learned, scores, ReasonMatcherError
+		}
+		s.breaker.Record(err, latency)
+		obs.C("serve.ml_failures").Inc()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return learned, scores, ReasonMatcherSlow
+		}
+		return learned, scores, ReasonMatcherError
+	}
+	s.breaker.Record(nil, latency)
+	for i, p := range candidates.Pairs() {
+		if preds[i] == 1 {
+			learned.Add(p)
+			if sc, ok := scored[i]; ok {
+				scores[p.B] = sc
+			}
+		}
+	}
+	return learned, scores, ""
+}
+
+// predictVectors vectorizes, imputes, and predicts one candidate list,
+// also collecting per-row probabilities when the matcher reports them.
+func (s *Server) predictVectors(ctx context.Context, leftOne *table.Table, pairs []block.Pair, m ml.Matcher) ([]int, map[int]float64, error) {
+	x, err := s.wf.Features.VectorizeCtx(ctx, leftOne, s.right, pairs)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err = s.wf.Imputer.Transform(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	preds, err := ml.PredictAllCtx(ctx, m, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	scored := map[int]float64{}
+	if pm, ok := m.(ml.ProbabilisticMatcher); ok {
+		for i, p := range preds {
+			if p == 1 {
+				scored[i] = pm.Proba(x[i])
+			}
+		}
+	}
+	return preds, scored, nil
+}
+
+// rightID maps a right row index to its identifier.
+func (s *Server) rightID(j int) string {
+	if s.rightIDs != nil && j < len(s.rightIDs) {
+		return s.rightIDs[j]
+	}
+	return fmt.Sprintf("#%d", j)
+}
+
+// handleHealth is liveness: 200 whenever the process can answer at all,
+// draining included (the balancer uses readyz to steer traffic).
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: 503 once draining so load balancers stop
+// routing here before the listener actually closes.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// reloadRequest is the optional /-/reload body.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// handleReload hot-swaps the matcher artifact; failures roll back.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if r.Body != nil {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+		if err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, "reload request body too large", 0)
+			return
+		}
+		if len(data) > 0 {
+			if jerr := json.Unmarshal(data, &req); jerr != nil {
+				writeError(w, http.StatusBadRequest, "parse reload request: "+jerr.Error(), 0)
+				return
+			}
+		}
+	}
+	art, err := s.Reload(r.Context(), req.Path)
+	if err != nil {
+		prev := s.artifact.Load()
+		msg := "reload failed (previous matcher still serving): " + err.Error()
+		status := http.StatusUnprocessableEntity
+		resp := map[string]any{"error": msg, "status": status}
+		if prev != nil {
+			resp["active_checksum"] = prev.Checksum
+			resp["active_path"] = prev.Path
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "reloaded",
+		"path":      art.Path,
+		"checksum":  art.Checksum,
+		"loaded_at": art.LoadedAt,
+	})
+}
+
+// handleDrain starts the drain (idempotent) and reports progress.
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	s.StartDrain()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"status":   "draining",
+		"inflight": s.adm.InFlight(),
+		"queued":   s.adm.Queued(),
+	})
+}
+
+// StatusData is the /-/status document.
+type StatusData struct {
+	UptimeS   float64 `json:"uptime_s"`
+	Requests  int64   `json:"requests"`
+	Degraded  int64   `json:"degraded"`
+	InFlight  int     `json:"inflight"`
+	Queued    int64   `json:"queued"`
+	Breaker   string  `json:"breaker"`
+	Draining  bool    `json:"draining"`
+	RightRows int     `json:"right_rows"`
+	Matcher   any     `json:"matcher,omitempty"`
+}
+
+// handleStatus reports the operational state in one JSON document.
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	reqs, degr := s.requests, s.degraded
+	s.mu.Unlock()
+	st := StatusData{
+		UptimeS:   time.Since(s.started).Seconds(),
+		Requests:  reqs,
+		Degraded:  degr,
+		InFlight:  s.adm.InFlight(),
+		Queued:    s.adm.Queued(),
+		Breaker:   s.breaker.State().String(),
+		Draining:  s.draining.Load(),
+		RightRows: s.right.Len(),
+	}
+	if art := s.artifact.Load(); art != nil {
+		st.Matcher = map[string]any{
+			"name":      art.Matcher.Name(),
+			"path":      art.Path,
+			"checksum":  art.Checksum,
+			"loaded_at": art.LoadedAt,
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// Profile snapshots the live serving-distribution profile.
+func (s *Server) Profile() *drift.Profile {
+	s.mu.Lock()
+	reqs := s.requests
+	perRow := append([]int(nil), s.perRow...)
+	s.mu.Unlock()
+	return s.collector.Profile("serve", int(reqs), s.right.Len(), perRow, s.rightCols)
+}
+
+// handleDrift serves the live profile; with ?check=1 and a configured
+// baseline it scores the serving distribution against training.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	live := s.Profile()
+	if r.URL.Query().Get("check") == "" {
+		writeJSON(w, http.StatusOK, live)
+		return
+	}
+	if s.cfg.DriftBaseline == nil {
+		writeError(w, http.StatusBadRequest, "no drift baseline configured (start with -drift-baseline)", 0)
+		return
+	}
+	assessment, err := drift.Evaluate(s.cfg.DriftBaseline, live, drift.DefaultThresholds())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "drift evaluation: "+err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, assessment)
+}
+
+// StartDrain flips readiness, stops admitting match requests, and
+// (once) begins waiting out in-flight work in the background; Drained
+// closes when the pipeline is empty or DrainTimeout passes.
+func (s *Server) StartDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.adm.StartDrain()
+		obs.C("serve.drains").Inc()
+		go func() {
+			s.adm.Drain(s.cfg.DrainTimeout)
+			close(s.drained)
+		}()
+	})
+}
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drained returns a channel closed once in-flight work has finished
+// (or the drain timeout passed) after StartDrain.
+func (s *Server) Drained() <-chan struct{} { return s.drained }

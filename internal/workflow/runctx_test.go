@@ -11,6 +11,7 @@ import (
 	"emgo/internal/block"
 	"emgo/internal/fault"
 	"emgo/internal/label"
+	"emgo/internal/leakcheck"
 	"emgo/internal/retry"
 	"emgo/internal/rules"
 	"emgo/internal/table"
@@ -46,6 +47,7 @@ func hardenedFixture(t *testing.T) (*Workflow, *tableTablePair) {
 type tableTablePair struct{ l, r *table.Table }
 
 func TestRunCtxMatchesRun(t *testing.T) {
+	leakcheck.Check(t)
 	w, tp := hardenedFixture(t)
 	plain, err := w.Run(tp.l, tp.r)
 	if err != nil {
@@ -168,6 +170,7 @@ func TestRunCtxPredictionFaultQuarantined(t *testing.T) {
 }
 
 func TestRunCtxStageDeadlineAborts(t *testing.T) {
+	leakcheck.Check(t)
 	w, tp := hardenedFixture(t)
 	res, err := w.RunCtx(context.Background(), tp.l, tp.r, RunOptions{
 		StageTimeouts: map[string]time.Duration{"blocked": time.Nanosecond},
@@ -181,6 +184,7 @@ func TestRunCtxStageDeadlineAborts(t *testing.T) {
 }
 
 func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	leakcheck.Check(t)
 	w, tp := hardenedFixture(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

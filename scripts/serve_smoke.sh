@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test for the online matching service.
+#
+# Exercises emserve the way an overloaded deployment would (see
+# docs/SERVING.md), with the race detector compiled in and fault
+# injection armed so the hostile paths actually run:
+#
+#   1. generate a projected UMETRICS/USDA slice (emgen -projected), a
+#      packaged deployment spec (emcasestudy -spec), and a standalone
+#      matcher artifact (emserve -export-matcher),
+#   2. start a race-built emserve with max-inflight 1, no wait queue,
+#      every matcher call failing (-inject ml.predict) and every request
+#      carrying injected latency (-inject serve.match:mode=sleep,...),
+#   3. drive it over HTTP (scripts/servesmoke): matcher faults must
+#      degrade to rule-only 200s marked degraded, a concurrent burst
+#      must shed with 429 + Retry-After while still serving someone,
+#      a hot reload must succeed without dropping the in-flight
+#      request, and a corrupt artifact must be refused (422) with the
+#      previous matcher kept serving,
+#   4. SIGTERM the server and assert the graceful drain: exit code 130,
+#      "drain complete", and the zero-leak self-check line.
+#
+# Everything runs in a temp dir; only POSIX tools + the go toolchain are
+# required.
+set -u
+
+SCALE="${SERVE_SCALE:-0.1}"
+SEED="${SERVE_SEED:-5}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+say() { printf 'serve-smoke: %s\n' "$*"; }
+fail() { printf 'serve-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+
+say "building emgen, emcasestudy, emserve (-race), servesmoke"
+for bin in emgen emcasestudy; do
+    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
+        echo "serve-smoke: build of $bin failed" >&2
+        exit 1
+    }
+done
+(cd "$ROOT" && go build -race -o "$TMP/emserve" ./cmd/emserve) || {
+    echo "serve-smoke: race build of emserve failed" >&2
+    exit 1
+}
+(cd "$ROOT" && go build -o "$TMP/servesmoke" ./scripts/servesmoke) || {
+    echo "serve-smoke: build of servesmoke failed" >&2
+    exit 1
+}
+
+say "generating projected slice (scale=$SCALE seed=$SEED), spec, and matcher artifact"
+"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
+    echo "serve-smoke: emgen failed" >&2
+    exit 1
+}
+"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
+    >"$TMP/study.txt" 2>"$TMP/study.err" || {
+    echo "serve-smoke: emcasestudy failed:" >&2
+    cat "$TMP/study.err" >&2
+    exit 1
+}
+LEFT="$TMP/data/UMETRICSProjected.csv"
+RIGHT="$TMP/data/USDAProjected.csv"
+"$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+    -export-matcher "$TMP/matcher.json" >/dev/null 2>"$TMP/export.err" || {
+    echo "serve-smoke: -export-matcher failed:" >&2
+    cat "$TMP/export.err" >&2
+    exit 1
+}
+
+say "starting emserve under injected matcher faults and latency"
+"$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+    -matcher "$TMP/matcher.json" \
+    -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" \
+    -max-inflight 1 -max-queue -1 \
+    -inject ml.predict -inject "serve.match:mode=sleep,sleep=250ms" \
+    2>"$TMP/serve.err" &
+SERVE_PID=$!
+
+for _ in $(seq 1 300); do
+    [ -s "$TMP/addr.txt" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        echo "serve-smoke: emserve died during startup:" >&2
+        cat "$TMP/serve.err" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -s "$TMP/addr.txt" ] || {
+    echo "serve-smoke: emserve never wrote its address file" >&2
+    cat "$TMP/serve.err" >&2
+    exit 1
+}
+ADDR="$(head -1 "$TMP/addr.txt" | tr -d '[:space:]')"
+say "emserve is listening on $ADDR"
+
+say "driving HTTP assertions (degrade, shed, reload, rollback)"
+"$TMP/servesmoke" -addr "$ADDR" -right "$RIGHT" -matcher "$TMP/matcher.json" ||
+    fail "HTTP assertions failed"
+
+say "SIGTERM: draining the server"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+status=$?
+SERVE_PID=""
+if [ "$status" -ne 130 ]; then
+    fail "emserve exited $status after SIGTERM, want 130:"
+    cat "$TMP/serve.err" >&2
+fi
+grep -q "drain complete" "$TMP/serve.err" ||
+    fail "drain did not complete cleanly"
+grep -q "no leaked goroutines" "$TMP/serve.err" || {
+    fail "the zero-leak self-check did not pass:"
+    cat "$TMP/serve.err" >&2
+}
+if grep -q "WARNING: DATA RACE" "$TMP/serve.err"; then
+    fail "the race detector fired:"
+    cat "$TMP/serve.err" >&2
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+    echo "serve-smoke: $FAILURES failure(s)" >&2
+    exit 1
+fi
+say "PASS (degrade -> shed -> reload -> rollback -> drain, race-clean, zero leaks)"

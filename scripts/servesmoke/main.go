@@ -1,0 +1,284 @@
+// Command servesmoke is the HTTP driver behind scripts/serve_smoke.sh:
+// it aims real concurrent traffic at a running emserve (started by the
+// shell script with fault injection armed and a tight admission gate)
+// and asserts the overload behaviors the service promises — load
+// shedding with 429 + Retry-After, graceful degradation to the rule-only
+// path, and hot reload that neither drops in-flight requests nor swaps
+// in a corrupt artifact. The shell script owns process lifecycle (start,
+// SIGTERM drain, exit-code and leak-log assertions); this driver owns
+// everything that needs an HTTP client and JSON assertions.
+//
+// Usage:
+//
+//	servesmoke -addr 127.0.0.1:PORT -right USDAProjected.csv \
+//	           -matcher matcher.json [-burst 12]
+//
+// Exit status: 0 when every assertion holds, 1 otherwise (each failure
+// is printed), 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"emgo/internal/table"
+)
+
+var failures int
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: FAIL: "+format+"\n", args...)
+	failures++
+}
+
+func say(format string, args ...any) {
+	fmt.Printf("servesmoke: "+format+"\n", args...)
+}
+
+// matchResponse is the subset of the /v1/match envelope the assertions
+// read.
+type matchResponse struct {
+	Matches        []json.RawMessage `json:"matches"`
+	Degraded       bool              `json:"degraded"`
+	DegradedReason string            `json:"degraded_reason"`
+	Candidates     int               `json:"candidates"`
+	Breaker        string            `json:"breaker"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "emserve address (host:port)")
+	rightPath := flag.String("right", "", "right-table CSV the server deployed (titles are mined for requests)")
+	matcherPath := flag.String("matcher", "", "matcher artifact path for the reload round-trip")
+	burst := flag.Int("burst", 12, "concurrent requests in the shedding burst")
+	flag.Parse()
+	if *addr == "" || *rightPath == "" || *matcherPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: servesmoke -addr host:port -right right.csv -matcher matcher.json")
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+
+	body, err := requestBody(*rightPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke:", err)
+		os.Exit(2)
+	}
+	say("request record: %s", body)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// 1. Liveness.
+	if code, _ := get(client, base+"/healthz"); code != 200 {
+		fail("healthz returned %d, want 200", code)
+	}
+
+	// 2. Graceful degradation: ml.predict is armed to fail every call,
+	// so a request with candidates must still answer 200 — rule-only,
+	// marked degraded.
+	code, data := post(client, base+"/v1/match", body)
+	if code != 200 {
+		fail("degraded match returned %d, want 200: %s", code, data)
+	} else {
+		var mr matchResponse
+		if err := json.Unmarshal(data, &mr); err != nil {
+			fail("degraded match response is not JSON: %v", err)
+		} else {
+			if mr.Candidates == 0 {
+				fail("request found no candidates — the smoke record is not exercising the matcher path: %s", data)
+			}
+			if !mr.Degraded {
+				fail("matcher faults armed but response is not degraded: %s", data)
+			}
+			if mr.DegradedReason == "" {
+				fail("degraded response carries no reason: %s", data)
+			}
+			say("degraded OK (reason=%s, candidates=%d)", mr.DegradedReason, mr.Candidates)
+		}
+	}
+
+	// 3. Load shedding: the server runs with max-inflight 1 and no wait
+	// queue, and every pipeline pass sleeps under injected latency, so a
+	// concurrent burst must split into a few 200s and fast 429s that
+	// carry Retry-After.
+	var (
+		mu                      sync.Mutex
+		ok200, shed429, other   int
+		sawRetryAfter, burstErr bool
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < *burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/match", "application/json", strings.NewReader(body))
+			if err != nil {
+				mu.Lock()
+				burstErr = true
+				mu.Unlock()
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case 200:
+				ok200++
+			case 429:
+				shed429++
+				if resp.Header.Get("Retry-After") != "" {
+					sawRetryAfter = true
+				}
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	say("burst of %d: %d served, %d shed, %d other", *burst, ok200, shed429, other)
+	if burstErr {
+		fail("burst requests errored at the transport level")
+	}
+	if ok200 == 0 {
+		fail("overloaded server served nothing — shedding everything is an outage, not protection")
+	}
+	if shed429 == 0 {
+		fail("burst of %d against max-inflight 1 shed nothing", *burst)
+	}
+	if shed429 > 0 && !sawRetryAfter {
+		fail("429 responses carried no Retry-After header")
+	}
+
+	// 4. Hot reload under traffic: fire a slow request, reload the
+	// artifact mid-flight, and require both the reload and the in-flight
+	// request to succeed.
+	inFlight := make(chan int, 1)
+	go func() {
+		code, _ := post(client, base+"/v1/match", body)
+		inFlight <- code
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request enter the pipeline
+	code, data = post(client, base+"/-/reload", fmt.Sprintf(`{"path":%q}`, *matcherPath))
+	if code != 200 {
+		fail("reload returned %d: %s", code, data)
+	} else {
+		say("reload OK: %s", bytes.TrimSpace(data))
+	}
+	select {
+	case code := <-inFlight:
+		if code != 200 && code != 429 {
+			fail("request in flight across the reload finished %d", code)
+		} else {
+			say("in-flight request survived the reload (%d)", code)
+		}
+	case <-time.After(30 * time.Second):
+		fail("request in flight across the reload never finished")
+	}
+
+	// 5. Corrupt reload must be refused with the previous artifact kept
+	// serving: write a truncated copy and require 422 + an unchanged
+	// active checksum.
+	var before struct {
+		Matcher struct {
+			Checksum string `json:"checksum"`
+		} `json:"matcher"`
+	}
+	_, data = get(client, base+"/-/status")
+	if err := json.Unmarshal(data, &before); err != nil || before.Matcher.Checksum == "" {
+		fail("status has no active matcher checksum: %s", data)
+	}
+	corrupt := filepath.Join(filepath.Dir(*matcherPath), "corrupt.json")
+	raw, err := os.ReadFile(*matcherPath)
+	if err == nil {
+		err = os.WriteFile(corrupt, raw[:len(raw)/2], 0o644)
+	}
+	if err != nil {
+		fail("building corrupt artifact: %v", err)
+	} else {
+		code, data = post(client, base+"/-/reload", fmt.Sprintf(`{"path":%q}`, corrupt))
+		if code != 422 {
+			fail("corrupt reload returned %d, want 422: %s", code, data)
+		} else if !strings.Contains(string(data), before.Matcher.Checksum) {
+			fail("corrupt-reload rejection does not confirm the active checksum: %s", data)
+		} else {
+			say("corrupt reload refused, previous matcher kept (422)")
+		}
+		var after struct {
+			Matcher struct {
+				Checksum string `json:"checksum"`
+			} `json:"matcher"`
+		}
+		_, data = get(client, base+"/-/status")
+		if json.Unmarshal(data, &after) != nil || after.Matcher.Checksum != before.Matcher.Checksum {
+			fail("active checksum changed across a failed reload: %s", data)
+		}
+	}
+
+	// 6. The service must still answer after everything above.
+	if code, _ := get(client, base+"/readyz"); code != 200 {
+		fail("readyz returned %d after the smoke run", code)
+	}
+
+	client.CloseIdleConnections()
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "servesmoke: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	say("all HTTP assertions passed")
+}
+
+// requestBody mines the right table for a long title and crafts a
+// left-schema match request from it: no award number (so no sure rule
+// fires) and an overlapping title (so blocking yields candidates and
+// the learned-matcher path actually runs).
+func requestBody(rightPath string) (string, error) {
+	right, err := table.ReadCSVFile(rightPath, nil)
+	if err != nil {
+		return "", err
+	}
+	col, err := right.Col("AwardTitle")
+	if err != nil {
+		return "", err
+	}
+	for i := 0; i < right.Len(); i++ {
+		title := right.Row(i)[col].Str()
+		if len(strings.Fields(title)) >= 4 {
+			req := map[string]any{"record": map[string]any{
+				"RecordId": "smoke-0", "AwardTitle": title,
+			}}
+			data, err := json.Marshal(req)
+			return string(data), err
+		}
+	}
+	return "", fmt.Errorf("no right-table title with >= 4 words in %s", rightPath)
+}
+
+func get(client *http.Client, url string) (int, []byte) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+func post(client *http.Client, url, body string) (int, []byte) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		fail("POST %s: %v", url, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
