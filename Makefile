@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke
 
 all: tier1
 
@@ -48,12 +48,21 @@ monitor-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# job-smoke exercises the async batch-job tier's crash/resume contract
+# with a race-built emserve: a reference job runs clean, then two chaos
+# rounds kill the server at a shard-commit boundary and mid-write; each
+# restart must recover the job, resume the durable shards without
+# recomputing them, and produce byte-identical results — see
+# scripts/job_smoke.sh and docs/SERVING.md.
+job-smoke:
+	./scripts/job_smoke.sh
+
 # Tier 2 — the hardened-runtime gate: formatting and static analysis plus
 # the full test suite under the race detector (the parallel fan-out,
 # cancellation, fault-injection, and observability paths are only
 # trustworthy race-clean), the kill/resume chaos harness, and the
 # quality-monitoring and serving smoke loops.
-tier2: fmt-check vet race chaos monitor-smoke serve-smoke
+tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke
 
 ci: tier1 tier2
 

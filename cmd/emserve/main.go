@@ -15,22 +15,29 @@
 //	        [-max-inflight 8] [-max-queue 64] [-request-timeout 5s] [-max-body 1048576] \
 //	        [-breaker-failures 5] [-breaker-cooldown 10s] [-breaker-latency 0] \
 //	        [-transforms umetrics] [-date-cols ...] [-drift-baseline baseline.json] \
+//	        [-max-batch 256] [-job-dir jobs/] [-job-workers 2] [-job-shard-size 32] \
+//	        [-job-max-queued 8] [-job-attempts 3] \
 //	        [-no-debug] [-inject site:spec ...]
 //
 //	emserve -spec workflow.json -left left.csv -right right.csv \
 //	        -export-matcher matcher.json
 //
 // Endpoints (see docs/SERVING.md): POST /v1/match answers one record;
-// GET /healthz, /readyz and /-/status report liveness, readiness and the
-// live breaker/queue counters; POST /-/reload hot-swaps the matcher
+// POST /v1/match/batch answers a bounded batch in one amortized pipeline
+// pass; POST /v1/jobs submits an async bulk job (poll GET /v1/jobs/{id},
+// fetch GET /v1/jobs/{id}/results — needs -job-dir); GET /healthz,
+// /readyz and /-/status report liveness, readiness and the live
+// breaker/queue counters; POST /-/reload hot-swaps the matcher
 // artifact; POST /-/drain starts a graceful drain; GET /-/drift serves the
 // live serving-traffic profile; /debug/ and /metrics expose expvar, pprof
 // and Prometheus text (disable with -no-debug).
 //
 // Signals: SIGTERM/SIGINT drain the server — stop admitting (503), wait
-// for in-flight requests up to the drain timeout, shut the listener down,
-// verify no goroutines leaked, exit 130. SIGHUP reloads the matcher
-// artifact from its current path (same protocol as POST /-/reload).
+// for in-flight requests up to the drain timeout, checkpoint and stop
+// in-flight job shards (completed shards stay durable under -job-dir and
+// resume on restart), shut the listener down, verify no goroutines
+// leaked, exit 130. SIGHUP reloads the matcher artifact from its current
+// path (same protocol as POST /-/reload).
 //
 // -export-matcher extracts the spec-embedded matcher to a standalone
 // artifact file and exits; serving with -matcher on such a file is what
@@ -130,6 +137,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 		"comma-separated columns parsed as dates (needed by date features)")
 	driftBaseline := fs.String("drift-baseline", "", "training-time baseline profile; arms GET /-/drift?check=1")
 	rightID := fs.String("right-id", "RecordId", "right-table ID column echoed in match responses")
+	maxBatch := fs.Int("max-batch", 0, "records per /v1/match/batch request (0 = default; larger inputs go through jobs)")
+	jobDir := fs.String("job-dir", "", "checkpoint root for the async job tier (empty = job endpoints disabled)")
+	jobWorkers := fs.Int("job-workers", 0, "concurrent shard executors per job (0 = default)")
+	jobShardSize := fs.Int("job-shard-size", 0, "records per job shard (0 = default)")
+	jobMaxQueued := fs.Int("job-max-queued", 0, "jobs queued or running before submissions shed (0 = default)")
+	jobAttempts := fs.Int("job-attempts", 0, "attempts per shard before quarantine (0 = default)")
 	noDebug := fs.Bool("no-debug", false, "do not mount /debug/ (expvar, pprof) and /metrics on the service")
 	var injects multiFlag
 	fs.Var(&injects, "inject", "arm a fault-injection plan, site:spec (repeatable; e.g. ml.predict:prob=0.5)")
@@ -200,14 +213,22 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 	}
 
 	cfg := serve.Config{
-		Admission:      serve.AdmissionConfig{MaxInFlight: *maxInflight, MaxQueue: *maxQueue},
-		Breaker:        serve.BreakerConfig{Failures: *breakerFailures, Cooldown: *breakerCooldown, LatencyLimit: *breakerLatency},
-		RequestTimeout: *requestTimeout,
-		MaxBodyBytes:   *maxBody,
-		DrainTimeout:   *drainTimeout,
-		MatcherPath:    *matcherPath,
-		RightIDCol:     *rightID,
-		MountDebug:     !*noDebug,
+		Admission:       serve.AdmissionConfig{MaxInFlight: *maxInflight, MaxQueue: *maxQueue},
+		Breaker:         serve.BreakerConfig{Failures: *breakerFailures, Cooldown: *breakerCooldown, LatencyLimit: *breakerLatency},
+		RequestTimeout:  *requestTimeout,
+		MaxBodyBytes:    *maxBody,
+		DrainTimeout:    *drainTimeout,
+		MatcherPath:     *matcherPath,
+		RightIDCol:      *rightID,
+		MountDebug:      !*noDebug,
+		MaxBatchRecords: *maxBatch,
+		Jobs: serve.JobConfig{
+			Dir:           *jobDir,
+			Workers:       *jobWorkers,
+			ShardSize:     *jobShardSize,
+			MaxQueued:     *jobMaxQueued,
+			ShardAttempts: *jobAttempts,
+		},
 	}
 	if *driftBaseline != "" {
 		base, err := drift.LoadProfile(*driftBaseline)
@@ -224,6 +245,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 
 	// SIGHUP re-reads the matcher artifact from its current path — the
 	// same validated swap-or-rollback protocol as POST /-/reload.
@@ -258,6 +280,9 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 		fmt.Fprintf(stderr, "emserve: serving rule-only (no matcher) on http://%s/\n", bound)
 	default:
 		fmt.Fprintf(stderr, "emserve: serving matcher %s (%s) on http://%s/\n", art.Matcher.Name(), art.Checksum[:12], bound)
+	}
+	if jt := srv.JobTier(); jt != nil {
+		fmt.Fprintf(stderr, "emserve: job tier enabled under %s (%d unfinished job(s) resumed)\n", *jobDir, jt.Recovered())
 	}
 
 	for {

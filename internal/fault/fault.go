@@ -26,6 +26,8 @@
 //	ckpt.read                each checkpoint artifact read (treated as corruption)
 //	serve.match              each admitted request in the online matching service
 //	serve.reload             each matcher-artifact read during serve hot reload
+//	serve.job.exec           each async-job shard execution attempt (idx = shard)
+//	serve.job.write          each async-job shard-result commit (idx = shard)
 package fault
 
 import (

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"emgo/internal/fault"
+	"emgo/internal/leakcheck"
+)
+
+// postBatch sends one batch request and returns the raw envelope.
+func postBatch(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/match/batch", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// fixture request records in map form (the batch/job wire shape).
+func l0Record(id string) map[string]any {
+	return map[string]any{"RecordId": id, "Num": "2008-11111-11111", "Title": "corn fungicide guidelines north central"}
+}
+
+func l1Record(id string) map[string]any {
+	return map[string]any{"RecordId": id, "Title": "swamp dodder ecology management carrot"}
+}
+
+func l2Record(id string) map[string]any {
+	return map[string]any{"RecordId": id, "Num": "WIS00001", "Title": "dairy cattle genetics study wisconsin"}
+}
+
+// TestBatchMatchesSingles is the amortization contract: a batch must
+// answer every record exactly as the single-record endpoint would —
+// same matches, same provenance, same candidate accounting — while
+// holding only one admission slot.
+func TestBatchMatchesSingles(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	_, ts := newTestServer(t, Config{})
+
+	records := []map[string]any{l0Record("q0"), l1Record("q1"), l2Record("q2")}
+	req, _ := json.Marshal(map[string]any{"records": records})
+	status, body := postBatch(t, ts.URL, string(req))
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", status, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != len(records) || len(br.Results) != len(records) {
+		t.Fatalf("batch answered %d/%d results: %s", len(br.Results), len(records), body)
+	}
+	if br.Degraded != 0 {
+		t.Fatalf("healthy batch degraded %d records: %s", br.Degraded, body)
+	}
+
+	for i, rec := range records {
+		single, _ := json.Marshal(map[string]any{"record": rec})
+		st, _, data := postMatch(t, ts.URL, string(single))
+		if st != http.StatusOK {
+			t.Fatalf("single %d status = %d: %s", i, st, data)
+		}
+		var mr MatchResponse
+		if err := json.Unmarshal(data, &mr); err != nil {
+			t.Fatal(err)
+		}
+		got, want := br.Results[i], &mr
+		gm, _ := json.Marshal(got.Matches)
+		wm, _ := json.Marshal(want.Matches)
+		if !bytes.Equal(gm, wm) ||
+			got.Degraded != want.Degraded ||
+			got.Candidates != want.Candidates ||
+			got.Vetoed != want.Vetoed {
+			t.Fatalf("record %d: batch answer diverges from single:\nbatch:  %+v\nsingle: %+v", i, got, want)
+		}
+	}
+
+	// Spot-check semantics: q0 hits the sure rule, q1 the matcher, q2 is
+	// vetoed by the negative rule.
+	if len(br.Results[0].Matches) == 0 || br.Results[0].Matches[0].Source != "rule:M1" {
+		t.Fatalf("q0 missing sure-rule match: %+v", br.Results[0])
+	}
+	if len(br.Results[1].Matches) == 0 || br.Results[1].Matches[0].Source != "matcher" {
+		t.Fatalf("q1 missing learned match: %+v", br.Results[1])
+	}
+	if br.Results[2].Vetoed == 0 {
+		t.Fatalf("q2 should be vetoed: %+v", br.Results[2])
+	}
+}
+
+// TestBatchDegradesOnMatcherFault: one poisoned matcher degrades the
+// whole batch to the rule-only path — still 200, every learned-path
+// record marked with a reason, sure-rule answers intact.
+func TestBatchDegradesOnMatcherFault(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	_, ts := newTestServer(t, Config{})
+	fault.Enable("ml.predict", fault.Plan{})
+
+	req, _ := json.Marshal(map[string]any{"records": []map[string]any{l0Record("q0"), l1Record("q1")}})
+	status, body := postBatch(t, ts.URL, string(req))
+	if status != http.StatusOK {
+		t.Fatalf("degraded batch must answer 200, got %d: %s", status, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Degraded == 0 {
+		t.Fatalf("matcher faults armed but no record degraded: %s", body)
+	}
+	if br.Results[1].DegradedReason != ReasonMatcherError {
+		t.Fatalf("q1 degraded reason = %q, want %s", br.Results[1].DegradedReason, ReasonMatcherError)
+	}
+	var sure bool
+	for _, m := range br.Results[0].Matches {
+		if m.Source == "rule:M1" {
+			sure = true
+		}
+	}
+	if !sure {
+		t.Fatalf("matcher outage lost q0's sure-rule match: %+v", br.Results[0])
+	}
+}
+
+// TestBatchRejections: the decoder's caps hold over HTTP — oversized
+// bodies, over-cap record counts, and malformed records are 4xx, and a
+// draining server refuses batches with 503.
+func TestBatchRejections(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	_, ts := newTestServer(t, Config{MaxBatchRecords: 2, MaxBatchBodyBytes: 2048})
+
+	over, _ := json.Marshal(map[string]any{"records": []map[string]any{
+		l0Record("q0"), l1Record("q1"), l2Record("q2"),
+	}})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed", `{nope`, 400},
+		{"empty records", `{"records":[]}`, 400},
+		{"too many records", string(over), 413},
+		{"oversized body", fmt.Sprintf(`{"records":[{"Title":%q}]}`, bytes.Repeat([]byte("a"), 4096)), 413},
+		{"bad record", `{"records":[{"Bogus":"x"}]}`, 400},
+		{"negative timeout", `{"records":[{"Title":"x"}],"timeout_ms":-1}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := postBatch(t, ts.URL, tc.body)
+			if status != tc.want {
+				t.Fatalf("status = %d (%s), want %d", status, body, tc.want)
+			}
+		})
+	}
+}

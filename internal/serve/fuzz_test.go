@@ -63,3 +63,66 @@ func FuzzDecodeMatchRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatchRequest proves the same contract for the batch
+// decoder, whose caps matter more (one body carries many records): no
+// panic on arbitrary bytes, every rejection a typed 4xx, nothing
+// accepted past the byte or record caps, and every accepted record
+// survives RecordRow.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"records":[{"ID":"l0","Num":"2008-1"}]}`))
+	f.Add([]byte(`{"records":[{"A":1},{"B":2.5},{"C":null}],"timeout_ms":100,"trace":true}`))
+	f.Add([]byte(`{"records":[]}`))
+	f.Add([]byte(`{"records":[{}]}`))
+	f.Add([]byte(`{"records":[{"ID":"x"}],"timeout_ms":-5}`))
+	f.Add([]byte(`{"records":[{"ID":"x"}]}trailing`))
+	f.Add([]byte(`{"records":{"not":"an array"}}`))
+	f.Add([]byte(`{"record":{"ID":"x"}}`)) // single-record shape: unknown field
+	f.Add([]byte(``))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte(`{"records":[{"ID":"` + strings.Repeat("a", 5000) + `"}]}`))
+	f.Add([]byte(`{"records":[{"A":"x"},{"A":"y"},{"A":"z"},{"A":"w"}]}`))
+	f.Add([]byte("{\"records\":[{\"\x00\xff\":\"�\"}]}"))
+
+	schema := reqSchema()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			maxBody    = 4096
+			maxRecords = 3
+		)
+		req, err := DecodeBatchRequest(bytes.NewReader(data), maxBody, maxRecords)
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("rejection is not a *RequestError: %T %v", err, err)
+			}
+			if re.Status < 400 || re.Status > 499 {
+				t.Fatalf("rejection status %d is not 4xx (%s)", re.Status, re.Msg)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request with nil error")
+		}
+		if len(req.Records) == 0 || len(req.Records) > maxRecords {
+			t.Fatalf("accepted %d records outside (0, %d]", len(req.Records), maxRecords)
+		}
+		if req.TimeoutMS < 0 {
+			t.Fatal("accepted request with negative timeout")
+		}
+		if int64(len(data)) > maxBody {
+			t.Fatalf("accepted %d-byte body over the %d-byte cap", len(data), maxBody)
+		}
+		for i, rec := range req.Records {
+			if len(rec) == 0 {
+				t.Fatalf("accepted empty record %d", i)
+			}
+			if _, rerr := RecordRow(schema, rec); rerr != nil {
+				var re *RequestError
+				if !errors.As(rerr, &re) || re.Status != 400 {
+					t.Fatalf("RecordRow rejection is not a 400 RequestError: %v", rerr)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,995 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emgo/internal/ckpt"
+	"emgo/internal/fault"
+	"emgo/internal/obs"
+	"emgo/internal/parallel"
+	"emgo/internal/table"
+)
+
+// The async job tier turns the one-record service into the offline shape
+// the paper actually deployed: submit a whole table, poll, fetch the
+// results later. Robustness is the organizing principle:
+//
+//   - every job is split into fixed-size shards, and every shard is a
+//     crash-safe unit: its result is written through the ckpt store
+//     (temp + fsync + atomic rename, SHA-256 manifest, fingerprint
+//     binding), so a SIGKILL at any instant loses at most the shard in
+//     flight and a restart resumes from the last durable shard with
+//     byte-identical output;
+//   - each shard carries its own circuit breaker around the learned
+//     matcher plus a bounded retry loop; a poisoned shard degrades to
+//     the rule-only path or is quarantined with an explicit reason
+//     instead of failing the job;
+//   - shard executors take slots from the same admission gate online
+//     requests use, so batch work is backpressured by interactive
+//     traffic (and shows up in the same EWMA Retry-After hints) instead
+//     of starving it;
+//   - a drain stops new shards but lets the in-flight shard commit, so
+//     graceful shutdown checkpoints instead of discarding work.
+
+// Job states.
+const (
+	JobQueued      = "queued"
+	JobRunning     = "running"
+	JobCompleted   = "completed"
+	JobFailed      = "failed"
+	JobCancelled   = "cancelled"
+	JobInterrupted = "interrupted" // stopped by drain/shutdown; resumes on restart
+)
+
+// Job-tier defaults.
+const (
+	DefaultJobShardSize     = 32
+	DefaultJobWorkers       = 2
+	DefaultJobMaxQueued     = 8
+	DefaultJobMaxRecords    = 100000
+	DefaultJobMaxBodyBytes  = 64 << 20
+	DefaultJobShardAttempts = 3
+	DefaultJobShardTimeout  = 60 * time.Second
+	DefaultJobRetryBackoff  = 25 * time.Millisecond
+)
+
+// ErrJobShed is returned by Submit when the job queue is full; the HTTP
+// layer maps it to 429 + Retry-After, the same shedding contract the
+// single-record path uses.
+var ErrJobShed = errors.New("serve: job queue full, submission shed")
+
+// errJobStopped surfaces drain/shutdown inside a shard attempt. It is
+// deliberately NOT propagated out of runShard as an error: an error
+// would cancel the fan-out context and abort sibling shards mid-write,
+// and the drain contract is the opposite — in-flight shards commit,
+// untouched shards are skipped, the job parks as interrupted.
+var errJobStopped = errors.New("serve: job tier stopping")
+
+// JobConfig tunes the async job tier. The zero value disables it (Dir
+// is required: jobs are durable by construction).
+type JobConfig struct {
+	// Dir is the root directory job checkpoints live under, one
+	// subdirectory per job. Empty disables the job tier.
+	Dir string
+	// ShardSize is the default records-per-shard when a submission does
+	// not pick its own (default DefaultJobShardSize).
+	ShardSize int
+	// Workers bounds how many shards execute concurrently (default
+	// DefaultJobWorkers). Keep it below the admission MaxInFlight or
+	// batch work can occupy every pipeline slot.
+	Workers int
+	// MaxQueued bounds jobs queued or running at once; submissions
+	// beyond it are shed with ErrJobShed (default DefaultJobMaxQueued).
+	MaxQueued int
+	// MaxRecords caps records per job (default DefaultJobMaxRecords).
+	MaxRecords int
+	// MaxBodyBytes caps job-submission bodies (default
+	// DefaultJobMaxBodyBytes).
+	MaxBodyBytes int64
+	// ShardAttempts is how many times a shard is attempted before it is
+	// quarantined (default DefaultJobShardAttempts).
+	ShardAttempts int
+	// ShardTimeout bounds one shard execution attempt (default
+	// DefaultJobShardTimeout); a timed-out attempt is retried.
+	ShardTimeout time.Duration
+	// RetryBackoff is the pause between shard attempts (default
+	// DefaultJobRetryBackoff); it also gives a tripped per-shard breaker
+	// time to half-open.
+	RetryBackoff time.Duration
+	// Breaker tunes the per-shard circuit breakers around the learned
+	// matcher (zero = the same defaults the online breaker uses).
+	Breaker BreakerConfig
+}
+
+// withDefaults fills zero fields.
+func (c JobConfig) withDefaults() JobConfig {
+	if c.ShardSize <= 0 {
+		c.ShardSize = DefaultJobShardSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultJobWorkers
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = DefaultJobMaxQueued
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = DefaultJobMaxRecords
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultJobMaxBodyBytes
+	}
+	if c.ShardAttempts <= 0 {
+		c.ShardAttempts = DefaultJobShardAttempts
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = DefaultJobShardTimeout
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = DefaultJobRetryBackoff
+	}
+	return c
+}
+
+// jobSpec is the durable identity of a job (artifact "job.json"): what
+// to match, in which shard geometry. It deliberately carries no
+// timestamps or host state so the job fingerprint — and therefore the
+// job ID — is a pure function of the submitted work.
+type jobSpec struct {
+	ID        string           `json:"id"`
+	ShardSize int              `json:"shard_size"`
+	Records   []map[string]any `json:"records"`
+}
+
+// JobRecordResult is one record's deterministic match answer inside a
+// job: MatchResponse minus the run-varying fields (latency, breaker
+// state), so completed shards are byte-identical across runs and
+// restarts.
+type JobRecordResult struct {
+	// Index is the record's position in the submitted job.
+	Index int `json:"index"`
+	// Matches are the final matches, in the same order and with the
+	// same provenance as the online endpoint.
+	Matches []Match `json:"matches"`
+	// Degraded and DegradedReason mirror MatchResponse.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Candidates and Vetoed mirror MatchResponse.
+	Candidates int `json:"candidates"`
+	Vetoed     int `json:"vetoed"`
+}
+
+// shardArtifact is the durable unit of job progress: one shard's
+// results, or its quarantine marker.
+type shardArtifact struct {
+	Shard       int               `json:"shard"`
+	Quarantined bool              `json:"quarantined,omitempty"`
+	Reason      string            `json:"reason,omitempty"`
+	Records     []JobRecordResult `json:"records,omitempty"`
+}
+
+// QuarantinedShard names a shard the job gave up on and why.
+type QuarantinedShard struct {
+	Shard  int    `json:"shard"`
+	Reason string `json:"reason"`
+}
+
+// JobStatus is the poll document for one job.
+type JobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Records int    `json:"records"`
+	Shards  int    `json:"shards"`
+	// DoneShards counts shards committed durably (including
+	// quarantined ones); ResumedShards is the subset inherited from a
+	// previous process instead of computed by this one.
+	DoneShards    int `json:"done_shards"`
+	ResumedShards int `json:"resumed_shards"`
+	// Retries counts shard attempts that failed and were retried.
+	Retries int `json:"retries"`
+	// Quarantined lists shards this process quarantined (the durable
+	// truth lives in the shard artifacts and is reported by results).
+	Quarantined []QuarantinedShard `json:"quarantined,omitempty"`
+	// DegradedRecords counts records answered without the learned
+	// matcher.
+	DegradedRecords int    `json:"degraded_records"`
+	Error           string `json:"error,omitempty"`
+}
+
+// JobResults is the fetch document: every record's answer, assembled
+// from the durable shard artifacts in shard order — byte-identical no
+// matter how many crashes and resumes produced the shards.
+type JobResults struct {
+	JobID       string             `json:"job_id"`
+	Records     int                `json:"records"`
+	Shards      int                `json:"shards"`
+	Quarantined []QuarantinedShard `json:"quarantined,omitempty"`
+	Results     []JobRecordResult  `json:"results"`
+}
+
+// Job is one submitted bulk-matching job.
+type Job struct {
+	ID string
+
+	spec        jobSpec
+	rows        []table.Row
+	fingerprint string
+	store       *ckpt.Store
+	shards      int
+
+	mu          sync.Mutex
+	state       string
+	done        int
+	resumed     int
+	retries     int
+	quarantined []QuarantinedShard
+	degraded    int
+	errMsg      string
+	breakers    map[int]*Breaker
+	brCfg       BreakerConfig
+
+	cancelled atomic.Bool
+	// interrupted records that at least one shard was skipped because
+	// the tier was stopping; the settle logic parks the job resumable.
+	interrupted atomic.Bool
+}
+
+// shardName is the ckpt artifact name of one shard; the chaos harness
+// targets these names with EMCKPT_KILL (e.g. "mid:shard_00002.json").
+func shardName(idx int) string { return fmt.Sprintf("shard_%05d.json", idx) }
+
+// jobArtifact is the durable job-spec artifact name.
+const jobArtifact = "job.json"
+
+// Jobs is the async job manager: a FIFO queue of jobs executed one at a
+// time, each fanning its shards across a bounded worker pool.
+type Jobs struct {
+	cfg JobConfig
+	srv *Server
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*Job
+	queue     []*Job
+	stopped   bool
+	recovered int
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// newJobs builds the manager (defaults applied, root dir created).
+func newJobs(cfg JobConfig, srv *Server) (*Jobs, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: job tier needs a checkpoint directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: job dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	jm := &Jobs{cfg: cfg, srv: srv, ctx: ctx, cancel: cancel, jobs: make(map[string]*Job)}
+	jm.cond = sync.NewCond(&jm.mu)
+	return jm, nil
+}
+
+// Start spawns the dispatcher that executes queued jobs.
+func (jm *Jobs) Start() {
+	jm.wg.Add(1)
+	go jm.dispatch()
+}
+
+// Config returns the manager's effective (defaulted) configuration.
+func (jm *Jobs) Config() JobConfig { return jm.cfg }
+
+// Recovered reports how many unfinished jobs the last Recover re-queued.
+func (jm *Jobs) Recovered() int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.recovered
+}
+
+// matcherChecksum identifies the live matcher for fingerprint binding:
+// resumed shards are only trusted when they were computed by the same
+// artifact (and the same right table / feature stack implied by it).
+func (jm *Jobs) matcherChecksum() string {
+	if art := jm.srv.artifact.Load(); art != nil {
+		return art.Checksum
+	}
+	return "rule-only"
+}
+
+// jobFingerprint binds a job directory to its exact work: the canonical
+// record bytes, the shard geometry, the live matcher, and the request
+// schema. Any mismatch makes ckpt.Open quarantine the old manifest and
+// recompute every shard rather than mixing results from two worlds.
+func (jm *Jobs) jobFingerprint(canonical []byte, shardSize int) string {
+	return ckpt.Fingerprint(
+		string(canonical),
+		strconv.Itoa(shardSize),
+		jm.matcherChecksum(),
+		jm.srv.left.Schema().String(),
+	)
+}
+
+// decodeJobRecords decodes records with the same number-preserving
+// posture the HTTP decoders use, so recovering a spec from disk parses
+// cells exactly as the original submission did (json.Number round-trips
+// "1.00" as "1.00"; float64 would collapse it to "1" and change what
+// table.Parse sees).
+func decodeJobRecords(data []byte) (jobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var spec jobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return jobSpec{}, err
+	}
+	return spec, nil
+}
+
+// Submit validates, persists, and enqueues a job. Submission is
+// idempotent: the job ID is derived from the work's fingerprint, so
+// resubmitting identical records returns the existing job (completed
+// shards and all) instead of redoing the work. A full queue sheds with
+// ErrJobShed.
+func (jm *Jobs) Submit(records []map[string]any, shardSize int) (*Job, error) {
+	if shardSize <= 0 {
+		shardSize = jm.cfg.ShardSize
+	}
+	if len(records) == 0 {
+		return nil, badRequest(`job needs a non-empty "records" array`)
+	}
+	if len(records) > jm.cfg.MaxRecords {
+		return nil, &RequestError{
+			Status: 413,
+			Msg:    fmt.Sprintf("job has %d records, cap is %d", len(records), jm.cfg.MaxRecords),
+		}
+	}
+	rows, err := recordRows(jm.srv.left.Schema(), records)
+	if err != nil {
+		return nil, err
+	}
+	canonical, err := json.Marshal(records)
+	if err != nil {
+		return nil, badRequest("encode records: %v", err)
+	}
+	fp := jm.jobFingerprint(canonical, shardSize)
+	id := "j" + fp[:16]
+
+	jm.mu.Lock()
+	if existing, ok := jm.jobs[id]; ok {
+		st := existing.state
+		jm.mu.Unlock()
+		if st == JobFailed || st == JobCancelled || st == JobInterrupted {
+			jm.enqueue(existing)
+		}
+		return existing, nil
+	}
+	pending := 0
+	for _, j := range jm.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			pending++
+		}
+	}
+	if pending >= jm.cfg.MaxQueued {
+		jm.mu.Unlock()
+		obs.C("serve.job.shed").Inc()
+		return nil, ErrJobShed
+	}
+	jm.mu.Unlock()
+
+	spec := jobSpec{ID: id, ShardSize: shardSize, Records: records}
+	job, err := jm.openJob(id, spec, rows, fp)
+	if err != nil {
+		return nil, err
+	}
+	jm.mu.Lock()
+	jm.jobs[id] = job
+	jm.mu.Unlock()
+	obs.C("serve.job.submitted").Inc()
+	if job.state != JobCompleted {
+		jm.enqueue(job)
+	}
+	return job, nil
+}
+
+// openJob opens (or creates) a job's durable store, persists its spec,
+// and counts the shards a previous process already committed.
+func (jm *Jobs) openJob(id string, spec jobSpec, rows []table.Row, fp string) (*Job, error) {
+	store, err := ckpt.Open(filepath.Join(jm.cfg.Dir, id), fp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open job store: %w", err)
+	}
+	if !store.Has(jobArtifact) {
+		if err := store.WriteJSON(jobArtifact, spec); err != nil {
+			return nil, fmt.Errorf("serve: persist job spec: %w", err)
+		}
+	}
+	shards := (len(rows) + spec.ShardSize - 1) / spec.ShardSize
+	job := &Job{
+		ID:          id,
+		spec:        spec,
+		rows:        rows,
+		fingerprint: fp,
+		store:       store,
+		shards:      shards,
+		state:       JobQueued,
+		breakers:    make(map[int]*Breaker),
+		brCfg:       jm.cfg.Breaker,
+	}
+	for i := 0; i < shards; i++ {
+		if store.Has(shardName(i)) {
+			job.done++
+			job.resumed++
+		}
+	}
+	if job.done == shards {
+		job.state = JobCompleted
+	}
+	return job, nil
+}
+
+// Recover scans the job root for directories a previous process left
+// behind, re-registers every job it can decode, and re-queues the
+// unfinished ones. Undecodable directories are skipped (and counted),
+// never fatal: recovery must not take the service down.
+func (jm *Jobs) Recover() (int, error) {
+	entries, err := os.ReadDir(jm.cfg.Dir)
+	if err != nil {
+		return 0, fmt.Errorf("serve: scan job dir: %w", err)
+	}
+	requeued := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		jm.mu.Lock()
+		_, known := jm.jobs[id]
+		jm.mu.Unlock()
+		if known {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(jm.cfg.Dir, id, jobArtifact))
+		if err != nil {
+			obs.C("serve.job.recover_skipped").Inc()
+			continue
+		}
+		spec, err := decodeJobRecords(raw)
+		if err != nil || len(spec.Records) == 0 || spec.ShardSize <= 0 {
+			obs.C("serve.job.recover_skipped").Inc()
+			continue
+		}
+		rows, err := recordRows(jm.srv.left.Schema(), spec.Records)
+		if err != nil {
+			obs.C("serve.job.recover_skipped").Inc()
+			continue
+		}
+		canonical, err := json.Marshal(spec.Records)
+		if err != nil {
+			obs.C("serve.job.recover_skipped").Inc()
+			continue
+		}
+		fp := jm.jobFingerprint(canonical, spec.ShardSize)
+		spec.ID = id
+		job, err := jm.openJob(id, spec, rows, fp)
+		if err != nil {
+			obs.C("serve.job.recover_skipped").Inc()
+			continue
+		}
+		jm.mu.Lock()
+		jm.jobs[id] = job
+		jm.mu.Unlock()
+		if job.state != JobCompleted {
+			jm.enqueue(job)
+			requeued++
+		}
+		obs.C("serve.job.recovered").Inc()
+	}
+	jm.mu.Lock()
+	jm.recovered = requeued
+	jm.mu.Unlock()
+	return requeued, nil
+}
+
+// enqueue puts a job (back) on the FIFO queue.
+func (jm *Jobs) enqueue(job *Job) {
+	jm.mu.Lock()
+	for _, q := range jm.queue {
+		if q == job {
+			jm.mu.Unlock()
+			return
+		}
+	}
+	job.mu.Lock()
+	job.state = JobQueued
+	job.errMsg = ""
+	job.mu.Unlock()
+	job.cancelled.Store(false)
+	job.interrupted.Store(false)
+	jm.queue = append(jm.queue, job)
+	obs.G("serve.job.queue_depth").Set(int64(len(jm.queue)))
+	jm.mu.Unlock()
+	jm.cond.Signal()
+}
+
+// Get returns a job by ID (nil when unknown).
+func (jm *Jobs) Get(id string) *Job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.jobs[id]
+}
+
+// List snapshots every known job's status, sorted by ID.
+func (jm *Jobs) List() []*JobStatus {
+	jm.mu.Lock()
+	jobs := make([]*Job, 0, len(jm.jobs))
+	for _, j := range jm.jobs {
+		jobs = append(jobs, j)
+	}
+	jm.mu.Unlock()
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cancel marks a job cancelled. A queued job never starts; a running
+// job stops after the shard in flight (which still commits, so the
+// work is not lost if the job is resubmitted).
+func (jm *Jobs) Cancel(id string) *Job {
+	job := jm.Get(id)
+	if job == nil {
+		return nil
+	}
+	job.cancelled.Store(true)
+	job.mu.Lock()
+	if job.state == JobQueued {
+		job.state = JobCancelled
+	}
+	job.mu.Unlock()
+	obs.C("serve.job.cancelled").Inc()
+	return job
+}
+
+// StartDrain stops the dispatcher from picking up new jobs or shards;
+// the shard in flight finishes and commits.
+func (jm *Jobs) StartDrain() {
+	jm.mu.Lock()
+	jm.stopped = true
+	jm.mu.Unlock()
+	jm.cond.Broadcast()
+}
+
+// stopping reports whether a drain or stop has begun.
+func (jm *Jobs) stopping() bool {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.stopped
+}
+
+// Stop drains and waits for the dispatcher to exit; past timeout it
+// hard-cancels the in-flight shard (crash-safe by construction — the
+// shard simply is not committed and recomputes on resume). It reports
+// whether shutdown was graceful. Safe to call more than once.
+func (jm *Jobs) Stop(timeout time.Duration) bool {
+	jm.StartDrain()
+	graceful := true
+	jm.stopOnce.Do(func() {
+		done := make(chan struct{})
+		go func() {
+			jm.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			graceful = false
+			jm.cancel()
+			<-done
+		}
+	})
+	jm.cancel()
+	return graceful
+}
+
+// dispatch is the job loop: pop a job, run its shards, repeat.
+func (jm *Jobs) dispatch() {
+	defer jm.wg.Done()
+	for {
+		job := jm.next()
+		if job == nil {
+			return
+		}
+		jm.runJob(job)
+	}
+}
+
+// next blocks for the next queued job; nil means the tier is stopping.
+func (jm *Jobs) next() *Job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	for {
+		if jm.stopped {
+			return nil
+		}
+		if len(jm.queue) > 0 {
+			job := jm.queue[0]
+			jm.queue = jm.queue[1:]
+			obs.G("serve.job.queue_depth").Set(int64(len(jm.queue)))
+			return job
+		}
+		jm.cond.Wait()
+	}
+}
+
+// runJob executes every missing shard of one job across the bounded
+// worker pool and settles the job's final state.
+func (jm *Jobs) runJob(job *Job) {
+	if job.cancelled.Load() {
+		job.setState(JobCancelled)
+		return
+	}
+	// Progress is recounted from the durable store as shards run (the
+	// Has fast path re-tallies inherited shards), so the open-time
+	// snapshot must not double-count.
+	job.mu.Lock()
+	job.state = JobRunning
+	job.done, job.resumed = 0, 0
+	job.quarantined = nil
+	job.degraded = 0
+	job.mu.Unlock()
+	ctx, span := obs.NewTrace(jm.ctx, "serve.job")
+	span.Annotate("job", job.ID)
+	span.SetItems(job.shards)
+	defer span.End()
+
+	err := parallel.ForWorkersCtx(ctx, job.shards, jm.cfg.Workers, func(i int) error {
+		return jm.runShard(ctx, job, i)
+	})
+
+	stopped := job.interrupted.Load() || jm.stopping() || jm.ctx.Err() != nil
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	switch {
+	case job.cancelled.Load():
+		job.state = JobCancelled
+		span.SetOutcome("cancelled")
+	case err == nil && job.done == job.shards:
+		job.state = JobCompleted
+		span.SetOutcome("ok")
+		obs.C("serve.job.completed").Inc()
+	case stopped:
+		// Drain or shutdown: everything committed so far is durable;
+		// Recover (or a resubmit) picks the job back up.
+		job.state = JobInterrupted
+		span.SetOutcome("interrupted")
+		obs.C("serve.job.interrupted").Inc()
+	case err != nil:
+		job.state = JobFailed
+		job.errMsg = err.Error()
+		span.SetOutcome("failed")
+		obs.C("serve.job.failed").Inc()
+	default:
+		// No error but shards are missing — should be impossible; fail
+		// loudly rather than report a hole-ridden job as complete.
+		job.state = JobFailed
+		job.errMsg = fmt.Sprintf("job finished with %d/%d shards committed", job.done, job.shards)
+		span.SetOutcome("failed")
+		obs.C("serve.job.failed").Inc()
+	}
+}
+
+// breaker returns shard idx's circuit breaker, creating it on first use.
+func (j *Job) breaker(idx int) *Breaker {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b := j.breakers[idx]
+	if b == nil {
+		b = NewBreaker(j.brCfg)
+		j.breakers[idx] = b
+	}
+	return b
+}
+
+// transientReason reports whether a degradation reason is worth
+// retrying: a matcher error or timeout may be a passing fault (and the
+// per-shard breaker decides when to stop believing that); an open
+// breaker or a missing matcher will not improve within this shard.
+func transientReason(reason string) bool {
+	switch reason {
+	case ReasonMatcherError, ReasonMatcherSlow, ReasonBlockerError:
+		return true
+	}
+	return false
+}
+
+// runShard makes shard idx durable: skip if already committed, else
+// attempt-execute-commit with bounded retries, degrading through the
+// shard's breaker and quarantining as a last resort. It returns an
+// error only for stop conditions (drain, shutdown, cancel, store
+// failure); a quarantined shard is a handled outcome, not an error.
+func (jm *Jobs) runShard(ctx context.Context, job *Job, idx int) error {
+	name := shardName(idx)
+	if job.store.Has(name) {
+		job.mu.Lock()
+		job.done++
+		job.resumed++
+		job.mu.Unlock()
+		obs.C("serve.job.shards_resumed").Inc()
+		return nil
+	}
+	lo := idx * job.spec.ShardSize
+	hi := lo + job.spec.ShardSize
+	if hi > len(job.rows) {
+		hi = len(job.rows)
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= jm.cfg.ShardAttempts; attempt++ {
+		// Stop conditions skip the shard WITHOUT an error: an error here
+		// would cancel sibling shards mid-commit (see errJobStopped).
+		if jm.stopping() || ctx.Err() != nil {
+			job.interrupted.Store(true)
+			return nil
+		}
+		if job.cancelled.Load() {
+			return nil
+		}
+		if attempt > 1 {
+			job.mu.Lock()
+			job.retries++
+			job.mu.Unlock()
+			obs.C("serve.job.retries").Inc()
+			select {
+			case <-ctx.Done():
+				job.interrupted.Store(true)
+				return nil
+			case <-time.After(jm.cfg.RetryBackoff):
+			}
+		}
+		art, err := jm.execShardOnce(ctx, job, idx, lo, hi)
+		if err != nil {
+			if errors.Is(err, errJobStopped) || ctx.Err() != nil {
+				job.interrupted.Store(true)
+				return nil
+			}
+			lastErr = err
+			continue
+		}
+		// A transiently-degraded shard is retried while its breaker
+		// still believes in the matcher (closed, or half-open probing);
+		// once the breaker opens, the rule-only answer is the answer.
+		if art.degradedReason() != "" && transientReason(art.degradedReason()) &&
+			attempt < jm.cfg.ShardAttempts && job.breaker(idx).State() != BreakerOpen {
+			lastErr = fmt.Errorf("shard %d degraded (%s)", idx, art.degradedReason())
+			continue
+		}
+		if err := jm.commitShard(ctx, job, idx, name, art); err != nil {
+			if ctx.Err() != nil {
+				job.interrupted.Store(true)
+				return nil
+			}
+			lastErr = err
+			continue
+		}
+		job.mu.Lock()
+		job.done++
+		for _, rec := range art.Records {
+			if rec.Degraded {
+				job.degraded++
+			}
+		}
+		job.mu.Unlock()
+		obs.C("serve.job.shards_done").Inc()
+		return nil
+	}
+
+	// Out of attempts: quarantine the shard with its reason so the job
+	// completes with an explicit hole instead of failing or spinning.
+	reason := "exhausted attempts"
+	if lastErr != nil {
+		reason = lastErr.Error()
+	}
+	q := &shardArtifact{Shard: idx, Quarantined: true, Reason: reason}
+	data, err := json.Marshal(q)
+	if err == nil {
+		err = job.store.Write(name, data)
+	}
+	if err != nil {
+		// Even the quarantine marker would not persist: the store is
+		// broken, which is a job-level failure.
+		return fmt.Errorf("shard %d: quarantine after %q: %w", idx, reason, err)
+	}
+	job.mu.Lock()
+	job.done++
+	job.quarantined = append(job.quarantined, QuarantinedShard{Shard: idx, Reason: reason})
+	job.mu.Unlock()
+	obs.C("serve.job.shards_quarantined").Inc()
+	return nil
+}
+
+// degradedReason returns the shard's uniform degradation reason ("" when
+// the learned path served it).
+func (a *shardArtifact) degradedReason() string {
+	if len(a.Records) == 0 || !a.Records[0].Degraded {
+		return ""
+	}
+	return a.Records[0].DegradedReason
+}
+
+// execShardOnce runs one shard attempt: take an admission slot (the
+// backpressure coupling with online traffic), run the amortized match
+// pipeline under the shard's breaker and a per-attempt deadline, and
+// shape the deterministic result records.
+func (jm *Jobs) execShardOnce(ctx context.Context, job *Job, idx, lo, hi int) (*shardArtifact, error) {
+	if err := fault.InjectIdx("serve.job.exec", idx); err != nil {
+		return nil, err
+	}
+	release, err := jm.acquireSlot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	shardCtx, cancel := context.WithTimeout(ctx, jm.cfg.ShardTimeout)
+	defer cancel()
+	sub, err := jm.srv.rowsTable("job:"+job.ID, job.rows[lo:hi])
+	if err != nil {
+		return nil, err
+	}
+	resps, _, err := jm.srv.matchSet(shardCtx, sub, job.breaker(idx), false)
+	if err != nil {
+		return nil, err
+	}
+	art := &shardArtifact{Shard: idx, Records: make([]JobRecordResult, len(resps))}
+	for i, r := range resps {
+		art.Records[i] = JobRecordResult{
+			Index:          lo + i,
+			Matches:        r.Matches,
+			Degraded:       r.Degraded,
+			DegradedReason: r.DegradedReason,
+			Candidates:     r.Candidates,
+			Vetoed:         r.Vetoed,
+		}
+	}
+	return art, nil
+}
+
+// acquireSlot takes a pipeline slot from the shared admission gate.
+// When online traffic has filled the wait line, the shard backs off and
+// retries instead of competing — batch work yields to interactive work,
+// which is the whole point of sharing the gate. Draining and shutdown
+// surface as errJobStopped.
+func (jm *Jobs) acquireSlot(ctx context.Context) (func(), error) {
+	for {
+		release, err := jm.srv.adm.Acquire(ctx)
+		switch {
+		case err == nil:
+			return release, nil
+		case errors.Is(err, ErrShed):
+			obs.C("serve.job.backpressure").Inc()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(jm.cfg.RetryBackoff):
+			}
+		case errors.Is(err, ErrDraining):
+			return nil, errJobStopped
+		default:
+			return nil, err
+		}
+	}
+}
+
+// commitShard writes one shard artifact through the crash-safe store
+// (and the serve.job.write fault site).
+func (jm *Jobs) commitShard(ctx context.Context, job *Job, idx int, name string, art *shardArtifact) error {
+	if err := fault.InjectIdx("serve.job.write", idx); err != nil {
+		return err
+	}
+	_ = ctx
+	data, err := json.Marshal(art)
+	if err != nil {
+		return fmt.Errorf("shard %d: encode: %w", idx, err)
+	}
+	return job.store.Write(name, data)
+}
+
+// Results assembles the fetch document from the durable shard
+// artifacts, verifying every checksum on the way. A corrupt shard is
+// quarantined by the store, and the job is re-queued to recompute it —
+// the caller gets a retryable error, never silently partial results.
+func (jm *Jobs) Results(job *Job) (*JobResults, error) {
+	job.mu.Lock()
+	state := job.state
+	job.mu.Unlock()
+	if state != JobCompleted {
+		return nil, fmt.Errorf("job %s is %s, not completed", job.ID, state)
+	}
+	out := &JobResults{
+		JobID:   job.ID,
+		Records: len(job.rows),
+		Shards:  job.shards,
+		Results: make([]JobRecordResult, 0, len(job.rows)),
+	}
+	for i := 0; i < job.shards; i++ {
+		data, err := job.store.Read(shardName(i))
+		if err != nil {
+			jm.requeueShard(job, i)
+			return nil, fmt.Errorf("shard %d unreadable (%v); job re-queued for recompute", i, err)
+		}
+		var art shardArtifact
+		if uerr := json.Unmarshal(data, &art); uerr != nil {
+			job.store.Quarantine(shardName(i), "undecodable shard artifact")
+			jm.requeueShard(job, i)
+			return nil, fmt.Errorf("shard %d undecodable; job re-queued for recompute", i)
+		}
+		if art.Quarantined {
+			out.Quarantined = append(out.Quarantined, QuarantinedShard{Shard: i, Reason: art.Reason})
+			continue
+		}
+		out.Results = append(out.Results, art.Records...)
+	}
+	return out, nil
+}
+
+// requeueShard accounts for a shard lost after completion (corruption
+// found at fetch time) and puts the job back on the queue.
+func (jm *Jobs) requeueShard(job *Job, idx int) {
+	job.mu.Lock()
+	if job.done > 0 {
+		job.done--
+	}
+	job.mu.Unlock()
+	_ = idx
+	obs.C("serve.job.shards_recomputed").Inc()
+	jm.enqueue(job)
+}
+
+// setState transitions the job's state.
+func (j *Job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+// State returns the job's current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status snapshots the poll document.
+func (j *Job) Status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:              j.ID,
+		State:           j.state,
+		Records:         len(j.rows),
+		Shards:          j.shards,
+		DoneShards:      j.done,
+		ResumedShards:   j.resumed,
+		Retries:         j.retries,
+		DegradedRecords: j.degraded,
+		Error:           j.errMsg,
+	}
+	st.Quarantined = append(st.Quarantined, j.quarantined...)
+	return st
+}

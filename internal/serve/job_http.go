@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"emgo/internal/obs"
+)
+
+// JobSubmitRequest is the wire form of a job submission: the whole left
+// table to match, plus optional shard geometry.
+type JobSubmitRequest struct {
+	// Records are the left records, each in the same shape as
+	// MatchRequest.Record.
+	Records []map[string]any `json:"records"`
+	// ShardSize optionally overrides the server's records-per-shard.
+	ShardSize int `json:"shard_size,omitempty"`
+}
+
+// DecodeJobRequest reads and validates one job submission from r under
+// byte and record caps. Like the other decoders it enforces the byte
+// cap itself, never panics, and returns *RequestError with a 4xx status
+// for every malformed input.
+func DecodeJobRequest(r io.Reader, maxBytes int64, maxRecords int) (*JobSubmitRequest, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultJobMaxBodyBytes
+	}
+	if maxRecords <= 0 {
+		maxRecords = DefaultJobMaxRecords
+	}
+	data, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &RequestError{Status: http.StatusRequestEntityTooLarge, Msg: "job request body too large"}
+		}
+		return nil, badRequest("read job request body: %v", err)
+	}
+	if int64(len(data)) > maxBytes {
+		return nil, &RequestError{
+			Status: http.StatusRequestEntityTooLarge,
+			Msg:    fmt.Sprintf("job request body exceeds %d bytes", maxBytes),
+		}
+	}
+	if len(data) == 0 {
+		return nil, badRequest("empty job request body")
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	var req JobSubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("parse job request JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, badRequest("job request body has trailing data after the JSON document")
+	}
+	if len(req.Records) == 0 {
+		return nil, badRequest(`job needs a non-empty "records" array`)
+	}
+	if len(req.Records) > maxRecords {
+		return nil, &RequestError{
+			Status: http.StatusRequestEntityTooLarge,
+			Msg:    fmt.Sprintf("job has %d records, cap is %d", len(req.Records), maxRecords),
+		}
+	}
+	for i, rec := range req.Records {
+		if len(rec) == 0 {
+			return nil, badRequest("job record %d is empty", i)
+		}
+	}
+	if req.ShardSize < 0 {
+		return nil, badRequest("shard_size must be >= 0")
+	}
+	return &req, nil
+}
+
+// jobsOrUnavailable answers 503 when the job tier is disabled and
+// returns the manager otherwise.
+func (s *Server) jobsOrUnavailable(w http.ResponseWriter) *Jobs {
+	if s.jobs == nil {
+		writeError(w, http.StatusServiceUnavailable, "job tier disabled (start emserve with -job-dir)", 0)
+		return nil
+	}
+	return s.jobs
+}
+
+// handleJobSubmit accepts a bulk job: validate, persist durably,
+// enqueue, answer 202 with the job's status document (or the existing
+// job's — submission is idempotent by content). A full queue sheds with
+// 429 + Retry-After through the same hint path online shedding uses.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	jm := s.jobsOrUnavailable(w)
+	if jm == nil {
+		return
+	}
+	if s.draining.Load() {
+		obs.C("serve.shed.draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
+		return
+	}
+	cfg := jm.Config()
+	r.Body = http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes)
+	req, err := DecodeJobRequest(r.Body, cfg.MaxBodyBytes, cfg.MaxRecords)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	job, err := jm.Submit(req.Records, req.ShardSize)
+	switch {
+	case errors.Is(err, ErrJobShed):
+		writeError(w, http.StatusTooManyRequests, "job queue full", s.adm.RetryAfter())
+		return
+	case err != nil:
+		s.writeRequestError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleJobList lists every known job's status.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	jm := s.jobsOrUnavailable(w)
+	if jm == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jm.List()})
+}
+
+// handleJobStatus is the poll endpoint.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	jm := s.jobsOrUnavailable(w)
+	if jm == nil {
+		return
+	}
+	job := jm.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleJobResults serves a completed job's assembled results. An
+// incomplete job answers 409 with its state; a shard found corrupt at
+// read time answers 503 (the job is already re-queued to recompute it,
+// so the fetch is retryable).
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	jm := s.jobsOrUnavailable(w)
+	if jm == nil {
+		return
+	}
+	job := jm.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job", 0)
+		return
+	}
+	if st := job.State(); st != JobCompleted {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s, not completed", st), 0)
+		return
+	}
+	res, err := jm.Results(job)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error(), s.adm.RetryAfter())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleJobCancel stops a job: a queued job never starts, a running job
+// stops after its in-flight shard commits.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	jm := s.jobsOrUnavailable(w)
+	if jm == nil {
+		return
+	}
+	job := jm.Cancel(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}

@@ -1,0 +1,646 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"emgo/internal/fault"
+	"emgo/internal/leakcheck"
+)
+
+// jobPayload builds n deterministic job records alternating between the
+// sure-rule shape (even) and the learned-path shape (odd), plus the
+// submission body carrying them.
+func jobPayload(n int) string {
+	recs := make([]map[string]any, n)
+	for i := range recs {
+		id := fmt.Sprintf("q%d", i)
+		if i%2 == 0 {
+			recs[i] = l0Record(id)
+		} else {
+			recs[i] = l1Record(id)
+		}
+	}
+	data, err := json.Marshal(map[string]any{"records": recs})
+	if err != nil {
+		panic(err)
+	}
+	return string(data)
+}
+
+// jobConfig is the baseline job-tier test config: small shards, one
+// worker (deterministic shard order), fast retries.
+func jobConfig(dir string) Config {
+	return Config{Jobs: JobConfig{
+		Dir:          dir,
+		ShardSize:    2,
+		Workers:      1,
+		RetryBackoff: 2 * time.Millisecond,
+	}}
+}
+
+// postJob submits a job body.
+func postJob(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, data
+}
+
+// getBody GETs a path and returns status + body.
+func getBody(t *testing.T, url, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// submitJob submits and decodes the accepted status document.
+func submitJob(t *testing.T, url, body string) *JobStatus {
+	t.Helper()
+	status, _, data := postJob(t, url, body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", status, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("submit response not a status: %v: %s", err, data)
+	}
+	if st.ID == "" {
+		t.Fatalf("submit response carries no job id: %s", data)
+	}
+	return &st
+}
+
+// waitJobState polls the job until it reaches want (or fails the test
+// at timeout, reporting the last observed document).
+func waitJobState(t *testing.T, url, id, want string, timeout time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last []byte
+	for time.Now().Before(deadline) {
+		code, data := getBody(t, url, "/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("poll status = %d: %s", code, data)
+		}
+		last = data
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return &st
+		}
+		if st.State == JobFailed && want != JobFailed {
+			t.Fatalf("job failed while waiting for %s: %s", want, data)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job never reached %s; last status: %s", want, last)
+	return nil
+}
+
+// fetchResults GETs the results document raw (byte-identity assertions
+// compare these exact bytes).
+func fetchResults(t *testing.T, url, id string) (int, []byte) {
+	t.Helper()
+	return getBody(t, url, "/v1/jobs/"+id+"/results")
+}
+
+func TestJobLifecycle(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	dir := t.TempDir()
+	s, ts := newTestServer(t, jobConfig(dir))
+
+	body := jobPayload(6) // 3 shards of 2
+	st := submitJob(t, ts.URL, body)
+	if st.Shards != 3 || st.Records != 6 {
+		t.Fatalf("accepted status = %+v, want 3 shards / 6 records", st)
+	}
+	done := waitJobState(t, ts.URL, st.ID, JobCompleted, 5*time.Second)
+	if done.DoneShards != 3 || done.ResumedShards != 0 {
+		t.Fatalf("completed status = %+v", done)
+	}
+
+	// Fetching is read-only and deterministic: twice, byte-identical.
+	code, first := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch = %d: %s", code, first)
+	}
+	code, second := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK || !bytes.Equal(first, second) {
+		t.Fatalf("double fetch not byte-identical (%d)", code)
+	}
+	var res JobResults
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 6 || len(res.Quarantined) != 0 {
+		t.Fatalf("results = %d records, %d quarantined: %s", len(res.Results), len(res.Quarantined), first)
+	}
+	for i, r := range res.Results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d — results must align with submission order", i, r.Index)
+		}
+	}
+	if len(res.Results[0].Matches) == 0 || res.Results[0].Matches[0].Source != "rule:M1" {
+		t.Fatalf("record 0 missing sure-rule match: %+v", res.Results[0])
+	}
+	if len(res.Results[1].Matches) == 0 || res.Results[1].Matches[0].Source != "matcher" {
+		t.Fatalf("record 1 missing learned match: %+v", res.Results[1])
+	}
+
+	// Idempotent resubmission: same records, same job, zero recompute.
+	fault.Enable("serve.job.exec", fault.Plan{OnCall: 1 << 30}) // tripwire: counts executions, never fires
+	again := submitJob(t, ts.URL, body)
+	if again.ID != st.ID || again.State != JobCompleted {
+		t.Fatalf("resubmit = %+v, want completed job %s", again, st.ID)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := fault.Count("serve.job.exec"); n != 0 {
+		t.Fatalf("resubmitting a completed job re-executed %d shard(s)", n)
+	}
+
+	// The job shows up in the listing.
+	code, data := getBody(t, ts.URL, "/v1/jobs")
+	if code != http.StatusOK || !strings.Contains(string(data), st.ID) {
+		t.Fatalf("listing (%d) does not mention %s: %s", code, st.ID, data)
+	}
+	// Close drains the tier; the completed job's artifacts stay on disk.
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, st.ID, "shard_00000.json")); err != nil {
+		t.Fatalf("durable shard artifact missing after close: %v", err)
+	}
+}
+
+// TestJobResumeAfterStopByteIdentical is the package-level resume
+// contract: stop a server mid-job (drain commits the in-flight shard,
+// skips the rest), start a fresh server over the same directory, and
+// the job must complete with (a) no reprocessing of durable shards and
+// (b) results byte-identical to an uninterrupted run. A garbage file at
+// the next shard's path — a torn write's worst case — must not survive
+// into the output either.
+func TestJobResumeAfterStopByteIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	const records = 8 // 4 shards of 2
+	body := jobPayload(records)
+
+	// Reference: one clean, uninterrupted run.
+	refDir := t.TempDir()
+	_, refTS := newTestServer(t, jobConfig(refDir))
+	refSt := submitJob(t, refTS.URL, body)
+	waitJobState(t, refTS.URL, refSt.ID, JobCompleted, 5*time.Second)
+	code, want := fetchResults(t, refTS.URL, refSt.ID)
+	if code != http.StatusOK {
+		t.Fatalf("reference fetch = %d: %s", code, want)
+	}
+
+	// Interrupted run: slow shards down so the stop lands mid-job.
+	dir := t.TempDir()
+	fault.Enable("serve.job.exec", fault.Plan{Mode: fault.ModeSleep, Sleep: 40 * time.Millisecond})
+	s1, ts1 := newTestServer(t, jobConfig(dir))
+	st := submitJob(t, ts1.URL, body)
+	if st.ID != refSt.ID {
+		t.Fatalf("job id differs across servers (%s vs %s) — submission is not content-addressed", st.ID, refSt.ID)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, data := getBody(t, ts1.URL, "/v1/jobs/"+st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("poll = %d: %s", code, data)
+		}
+		var cur JobStatus
+		if err := json.Unmarshal(data, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.DoneShards >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no shard completed before the stop: %s", data)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s1.Close() // graceful stop: in-flight shard commits, the rest are skipped
+
+	job1 := s1.JobTier().Get(st.ID)
+	if job1 == nil {
+		t.Fatal("job vanished from the stopped server")
+	}
+	interruptedAt := job1.Status()
+	if interruptedAt.State != JobInterrupted {
+		t.Fatalf("stopped mid-job but state = %s (done %d/%d)", interruptedAt.State, interruptedAt.DoneShards, interruptedAt.Shards)
+	}
+	durable := interruptedAt.DoneShards
+	if durable < 1 || durable >= interruptedAt.Shards {
+		t.Fatalf("stop committed %d/%d shards — test needs a genuine mid-job stop", durable, interruptedAt.Shards)
+	}
+
+	// Simulate a torn write at the next shard boundary: a full-size
+	// garbage file at the exact path the resumed run will commit to. It
+	// is not in the manifest, so resume must recompute and overwrite it.
+	torn := filepath.Join(dir, st.ID, shardName(durable))
+	if err := os.WriteFile(torn, []byte("torn{{{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory. The tripwire plan never fires but
+	// counts shard executions: resumed shards must not re-execute.
+	fault.Reset()
+	fault.Enable("serve.job.exec", fault.Plan{OnCall: 1 << 30})
+	s2, ts2 := newTestServer(t, jobConfig(dir))
+	if got := s2.JobTier().Recovered(); got != 1 {
+		t.Fatalf("recovered %d unfinished jobs, want 1", got)
+	}
+	done := waitJobState(t, ts2.URL, st.ID, JobCompleted, 10*time.Second)
+	if done.ResumedShards != durable {
+		t.Fatalf("resumed %d shards, want the %d durable ones", done.ResumedShards, durable)
+	}
+	if executed := fault.Count("serve.job.exec"); executed != interruptedAt.Shards-durable {
+		t.Fatalf("restart executed %d shards, want %d (completed shards must not be reprocessed)",
+			executed, interruptedAt.Shards-durable)
+	}
+	code, got := fetchResults(t, ts2.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch after resume = %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed results are not byte-identical to the clean run:\nresumed: %s\nclean:   %s", got, want)
+	}
+}
+
+// TestJobShardBreakerOpensOnPoisonedMatcher: a matcher failing every
+// call trips each shard's breaker on the first attempt; the breaker
+// then short-circuits the retries, the shard commits its rule-only
+// answer, and the job completes degraded instead of failing or
+// retry-storming the matcher.
+func TestJobShardBreakerOpensOnPoisonedMatcher(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	cfg := jobConfig(t.TempDir())
+	cfg.Jobs.ShardAttempts = 3
+	cfg.Jobs.Breaker = BreakerConfig{Failures: 1, Cooldown: time.Hour}
+	s, ts := newTestServer(t, cfg)
+	fault.Enable("ml.predict", fault.Plan{})
+
+	// All learned-path records: every shard needs the matcher.
+	recs := []map[string]any{l1Record("q0"), l1Record("q1"), l1Record("q2"), l1Record("q3")}
+	body, _ := json.Marshal(map[string]any{"records": recs})
+	st := submitJob(t, ts.URL, string(body))
+	done := waitJobState(t, ts.URL, st.ID, JobCompleted, 5*time.Second)
+	if done.DegradedRecords != len(recs) {
+		t.Fatalf("degraded %d/%d records: %+v", done.DegradedRecords, len(recs), done)
+	}
+	if n := fault.Count("ml.predict"); n != st.Shards {
+		t.Fatalf("matcher called %d times for %d shards — open breakers must short-circuit retries", n, st.Shards)
+	}
+	job := s.JobTier().Get(st.ID)
+	for i := 0; i < st.Shards; i++ {
+		if got := job.breaker(i).State(); got != BreakerOpen {
+			t.Fatalf("shard %d breaker = %v, want open", i, got)
+		}
+	}
+	code, data := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch = %d: %s", code, data)
+	}
+	var res JobResults
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Results {
+		if !r.Degraded || r.DegradedReason != ReasonMatcherError {
+			t.Fatalf("record %d should be degraded matcher_error: %+v", r.Index, r)
+		}
+	}
+}
+
+// TestJobShardBreakerHalfOpenRecovery: a transiently-failing matcher
+// trips the shard breaker, the retry backoff outlives the cooldown, and
+// the half-open probe on the second attempt recovers the learned
+// answer — the committed shard is NOT degraded.
+func TestJobShardBreakerHalfOpenRecovery(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	cfg := jobConfig(t.TempDir())
+	cfg.Jobs.ShardSize = 4
+	cfg.Jobs.ShardAttempts = 3
+	cfg.Jobs.RetryBackoff = 5 * time.Millisecond
+	cfg.Jobs.Breaker = BreakerConfig{Failures: 1, Cooldown: time.Nanosecond}
+	s, ts := newTestServer(t, cfg)
+	fault.Enable("ml.predict", fault.Plan{FailFirst: 1})
+
+	recs := []map[string]any{l1Record("q0"), l1Record("q1")} // one shard
+	body, _ := json.Marshal(map[string]any{"records": recs})
+	st := submitJob(t, ts.URL, string(body))
+	done := waitJobState(t, ts.URL, st.ID, JobCompleted, 5*time.Second)
+	if done.Retries != 1 {
+		t.Fatalf("retries = %d, want exactly 1 (fail, re-probe, succeed)", done.Retries)
+	}
+	if done.DegradedRecords != 0 {
+		t.Fatalf("recovered shard still degraded: %+v", done)
+	}
+	job := s.JobTier().Get(st.ID)
+	br := job.breaker(0)
+	if got := br.State(); got != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", got)
+	}
+	// closed -> open -> half_open -> closed is three transitions.
+	if gen := br.Generation(); gen != 3 {
+		t.Fatalf("breaker generation = %d, want 3 (open, half-open, re-close)", gen)
+	}
+	code, data := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch = %d: %s", code, data)
+	}
+	var res JobResults
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Results {
+		if r.Degraded {
+			t.Fatalf("record %d degraded after breaker recovery: %+v", r.Index, r)
+		}
+	}
+}
+
+// TestJobQuarantineAfterExhaustedAttempts: a shard poisoned at the
+// execution site burns its attempts and is quarantined with the
+// injected reason; the rest of the job completes and the fetch reports
+// the hole explicitly.
+func TestJobQuarantineAfterExhaustedAttempts(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	cfg := jobConfig(t.TempDir())
+	cfg.Jobs.ShardAttempts = 2
+	_, ts := newTestServer(t, cfg)
+	fault.Enable("serve.job.exec", fault.Plan{Indices: []int{1}}) // only shard 1 is poisoned
+
+	st := submitJob(t, ts.URL, jobPayload(6)) // shards 0,1,2
+	done := waitJobState(t, ts.URL, st.ID, JobCompleted, 5*time.Second)
+	if len(done.Quarantined) != 1 || done.Quarantined[0].Shard != 1 {
+		t.Fatalf("quarantine report = %+v, want exactly shard 1", done.Quarantined)
+	}
+	if done.Quarantined[0].Reason == "" {
+		t.Fatal("quarantined shard carries no reason")
+	}
+	if done.Retries == 0 {
+		t.Fatal("quarantine must come after retry, not instead of it")
+	}
+	code, data := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch = %d: %s", code, data)
+	}
+	var res JobResults
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Shard != 1 {
+		t.Fatalf("results quarantine = %+v", res.Quarantined)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("healthy shards answered %d records, want 4", len(res.Results))
+	}
+	for _, r := range res.Results {
+		if r.Index == 2 || r.Index == 3 {
+			t.Fatalf("quarantined shard's record %d leaked into results", r.Index)
+		}
+	}
+}
+
+// TestJobTornWriteRetried: a failed shard-commit rename (the torn-write
+// shape) is retried within the shard's attempt budget and the job
+// still completes with full results.
+func TestJobTornWriteRetried(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	cfg := jobConfig(t.TempDir())
+	cfg.Jobs.ShardAttempts = 3
+	_, ts := newTestServer(t, cfg)
+	// ckpt.rename call 1 is job.json; call 2 is shard 0's first commit.
+	fault.Enable("ckpt.rename", fault.Plan{OnCall: 2})
+
+	st := submitJob(t, ts.URL, jobPayload(4))
+	done := waitJobState(t, ts.URL, st.ID, JobCompleted, 5*time.Second)
+	if done.Retries == 0 {
+		t.Fatalf("torn write was not retried: %+v", done)
+	}
+	if len(done.Quarantined) != 0 {
+		t.Fatalf("transient write failure must not quarantine: %+v", done.Quarantined)
+	}
+	code, data := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch = %d: %s", code, data)
+	}
+	var res JobResults
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("results = %d records, want 4", len(res.Results))
+	}
+}
+
+// TestJobCorruptShardRecomputedOnFetch: bytes rotted after completion
+// are caught by the manifest checksum at fetch time; the fetch answers
+// 503 (retryable), the shard is quarantined and recomputed, and the
+// eventual results are byte-identical to the pre-corruption fetch.
+func TestJobCorruptShardRecomputedOnFetch(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	dir := t.TempDir()
+	_, ts := newTestServer(t, jobConfig(dir))
+
+	st := submitJob(t, ts.URL, jobPayload(4))
+	waitJobState(t, ts.URL, st.ID, JobCompleted, 5*time.Second)
+	code, want := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch = %d: %s", code, want)
+	}
+
+	// Rot shard 0 on disk.
+	path := filepath.Join(dir, st.ID, shardName(0))
+	if err := os.WriteFile(path, []byte(`{"shard":0,"records":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, data := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("fetch of corrupt shard = %d (%s), want 503", code, data)
+	}
+	waitJobState(t, ts.URL, st.ID, JobCompleted, 5*time.Second)
+	code, got := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("fetch after recompute = %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recomputed results differ from the original:\nnew: %s\nold: %s", got, want)
+	}
+}
+
+// TestJobSubmitShedsWhenSaturated: MaxQueued bounds the tier; the
+// excess submission is shed with 429 + Retry-After (the same contract
+// as online overload), while resubmitting an admitted job is not shed.
+func TestJobSubmitShedsWhenSaturated(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	cfg := jobConfig(t.TempDir())
+	cfg.Jobs.MaxQueued = 1
+	_, ts := newTestServer(t, cfg)
+	fault.Enable("serve.job.exec", fault.Plan{Mode: fault.ModeSleep, Sleep: 100 * time.Millisecond})
+
+	bodyA := jobPayload(4)
+	stA := submitJob(t, ts.URL, bodyA)
+
+	recsB := []map[string]any{l2Record("b0"), l2Record("b1")}
+	rawB, _ := json.Marshal(map[string]any{"records": recsB})
+	code, hdr, data := postJob(t, ts.URL, string(rawB))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit = %d (%s), want 429", code, data)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed submission carries no Retry-After hint")
+	}
+
+	// Idempotent resubmission of the admitted job is not shed.
+	again := submitJob(t, ts.URL, bodyA)
+	if again.ID != stA.ID {
+		t.Fatalf("resubmit id = %s, want %s", again.ID, stA.ID)
+	}
+	waitJobState(t, ts.URL, stA.ID, JobCompleted, 5*time.Second)
+
+	// With the queue drained, the shed job is admitted on retry.
+	code, _, data = postJob(t, ts.URL, string(rawB))
+	if code != http.StatusAccepted {
+		t.Fatalf("post-drain submit = %d (%s), want 202", code, data)
+	}
+	var stB JobStatus
+	if err := json.Unmarshal(data, &stB); err != nil {
+		t.Fatal(err)
+	}
+	waitJobState(t, ts.URL, stB.ID, JobCompleted, 5*time.Second)
+}
+
+// TestJobCancel: DELETE stops a running job after its in-flight shard;
+// results of a cancelled job are a 409.
+func TestJobCancel(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	_, ts := newTestServer(t, jobConfig(t.TempDir()))
+	fault.Enable("serve.job.exec", fault.Plan{Mode: fault.ModeSleep, Sleep: 50 * time.Millisecond})
+
+	st := submitJob(t, ts.URL, jobPayload(8))
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	done := waitJobState(t, ts.URL, st.ID, JobCancelled, 5*time.Second)
+	if done.DoneShards == st.Shards {
+		t.Fatalf("cancelled job ran to completion: %+v", done)
+	}
+	code, data := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusConflict {
+		t.Fatalf("results of cancelled job = %d (%s), want 409", code, data)
+	}
+}
+
+// TestJobEndpointsDisabled: without a checkpoint directory the tier is
+// off and every job endpoint answers 503 — never a panic or a silent
+// in-memory-only job.
+func TestJobEndpointsDisabled(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	_, ts := newTestServer(t, Config{})
+	if code, _, data := postJob(t, ts.URL, jobPayload(2)); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit on disabled tier = %d: %s", code, data)
+	}
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/jx", "/v1/jobs/jx/results"} {
+		if code, data := getBody(t, ts.URL, path); code != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s on disabled tier = %d: %s", path, code, data)
+		}
+	}
+}
+
+// TestJobBadRequests: submission validation is typed and job lookups
+// 404 cleanly.
+func TestJobBadRequests(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	cfg := jobConfig(t.TempDir())
+	cfg.Jobs.MaxRecords = 4
+	_, ts := newTestServer(t, cfg)
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed", `{nope`, 400},
+		{"empty records", `{"records":[]}`, 400},
+		{"bad column", `{"records":[{"Bogus":"x"}]}`, 400},
+		{"trailing data", `{"records":[{"Title":"x"}]}extra`, 400},
+		{"negative shard size", `{"records":[{"Title":"x"}],"shard_size":-1}`, 400},
+		{"over record cap", jobPayload(5), 413},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, data := postJob(t, ts.URL, tc.body)
+			if code != tc.want {
+				t.Fatalf("submit = %d (%s), want %d", code, data, tc.want)
+			}
+		})
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/jobs/jdeadbeef"); code != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/jobs/jdeadbeef/results"); code != http.StatusNotFound {
+		t.Fatalf("unknown job results = %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/jdeadbeef", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobResultsBeforeCompletion: polling is fine but fetching early is
+// a 409 naming the current state.
+func TestJobResultsBeforeCompletion(t *testing.T) {
+	leakcheck.Check(t)
+	defer fault.Reset()
+	_, ts := newTestServer(t, jobConfig(t.TempDir()))
+	fault.Enable("serve.job.exec", fault.Plan{Mode: fault.ModeSleep, Sleep: 80 * time.Millisecond})
+
+	st := submitJob(t, ts.URL, jobPayload(8))
+	code, data := fetchResults(t, ts.URL, st.ID)
+	if code != http.StatusConflict {
+		t.Fatalf("early fetch = %d (%s), want 409", code, data)
+	}
+	waitJobState(t, ts.URL, st.ID, JobCompleted, 10*time.Second)
+}

@@ -76,6 +76,19 @@ type Config struct {
 	MLBudgetFrac float64
 	// MaxBodyBytes caps request bodies (default DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// MaxBatchRecords caps how many records one /v1/match/batch request
+	// may carry (default DefaultMaxBatchRecords).
+	MaxBatchRecords int
+	// MaxBatchBodyBytes caps batch request bodies (default
+	// DefaultMaxBatchBodyBytes).
+	MaxBatchBodyBytes int64
+	// BatchTimeout is the per-batch deadline (default
+	// DefaultBatchTimeout). A batch's timeout_ms may lower it, never
+	// raise it.
+	BatchTimeout time.Duration
+	// Jobs configures the async job tier; a zero Dir disables it (the
+	// job endpoints answer 503).
+	Jobs JobConfig
 	// DrainTimeout bounds how long Drain waits for in-flight requests
 	// (default 10s).
 	DrainTimeout time.Duration
@@ -116,6 +129,8 @@ type Server struct {
 	collector *drift.Collector
 	rightCols []drift.ColumnProfile
 
+	jobs *Jobs // nil when the job tier is disabled
+
 	mu       sync.Mutex
 	requests int64
 	degraded int64
@@ -148,6 +163,15 @@ func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *ta
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxBatchRecords <= 0 {
+		cfg.MaxBatchRecords = DefaultMaxBatchRecords
+	}
+	if cfg.MaxBatchBodyBytes <= 0 {
+		cfg.MaxBatchBodyBytes = DefaultMaxBatchBodyBytes
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = DefaultBatchTimeout
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
@@ -207,7 +231,31 @@ func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *ta
 	if s.artifact.Load() != nil && (wf.Features == nil || wf.Imputer == nil) {
 		return nil, fmt.Errorf("serve: matcher deployed without features/imputer")
 	}
+	if cfg.Jobs.Dir != "" {
+		jm, err := newJobs(cfg.Jobs, s)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = jm
+		jm.Start()
+		if _, err := jm.Recover(); err != nil {
+			jm.Stop(time.Second)
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// JobTier returns the async job manager (nil when disabled).
+func (s *Server) JobTier() *Jobs { return s.jobs }
+
+// Close releases background resources (the job workers) without a
+// graceful drain; tests and non-serving callers use it. Safe to call
+// more than once and after StartDrain.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.Stop(time.Second)
+	}
 }
 
 // featureWidth is the deployed feature-vector width (0 = rule-only).
@@ -228,6 +276,12 @@ func (s *Server) Breaker() *Breaker { return s.breaker }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/match/batch", s.handleMatchBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /-/reload", s.handleReload)
@@ -341,10 +395,31 @@ func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, err.Error(), 0)
 }
 
-// matchOne runs the deployed workflow for one request record. A
-// recovered panic is returned as an error: one poison record must never
-// take the service down.
-func (s *Server) matchOne(ctx context.Context, row table.Row, wantTrace bool) (resp *MatchResponse, err error) {
+// matchOne runs the deployed workflow for one request record — the
+// single-record endpoint is the batch engine at n=1.
+func (s *Server) matchOne(ctx context.Context, row table.Row, wantTrace bool) (*MatchResponse, error) {
+	leftOne := table.New("request", s.left.Schema())
+	if err := leftOne.Append(row); err != nil {
+		return nil, err
+	}
+	resps, trace, err := s.matchSet(ctx, leftOne, s.breaker, wantTrace)
+	if err != nil {
+		return nil, err
+	}
+	resps[0].Trace = trace
+	return resps[0], nil
+}
+
+// matchSet runs the deployed workflow for every row of a request-shaped
+// left table in one pass: sure rules per row, a single union-blocking
+// pass, a single vectorize+impute+predict call over every surviving
+// candidate, then the veto layer — the amortization that makes the bulk
+// endpoint and the async job shards cheaper than len(left) one-record
+// requests. br guards the learned-matcher stage: the server's breaker
+// for online traffic, a per-shard breaker inside jobs. A recovered
+// panic is returned as an error: one poison record must never take the
+// service (or a job worker) down.
+func (s *Server) matchSet(ctx context.Context, left *table.Table, br *Breaker, wantTrace bool) (resps []*MatchResponse, trace json.RawMessage, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: match panicked: %v", r)
@@ -352,128 +427,151 @@ func (s *Server) matchOne(ctx context.Context, row table.Row, wantTrace bool) (r
 	}()
 	ctx, root := obs.NewTrace(ctx, "serve.match")
 	defer root.End()
+	root.SetItems(left.Len())
 	if err := fault.Inject("serve.match"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Per-request drift capture: the armed collector makes vectorize and
 	// predict feed the serving-distribution reservoirs.
 	ctx = drift.WithCollector(ctx, s.collector)
 
-	leftOne := table.New("request", s.left.Schema())
-	if err := leftOne.Append(row); err != nil {
-		return nil, err
+	n := left.Len()
+	resps = make([]*MatchResponse, n)
+	for i := range resps {
+		resps[i] = &MatchResponse{}
 	}
-	resp = &MatchResponse{}
 
 	// Stage 1: positive rules straight against the right table — the
 	// always-available path that keeps the service useful when the
 	// learned matcher is down.
-	sure := block.NewCandidateSet(leftOne, s.right)
-	sureRule := map[int]string{}
+	sure := block.NewCandidateSet(left, s.right)
+	sureRule := map[block.Pair]string{}
 	if s.wf.SureRules != nil && s.wf.SureRules.Len() > 0 {
-		for j := 0; j < s.right.Len(); j++ {
-			if j%256 == 0 {
-				if cerr := ctx.Err(); cerr != nil {
-					return nil, cerr
+		scanned := 0
+		for i := 0; i < n; i++ {
+			row := left.Row(i)
+			for j := 0; j < s.right.Len(); j++ {
+				if scanned%256 == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						return nil, nil, cerr
+					}
 				}
-			}
-			if v, name := s.wf.SureRules.JudgeWithRule(row, s.right.Row(j)); v == rules.Match {
-				sure.Add(block.Pair{A: 0, B: j})
-				sureRule[j] = name
+				scanned++
+				if v, name := s.wf.SureRules.JudgeWithRule(row, s.right.Row(j)); v == rules.Match {
+					p := block.Pair{A: i, B: j}
+					sure.Add(p)
+					sureRule[p] = name
+				}
 			}
 		}
 	}
 
-	// Stage 2: blocking. A blocker failure (not a deadline) degrades to
-	// the sure-rule answer instead of failing the request.
+	// Stage 2: blocking, once for the whole set. A blocker failure (not
+	// a deadline) degrades every row to its sure-rule answer instead of
+	// failing the request.
+	degraded, reason := false, ""
 	var candidates *block.CandidateSet
-	blocked, berr := block.UnionBlockCtx(ctx, leftOne, s.right, s.wf.Blockers...)
+	blocked, berr := block.UnionBlockCtx(ctx, left, s.right, s.wf.Blockers...)
 	switch {
 	case berr != nil && ctx.Err() != nil:
-		return nil, berr
+		return nil, nil, berr
 	case berr != nil:
-		resp.Degraded = true
-		resp.DegradedReason = ReasonBlockerError
-		candidates = block.NewCandidateSet(leftOne, s.right)
+		degraded = true
+		reason = ReasonBlockerError
+		candidates = block.NewCandidateSet(left, s.right)
 	default:
 		candidates, berr = blocked.Minus(sure)
 		if berr != nil {
-			return nil, berr
+			return nil, nil, berr
 		}
 	}
-	resp.Candidates = candidates.Len()
+	perRow := candidates.PerLeftCounts()
 
-	// Stage 3: the learned matcher behind the circuit breaker.
-	learned := block.NewCandidateSet(leftOne, s.right)
-	scores := map[int]float64{}
-	if !resp.Degraded && candidates.Len() > 0 {
-		learned, scores, resp.DegradedReason = s.predict(ctx, leftOne, candidates)
-		resp.Degraded = resp.DegradedReason != ""
+	// Stage 3: the learned matcher behind the circuit breaker, over all
+	// candidates of all rows at once.
+	learned := block.NewCandidateSet(left, s.right)
+	scores := map[block.Pair]float64{}
+	if !degraded && candidates.Len() > 0 {
+		learned, scores, reason = s.predict(ctx, left, candidates, br)
+		degraded = reason != ""
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
+			return nil, nil, cerr
 		}
-	} else if art := s.artifact.Load(); art == nil && !resp.Degraded {
-		resp.Degraded = true
-		resp.DegradedReason = ReasonNoMatcher
+	} else if art := s.artifact.Load(); art == nil && !degraded {
+		degraded = true
+		reason = ReasonNoMatcher
 	}
 
 	// Stage 4: negative rules veto learned matches (sure matches bypass
 	// them, as in the batch workflow).
 	kept := learned
 	if s.wf.NegativeRules != nil && s.wf.NegativeRules.Len() > 0 && learned.Len() > 0 {
-		kept, resp.Vetoed = s.wf.NegativeRules.FilterMatches(learned)
+		kept, _ = s.wf.NegativeRules.FilterMatches(learned)
 	}
+	learnedPer := learned.PerLeftCounts()
+	keptPer := kept.PerLeftCounts()
 
-	// Assemble: sure matches first, then surviving learned matches.
+	// Assemble per row: sure matches first, then surviving learned
+	// matches, both in deterministic (A, B) order.
+	brState := br.State().String()
+	for i := 0; i < n; i++ {
+		resps[i].Candidates = perRow[i]
+		resps[i].Degraded = degraded
+		resps[i].DegradedReason = reason
+		resps[i].Vetoed = learnedPer[i] - keptPer[i]
+		resps[i].Breaker = brState
+	}
 	for _, p := range sure.Sorted() {
-		resp.Matches = append(resp.Matches, Match{
+		resps[p.A].Matches = append(resps[p.A].Matches, Match{
 			RightID:    s.rightID(p.B),
 			RightIndex: p.B,
-			Source:     "rule:" + sureRule[p.B],
+			Source:     "rule:" + sureRule[p],
 		})
 	}
 	for _, p := range kept.Sorted() {
 		m := Match{RightID: s.rightID(p.B), RightIndex: p.B, Source: "matcher"}
-		if sc, ok := scores[p.B]; ok {
+		if sc, ok := scores[p]; ok {
 			score := sc
 			m.Score = &score
 		}
-		resp.Matches = append(resp.Matches, m)
+		resps[p.A].Matches = append(resps[p.A].Matches, m)
 	}
-	resp.Breaker = s.breaker.State().String()
 
-	// Coverage accounting for the drift profile.
+	// Coverage accounting for the drift profile — per record, so batch
+	// and job traffic feed the same serving profile single requests do.
 	s.mu.Lock()
-	s.requests++
-	if resp.Degraded {
-		s.degraded++
-	}
-	if len(s.perRow) < 65536 {
-		s.perRow = append(s.perRow, resp.Candidates)
+	s.requests += int64(n)
+	for i := 0; i < n; i++ {
+		if resps[i].Degraded {
+			s.degraded++
+		}
+		if len(s.perRow) < 65536 {
+			s.perRow = append(s.perRow, resps[i].Candidates)
+		}
 	}
 	s.mu.Unlock()
 
 	if wantTrace {
 		root.End()
 		if data, merr := json.Marshal(root.Snapshot()); merr == nil {
-			resp.Trace = data
+			trace = data
 		}
 	}
-	return resp, nil
+	return resps, trace, nil
 }
 
-// predict runs vectorize + impute + predict under the breaker and an ML
+// predict runs vectorize + impute + predict under br and an ML
 // sub-budget of the request deadline. It returns the learned match set,
-// per-right-row scores, and a degradation reason ("" = the learned path
+// per-pair scores, and a degradation reason ("" = the learned path
 // served normally).
-func (s *Server) predict(ctx context.Context, leftOne *table.Table, candidates *block.CandidateSet) (*block.CandidateSet, map[int]float64, string) {
-	learned := block.NewCandidateSet(leftOne, s.right)
-	scores := map[int]float64{}
+func (s *Server) predict(ctx context.Context, left *table.Table, candidates *block.CandidateSet, br *Breaker) (*block.CandidateSet, map[block.Pair]float64, string) {
+	learned := block.NewCandidateSet(left, s.right)
+	scores := map[block.Pair]float64{}
 	art := s.artifact.Load()
 	if art == nil {
 		return learned, scores, ReasonNoMatcher
 	}
-	if !s.breaker.Allow() {
+	if !br.Allow() {
 		obs.C("serve.breaker.rejections").Inc()
 		return learned, scores, ReasonBreakerOpen
 	}
@@ -489,28 +587,28 @@ func (s *Server) predict(ctx context.Context, leftOne *table.Table, candidates *
 	defer cancel()
 
 	start := time.Now()
-	preds, scored, err := s.predictVectors(mlCtx, leftOne, candidates.Pairs(), art.Matcher)
+	preds, scored, err := s.predictVectors(mlCtx, left, candidates.Pairs(), art.Matcher)
 	latency := time.Since(start)
 	if err != nil {
 		if ctx.Err() != nil {
 			// The whole request deadline died: the caller turns this
 			// into 504; the slow call still counts against the breaker.
-			s.breaker.Record(err, latency)
+			br.Record(err, latency)
 			return learned, scores, ReasonMatcherError
 		}
-		s.breaker.Record(err, latency)
+		br.Record(err, latency)
 		obs.C("serve.ml_failures").Inc()
 		if errors.Is(err, context.DeadlineExceeded) {
 			return learned, scores, ReasonMatcherSlow
 		}
 		return learned, scores, ReasonMatcherError
 	}
-	s.breaker.Record(nil, latency)
+	br.Record(nil, latency)
 	for i, p := range candidates.Pairs() {
 		if preds[i] == 1 {
 			learned.Add(p)
 			if sc, ok := scored[i]; ok {
-				scores[p.B] = sc
+				scores[p] = sc
 			}
 		}
 	}
@@ -519,8 +617,8 @@ func (s *Server) predict(ctx context.Context, leftOne *table.Table, candidates *
 
 // predictVectors vectorizes, imputes, and predicts one candidate list,
 // also collecting per-row probabilities when the matcher reports them.
-func (s *Server) predictVectors(ctx context.Context, leftOne *table.Table, pairs []block.Pair, m ml.Matcher) ([]int, map[int]float64, error) {
-	x, err := s.wf.Features.VectorizeCtx(ctx, leftOne, s.right, pairs)
+func (s *Server) predictVectors(ctx context.Context, left *table.Table, pairs []block.Pair, m ml.Matcher) ([]int, map[int]float64, error) {
+	x, err := s.wf.Features.VectorizeCtx(ctx, left, s.right, pairs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -694,9 +792,18 @@ func (s *Server) StartDrain() {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
 		s.adm.StartDrain()
+		if s.jobs != nil {
+			// Job workers stop pulling new shards; the shard each is
+			// executing completes and commits durably, so a restart
+			// resumes from it instead of recomputing it.
+			s.jobs.StartDrain()
+		}
 		obs.C("serve.drains").Inc()
 		go func() {
 			s.adm.Drain(s.cfg.DrainTimeout)
+			if s.jobs != nil {
+				s.jobs.Stop(s.cfg.DrainTimeout)
+			}
 			close(s.drained)
 		}()
 	})

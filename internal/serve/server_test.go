@@ -27,7 +27,7 @@ import (
 // rows) and right (catalog) tables: one sure match by award number, one
 // high-similarity title pair, one similar-title false positive the
 // negative rule vetoes.
-func fixtureTables(t *testing.T) (*table.Table, *table.Table) {
+func fixtureTables(t testing.TB) (*table.Table, *table.Table) {
 	t.Helper()
 	schema := func() *table.Schema {
 		return table.MustSchema(
@@ -50,7 +50,7 @@ func fixtureTables(t *testing.T) (*table.Table, *table.Table) {
 
 // fixtureWorkflow assembles the full deployed workflow shape around the
 // fixture tables.
-func fixtureWorkflow(t *testing.T) (*workflow.Workflow, *table.Table, *table.Table) {
+func fixtureWorkflow(t testing.TB) (*workflow.Workflow, *table.Table, *table.Table) {
 	t.Helper()
 	l, r := fixtureTables(t)
 	m1, err := rules.NewEqual("M1", l, "Num", nil, r, "Num", nil, rules.Match)
@@ -101,13 +101,14 @@ func fixtureWorkflow(t *testing.T) (*workflow.Workflow, *table.Table, *table.Tab
 }
 
 // newTestServer spins up the service over the fixture workflow.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	w, l, r := fixtureWorkflow(t)
 	s, err := New(context.Background(), cfg, w, l, r)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close) // stops the job dispatcher (no-op without a job tier)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

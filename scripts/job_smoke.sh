@@ -1,0 +1,201 @@
+#!/usr/bin/env bash
+# job_smoke.sh — end-to-end crash/resume smoke test for the async job
+# tier (see docs/SERVING.md, "Batch & async jobs").
+#
+# The claim under test: a job killed at ANY shard boundary or mid-write
+# resumes after restart with byte-identical results and no reprocessing
+# of completed shards. The choreography:
+#
+#   1. generate a projected UMETRICS/USDA slice, a deployment spec, and
+#      a standalone matcher artifact (same recipe as serve_smoke.sh),
+#   2. reference run: a race-built emserve with the job tier on, submit
+#      a 24-record job, wait, fetch -> ref.json; SIGTERM drains clean,
+#   3. chaos runs: restart emserve with EMCKPT_KILL armed at a shard
+#      commit boundary (after:shard_00001.json) and then mid-write
+#      (mid:shard_00002.json). The server SIGKILLs itself exactly there;
+#      a restart over the same -job-dir must auto-recover the job,
+#      resume from the durable shards (asserted via resumed_shards),
+#      complete, and fetch bytes identical to ref.json,
+#   4. every surviving server is SIGTERM'd: exit 130, "no leaked
+#      goroutines", and no data-race reports.
+#
+# Everything runs in a temp dir; only POSIX tools + the go toolchain are
+# required.
+set -u
+
+SCALE="${JOB_SCALE:-0.1}"
+SEED="${JOB_SEED:-5}"
+RECORDS="${JOB_RECORDS:-24}"
+SHARD_SIZE=4
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+say() { printf 'job-smoke: %s\n' "$*"; }
+fail() { printf 'job-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+
+say "building emgen, emcasestudy, emserve (-race), jobsmoke"
+for bin in emgen emcasestudy; do
+    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
+        echo "job-smoke: build of $bin failed" >&2
+        exit 1
+    }
+done
+(cd "$ROOT" && go build -race -o "$TMP/emserve" ./cmd/emserve) || {
+    echo "job-smoke: race build of emserve failed" >&2
+    exit 1
+}
+(cd "$ROOT" && go build -o "$TMP/jobsmoke" ./scripts/jobsmoke) || {
+    echo "job-smoke: build of jobsmoke failed" >&2
+    exit 1
+}
+
+say "generating projected slice (scale=$SCALE seed=$SEED), spec, and matcher artifact"
+"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
+    echo "job-smoke: emgen failed" >&2
+    exit 1
+}
+"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
+    >"$TMP/study.txt" 2>"$TMP/study.err" || {
+    echo "job-smoke: emcasestudy failed:" >&2
+    cat "$TMP/study.err" >&2
+    exit 1
+}
+LEFT="$TMP/data/UMETRICSProjected.csv"
+RIGHT="$TMP/data/USDAProjected.csv"
+"$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+    -export-matcher "$TMP/matcher.json" >/dev/null 2>"$TMP/export.err" || {
+    echo "job-smoke: -export-matcher failed:" >&2
+    cat "$TMP/export.err" >&2
+    exit 1
+}
+
+# start_server LOGFILE JOBDIR [extra env...]: boots emserve with the job
+# tier on and waits for the address file. Sets SERVE_PID and ADDR.
+start_server() {
+    log="$1"
+    jobdir="$2"
+    shift 2
+    rm -f "$TMP/addr.txt"
+    env "$@" "$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+        -matcher "$TMP/matcher.json" \
+        -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" \
+        -job-dir "$jobdir" -job-shard-size "$SHARD_SIZE" -job-workers 1 \
+        2>"$log" &
+    SERVE_PID=$!
+    for _ in $(seq 1 300); do
+        [ -s "$TMP/addr.txt" ] && break
+        kill -0 "$SERVE_PID" 2>/dev/null || {
+            echo "job-smoke: emserve died during startup:" >&2
+            cat "$log" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [ -s "$TMP/addr.txt" ] || {
+        echo "job-smoke: emserve never wrote its address file" >&2
+        cat "$log" >&2
+        exit 1
+    }
+    ADDR="$(head -1 "$TMP/addr.txt" | tr -d '[:space:]')"
+}
+
+# drain_server LOGFILE: SIGTERMs SERVE_PID and asserts the graceful-exit
+# contract (130, zero leaks, race-clean).
+drain_server() {
+    log="$1"
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    status=$?
+    SERVE_PID=""
+    [ "$status" -eq 130 ] || {
+        fail "emserve exited $status after SIGTERM, want 130:"
+        cat "$log" >&2
+    }
+    grep -q "no leaked goroutines" "$log" || {
+        fail "the zero-leak self-check did not pass ($log):"
+        cat "$log" >&2
+    }
+    if grep -q "WARNING: DATA RACE" "$log"; then
+        fail "the race detector fired ($log):"
+        cat "$log" >&2
+    fi
+}
+
+say "reference run: clean job, no kills"
+start_server "$TMP/ref.err" "$TMP/jobs_ref"
+say "emserve (reference) on $ADDR"
+"$TMP/jobsmoke" -addr "$ADDR" -right "$RIGHT" -records "$RECORDS" \
+    -out "$TMP/ref.json" >"$TMP/ref_id.txt" || {
+    fail "reference job run failed"
+    cat "$TMP/ref.err" >&2
+}
+JOB_ID="$(tail -1 "$TMP/ref_id.txt" | tr -d '[:space:]')"
+say "reference results in ref.json (job $JOB_ID)"
+drain_server "$TMP/ref.err"
+
+# chaos_case NAME KILLSPEC MIN_RESUMED: arm EMCKPT_KILL, submit, wait
+# for the self-SIGKILL, restart over the same job dir, and require a
+# resumed byte-identical completion.
+chaos_case() {
+    name="$1"
+    killspec="$2"
+    min_resumed="$3"
+    jobdir="$TMP/jobs_$name"
+    say "chaos[$name]: kill armed at $killspec"
+    start_server "$TMP/$name.kill.err" "$jobdir" "EMCKPT_KILL=$killspec"
+    say "chaos[$name]: emserve on $ADDR"
+    id="$("$TMP/jobsmoke" -addr "$ADDR" -right "$RIGHT" -records "$RECORDS" -submit-only)" || {
+        fail "chaos[$name]: submission failed"
+        return
+    }
+    [ "$id" = "$JOB_ID" ] || fail "chaos[$name]: job id $id differs from reference $JOB_ID — submission is not content-addressed"
+    wait "$SERVE_PID"
+    status=$?
+    SERVE_PID=""
+    if [ "$status" -eq 0 ] || [ "$status" -eq 130 ]; then
+        fail "chaos[$name]: server exited $status, expected a SIGKILL at $killspec"
+        cat "$TMP/$name.kill.err" >&2
+        return
+    fi
+    grep -q "chaos kill at" "$TMP/$name.kill.err" ||
+        fail "chaos[$name]: kill-point never fired (job too fast or artifact name wrong)"
+
+    say "chaos[$name]: restarting over $jobdir"
+    start_server "$TMP/$name.resume.err" "$jobdir"
+    grep -q "1 unfinished job(s) resumed" "$TMP/$name.resume.err" ||
+        fail "chaos[$name]: restart did not report a recovered job"
+    "$TMP/jobsmoke" -addr "$ADDR" -await "$id" -min-resumed "$min_resumed" \
+        -out "$TMP/$name.json" >/dev/null || {
+        fail "chaos[$name]: resumed job did not complete"
+        cat "$TMP/$name.resume.err" >&2
+        drain_server "$TMP/$name.resume.err"
+        return
+    }
+    if cmp -s "$TMP/ref.json" "$TMP/$name.json"; then
+        say "chaos[$name]: resumed results byte-identical to the clean run"
+    else
+        fail "chaos[$name]: resumed results differ from the clean run"
+        diff "$TMP/ref.json" "$TMP/$name.json" >&2 || true
+    fi
+    drain_server "$TMP/$name.resume.err"
+}
+
+# Kill exactly at a shard-commit boundary: shards 0 and 1 are durable,
+# the rest must be recomputed.
+chaos_case boundary "after:shard_00001.json" 2
+# Kill mid-write: shards 0 and 1 durable, shard 2 left as a torn temp
+# file the restart must discard and recompute.
+chaos_case midwrite "mid:shard_00002.json" 2
+
+if [ "$FAILURES" -gt 0 ]; then
+    echo "job-smoke: $FAILURES failure(s)" >&2
+    exit 1
+fi
+say "PASS (clean run -> boundary kill -> mid-write kill, all resumes byte-identical, race-clean, zero leaks)"

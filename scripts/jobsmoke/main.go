@@ -1,0 +1,197 @@
+// Command jobsmoke is the HTTP driver behind scripts/job_smoke.sh: it
+// submits a deterministic bulk job to a running emserve, waits for it,
+// and writes the fetched results bytes to a file so the shell script
+// can compare runs byte-for-byte. The chaos choreography (EMCKPT_KILL,
+// restarts, exit-code assertions) lives in the shell script; this
+// driver owns everything that needs an HTTP client.
+//
+// Modes:
+//
+//	jobsmoke -addr H:P -right right.csv -records 24 -out ref.json
+//	    submit, wait for completion, fetch, write the result bytes
+//	jobsmoke -addr H:P -right right.csv -records 24 -submit-only
+//	    submit and print the job id (the server is about to be killed)
+//	jobsmoke -addr H:P -await jXXXX -min-resumed 2 -out out.json
+//	    wait for a recovered job to complete, assert at least
+//	    min-resumed shards were inherited rather than recomputed,
+//	    fetch, write the result bytes
+//
+// Exit status: 0 on success, 1 on assertion failure, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"emgo/internal/table"
+)
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jobsmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func say(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jobsmoke: "+format+"\n", args...)
+}
+
+// jobStatus is the subset of the poll document the assertions read.
+type jobStatus struct {
+	ID            string `json:"id"`
+	State         string `json:"state"`
+	Shards        int    `json:"shards"`
+	DoneShards    int    `json:"done_shards"`
+	ResumedShards int    `json:"resumed_shards"`
+	Error         string `json:"error"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "emserve address (host:port)")
+	rightPath := flag.String("right", "", "right-table CSV records are mined from (submit modes)")
+	records := flag.Int("records", 24, "records in the submitted job")
+	submitOnly := flag.Bool("submit-only", false, "submit and print the job id, do not wait")
+	await := flag.String("await", "", "job id to wait for instead of submitting")
+	minResumed := flag.Int("min-resumed", 0, "fail unless at least this many shards were resumed, not recomputed")
+	out := flag.String("out", "", "write the fetched results bytes here")
+	timeout := flag.Duration("timeout", 2*time.Minute, "how long to wait for job completion")
+	flag.Parse()
+	if *addr == "" || (*await == "" && *rightPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: jobsmoke -addr host:port (-right right.csv [-submit-only] | -await jobid) [-out file]")
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	id := *await
+	if id == "" {
+		body, err := submissionBody(*rightPath, *records)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobsmoke:", err)
+			os.Exit(2)
+		}
+		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			die("submit: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			die("submit returned %d: %s", resp.StatusCode, data)
+		}
+		var st jobStatus
+		if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+			die("submit response carries no job id: %s", data)
+		}
+		id = st.ID
+		say("submitted job %s (%d records, %d shards)", id, *records, st.Shards)
+		if *submitOnly {
+			fmt.Println(id)
+			return
+		}
+	}
+
+	st := waitCompleted(client, base, id, *timeout)
+	say("job %s completed: %d/%d shards, %d resumed", id, st.DoneShards, st.Shards, st.ResumedShards)
+	if st.ResumedShards < *minResumed {
+		die("resumed %d shards, want at least %d — the restart recomputed durable work", st.ResumedShards, *minResumed)
+	}
+
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		die("fetch: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		die("fetch returned %d: %s", resp.StatusCode, data)
+	}
+	var res struct {
+		Results     []json.RawMessage `json:"results"`
+		Quarantined []json.RawMessage `json:"quarantined"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		die("results are not JSON: %v", err)
+	}
+	if len(res.Results) != *records && *await == "" {
+		die("results carry %d records, want %d", len(res.Results), *records)
+	}
+	if len(res.Quarantined) != 0 {
+		die("healthy run quarantined %d shard(s): %s", len(res.Quarantined), data)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			die("write %s: %v", *out, err)
+		}
+	}
+	say("results OK (%d bytes)", len(data))
+	fmt.Println(id)
+}
+
+// waitCompleted polls the job until it completes (failing fast on a
+// failed job) or the timeout lapses.
+func waitCompleted(client *http.Client, base, id string, timeout time.Duration) *jobStatus {
+	deadline := time.Now().Add(timeout)
+	var last []byte
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			die("poll: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			die("poll returned %d: %s", resp.StatusCode, data)
+		}
+		last = data
+		var st jobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			die("poll response not JSON: %v: %s", err, data)
+		}
+		switch st.State {
+		case "completed":
+			return &st
+		case "failed":
+			die("job failed: %s", st.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	die("job %s never completed; last status: %s", id, last)
+	return nil
+}
+
+// submissionBody builds a deterministic job from the right table's
+// first n titles: title-only records take the learned blocking+matcher
+// path, which is the expensive work worth checkpointing.
+func submissionBody(rightPath string, n int) (string, error) {
+	right, err := table.ReadCSVFile(rightPath, nil)
+	if err != nil {
+		return "", err
+	}
+	col, err := right.Col("AwardTitle")
+	if err != nil {
+		return "", err
+	}
+	if right.Len() == 0 {
+		return "", fmt.Errorf("right table %s is empty", rightPath)
+	}
+	recs := make([]map[string]any, n)
+	for i := 0; i < n; i++ {
+		title := right.Row(i % right.Len())[col].Str()
+		recs[i] = map[string]any{
+			"RecordId":   fmt.Sprintf("job-%d", i),
+			"AwardTitle": title,
+		}
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(map[string]any{"records": recs}); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
