@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke obs-smoke
 
 all: tier1
 
@@ -57,12 +57,22 @@ serve-smoke:
 job-smoke:
 	./scripts/job_smoke.sh
 
+# obs-smoke exercises the serving-observability stack end to end with a
+# race-built emserve: request IDs must echo on every response, each
+# request must emit exactly one parseable JSON wide event, an injected
+# 300ms latency outlier must be retained (span tree included) in
+# /debug/tail and the drain-time -tail-dump, and `emmonitor slo` must
+# exit 0 against a healthy server and 1 against one burning its error
+# budget — see scripts/obs_smoke.sh and docs/OBSERVABILITY.md.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 # Tier 2 — the hardened-runtime gate: formatting and static analysis plus
 # the full test suite under the race detector (the parallel fan-out,
 # cancellation, fault-injection, and observability paths are only
 # trustworthy race-clean), the kill/resume chaos harness, and the
 # quality-monitoring and serving smoke loops.
-tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke
+tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke obs-smoke
 
 ci: tier1 tier2
 

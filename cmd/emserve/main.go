@@ -17,6 +17,8 @@
 //	        [-transforms umetrics] [-date-cols ...] [-drift-baseline baseline.json] \
 //	        [-max-batch 256] [-job-dir jobs/] [-job-workers 2] [-job-shard-size 32] \
 //	        [-job-max-queued 8] [-job-attempts 3] \
+//	        [-access-log events.jsonl] [-access-sample 10] [-tail-n 16] \
+//	        [-slo availability=99.9,latency=250ms@99] [-tail-dump tail.json] \
 //	        [-no-debug] [-inject site:spec ...]
 //
 //	emserve -spec workflow.json -left left.csv -right right.csv \
@@ -31,6 +33,18 @@
 // artifact; POST /-/drain starts a graceful drain; GET /-/drift serves the
 // live serving-traffic profile; /debug/ and /metrics expose expvar, pprof
 // and Prometheus text (disable with -no-debug).
+//
+// Observability: every request carries a request ID (minted, or a
+// sanitized client X-Request-Id) echoed on the response and threaded
+// through spans and job shards. -access-log emits one JSON wide event
+// per request (sampled by -access-sample for successes; errors, sheds
+// and degraded answers always log). GET /debug/tail serves the in-memory
+// tail capture — the N slowest plus every errored/degraded request of
+// the current and previous windows, full span trees included — and
+// -tail-dump writes that snapshot to a file on drain. -slo declares
+// availability/latency objectives whose multi-window burn rates surface
+// on /v1/status (alias of /-/status) and /metrics; emmonitor slo turns
+// them into a check that exits non-zero on budget burn.
 //
 // Signals: SIGTERM/SIGINT drain the server — stop admitting (503), wait
 // for in-flight requests up to the drain timeout, checkpoint and stop
@@ -51,6 +65,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -69,6 +84,7 @@ import (
 	"emgo/internal/fault"
 	"emgo/internal/ml"
 	"emgo/internal/obs"
+	"emgo/internal/obs/slo"
 	"emgo/internal/retry"
 	"emgo/internal/serve"
 	"emgo/internal/table"
@@ -144,6 +160,11 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 	jobMaxQueued := fs.Int("job-max-queued", 0, "jobs queued or running before submissions shed (0 = default)")
 	jobAttempts := fs.Int("job-attempts", 0, "attempts per shard before quarantine (0 = default)")
 	noDebug := fs.Bool("no-debug", false, "do not mount /debug/ (expvar, pprof) and /metrics on the service")
+	accessLog := fs.String("access-log", "", "write one JSON wide event per request to this file (- = stderr; empty = off)")
+	accessSample := fs.Int("access-sample", 1, "log 1 in N successful requests (errors/sheds/degraded always log)")
+	tailN := fs.Int("tail-n", 0, "slowest requests retained per window in the /debug/tail buffer (0 = default)")
+	sloSpec := fs.String("slo", "", "service objectives, e.g. availability=99.9,latency=250ms@99 (empty = defaults)")
+	tailDump := fs.String("tail-dump", "", "write the tail-capture snapshot to this file when the server drains")
 	var injects multiFlag
 	fs.Var(&injects, "inject", "arm a fault-injection plan, site:spec (repeatable; e.g. ml.predict:prob=0.5)")
 	if err := fs.Parse(args); err != nil {
@@ -222,6 +243,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 		RightIDCol:      *rightID,
 		MountDebug:      !*noDebug,
 		MaxBatchRecords: *maxBatch,
+		AccessSampleN:   *accessSample,
+		TailN:           *tailN,
 		Jobs: serve.JobConfig{
 			Dir:           *jobDir,
 			Workers:       *jobWorkers,
@@ -236,6 +259,25 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 			return fmt.Errorf("drift baseline: %w", err)
 		}
 		cfg.DriftBaseline = base
+	}
+	if *sloSpec != "" {
+		objs, err := slo.ParseObjectives(*sloSpec)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		cfg.SLOs = objs
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-access-log: %w", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
 	}
 
 	// Serving always counts: the status/drift endpoints and /metrics are
@@ -297,7 +339,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 			// The listener died on its own — a real serving failure.
 			return fmt.Errorf("serve: %w", err)
 		case <-ctx.Done():
-			return shutdown(ctx, srv, httpSrv, *drainTimeout, baseGoroutines, stderr)
+			return shutdown(ctx, srv, httpSrv, *drainTimeout, *tailDump, baseGoroutines, stderr)
 		}
 	}
 }
@@ -305,7 +347,7 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 // shutdown runs the graceful-drain sequence: stop admitting, wait for
 // in-flight requests, close the listener, then self-check for leaked
 // goroutines. It returns the context's error so the interrupt exits 130.
-func shutdown(ctx context.Context, srv *serve.Server, httpSrv *http.Server, drainTimeout time.Duration, baseGoroutines int, stderr io.Writer) error {
+func shutdown(ctx context.Context, srv *serve.Server, httpSrv *http.Server, drainTimeout time.Duration, tailDump string, baseGoroutines int, stderr io.Writer) error {
 	fmt.Fprintln(stderr, "emserve: signal received; draining")
 	srv.StartDrain()
 	select {
@@ -313,6 +355,19 @@ func shutdown(ctx context.Context, srv *serve.Server, httpSrv *http.Server, drai
 		fmt.Fprintln(stderr, "emserve: drain complete")
 	case <-time.After(drainTimeout + time.Second):
 		fmt.Fprintln(stderr, "emserve: drain timed out; shutting down anyway")
+	}
+	if tailDump != "" {
+		// Drained means every in-flight request has emitted its wide
+		// event, so the snapshot taken now is complete for this run.
+		data, merr := json.MarshalIndent(srv.TailSnapshot(), "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(tailDump, append(data, '\n'), 0o644)
+		}
+		if merr != nil {
+			fmt.Fprintf(stderr, "emserve: tail dump: %v\n", merr)
+		} else {
+			fmt.Fprintf(stderr, "emserve: tail snapshot written to %s\n", tailDump)
+		}
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

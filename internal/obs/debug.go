@@ -21,6 +21,7 @@ var publishOnce sync.Once
 func publishMetrics() {
 	publishOnce.Do(func() {
 		expvar.Publish("em_metrics", expvar.Func(func() any {
+			SampleRuntime()
 			return Default().Snapshot()
 		}))
 	})

@@ -153,7 +153,7 @@ type Diff struct {
 	Stages []DeltaRow `json:"stages,omitempty"`
 	// Counters are metric counter changes.
 	Counters []DeltaRow `json:"counters,omitempty"`
-	// Quantiles are histogram percentile changes (p50/p90/p99).
+	// Quantiles are histogram percentile changes (p50/p90/p99/p99.9/max).
 	Quantiles []DeltaRow `json:"quantiles,omitempty"`
 	// Signals are quality-signal value changes.
 	Signals []DeltaRow `json:"signals,omitempty"`
@@ -244,6 +244,8 @@ func DiffReports(a, b *obs.Report) *Diff {
 			into[k+" p50"] = h.P50
 			into[k+" p90"] = h.P90
 			into[k+" p99"] = h.P99
+			into[k+" p99.9"] = h.P999
+			into[k+" max"] = h.Max
 		}
 	}
 	quantiles(a.Metrics, qa)

@@ -108,6 +108,7 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1
 	count  atomic.Int64
 	sum    atomicFloat
+	max    atomicFloat
 }
 
 // atomicFloat is an atomic float64 built on CAS over the bit pattern.
@@ -125,6 +126,19 @@ func (f *atomicFloat) add(v float64) {
 
 func (f *atomicFloat) load() float64 { return floatFrom(f.bits.Load()) }
 
+// storeMax raises the value to v if v is larger (CAS loop).
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if floatFrom(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, floatBits(v)) {
+			return
+		}
+	}
+}
+
 // Observe records one sample. Safe on nil.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -134,6 +148,7 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[idx].Add(1)
 	h.count.Add(1)
 	h.sum.add(v)
+	h.max.storeMax(v)
 }
 
 // Count returns the number of samples observed (0 on nil).
@@ -160,13 +175,18 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
-	// P50/P90/P99 are bucket-interpolated quantile estimates, filled by
-	// Snapshot so run reports carry latency percentiles that diffing
+	// P50/P90/P99/P999 are bucket-interpolated quantile estimates, filled
+	// by Snapshot so run reports carry latency percentiles that diffing
 	// tools (emmonitor diff) can regress against. Zero when no samples
 	// were observed.
-	P50 float64 `json:"p50,omitempty"`
-	P90 float64 `json:"p90,omitempty"`
-	P99 float64 `json:"p99,omitempty"`
+	P50  float64 `json:"p50,omitempty"`
+	P90  float64 `json:"p90,omitempty"`
+	P99  float64 `json:"p99,omitempty"`
+	P999 float64 `json:"p999,omitempty"`
+	// Max is the exact largest observed sample — the one value bucket
+	// interpolation cannot resolve, and exactly the outlier tail-latency
+	// work cares about.
+	Max float64 `json:"max,omitempty"`
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) from the bucket
@@ -215,6 +235,12 @@ func (h *HistogramSnapshot) fillQuantiles() {
 	h.P50 = h.Quantile(0.50)
 	h.P90 = h.Quantile(0.90)
 	h.P99 = h.Quantile(0.99)
+	h.P999 = h.Quantile(0.999)
+	// A quantile estimate clamped to the last bound can never exceed the
+	// exact max; report the max itself when the estimate hits the clamp.
+	if h.Max > 0 && h.P999 > h.Max {
+		h.P999 = h.Max
+	}
 }
 
 // MetricsSnapshot is the JSON form of a registry at one instant.
@@ -348,6 +374,7 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 				Counts: make([]int64, len(h.counts)),
 				Count:  h.count.Load(),
 				Sum:    h.sum.load(),
+				Max:    h.max.load(),
 			}
 			for i := range h.counts {
 				hs.Counts[i] = h.counts[i].Load()

@@ -89,7 +89,10 @@ func WritePrometheus(w io.Writer, snap MetricsSnapshot) error {
 // promHandler serves the global registry as Prometheus text exposition;
 // it reads the registry at request time, so a server started before
 // Enable reports live values afterwards (an empty body when disabled).
+// Each scrape refreshes the go.* runtime gauges first, so saturation is
+// visible next to the service metrics without a sampling goroutine.
 func promHandler(w http.ResponseWriter, _ *http.Request) {
+	SampleRuntime()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = WritePrometheus(w, Default().Snapshot())
 }

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// Go runtime saturation gauges: goroutine count, heap bytes, GC pause
+// p99, and a scheduling-latency p99 proxy, refreshed on demand into the
+// global registry so they sit next to the service metrics on /metrics
+// and /debug/vars. Sampling is pull-driven (each scrape calls
+// SampleRuntime) rather than a background ticker: no goroutine to leak,
+// no work when nobody is looking.
+
+// runtimeSamples are the runtime/metrics series SampleRuntime reads.
+var runtimeSamples = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/sync/mutex/wait/total:seconds",
+}
+
+// SampleRuntime refreshes the go.* gauges in the global registry: the
+// goroutine count, live heap bytes, GC pause p99 (ms), and the p99 of
+// goroutine scheduling latency (ms) — the closest stdlib proxy for "how
+// long does runnable work wait for a CPU", which is what saturation
+// looks like before latency SLOs start burning. No-op when the registry
+// is disabled.
+func SampleRuntime() {
+	if !Enabled() {
+		return
+	}
+	G("go.goroutines").Set(int64(runtime.NumGoroutine()))
+
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				G("go.heap_bytes").Set(int64(s.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				FG("go.gc_pause_p99_ms").Set(histQuantile(s.Value.Float64Histogram(), 0.99) * 1000)
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				FG("go.sched_latency_p99_ms").Set(histQuantile(s.Value.Float64Histogram(), 0.99) * 1000)
+			}
+		case "/sync/mutex/wait/total:seconds":
+			if s.Value.Kind() == metrics.KindFloat64 {
+				FG("go.mutex_wait_total_s").Set(s.Value.Float64())
+			}
+		}
+	}
+}
+
+// histQuantile estimates the q-th quantile of a runtime/metrics
+// histogram by linear interpolation inside the holding bucket. The
+// distributions are cumulative over the process lifetime, which is what
+// we want for "has this process ever stalled": a saturation gauge, not
+// a rate. Returns 0 on an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		// Buckets[i] and Buckets[i+1] bound count i; the edge buckets can
+		// be infinite, in which case the finite edge is the estimate.
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		switch {
+		case math.IsInf(lo, -1):
+			return hi
+		case math.IsInf(hi, 1):
+			return lo
+		default:
+			frac := (rank - prev) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

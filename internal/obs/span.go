@@ -184,3 +184,42 @@ func (s *Span) snapshotLocked() *SpanData {
 	}
 	return d
 }
+
+// StageDurations flattens the span's descendants into stage-name →
+// wall-ms for a wide event's Stages field, without materializing a full
+// Snapshot tree — the per-request path calls this on every request, so
+// it allocates only the result map. Semantics match the package-level
+// StageDurations: first occurrence of each name wins, the receiver
+// (root) is skipped, unfinished spans are measured to now. Safe on nil.
+func (s *Span) StageDurations() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	if len(s.children) == 0 {
+		return nil
+	}
+	var now time.Time
+	out := make(map[string]float64, len(s.children))
+	var walk func(*Span)
+	walk = func(sp *Span) {
+		if _, seen := out[sp.name]; !seen {
+			end := sp.end
+			if end.IsZero() {
+				if now.IsZero() {
+					now = time.Now()
+				}
+				end = now
+			}
+			out[sp.name] = float64(end.Sub(sp.start)) / float64(time.Millisecond)
+		}
+		for _, c := range sp.children {
+			walk(c)
+		}
+	}
+	for _, c := range s.children {
+		walk(c)
+	}
+	return out
+}

@@ -150,8 +150,10 @@ func (s *Server) rowsTable(name string, rows []table.Row) (*table.Table, error) 
 // one blocking pass, one matcher pass for the whole batch.
 func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	obs.C("serve.batch.requests").Inc()
+	ev := eventFrom(r.Context())
 	if s.draining.Load() {
 		obs.C("serve.shed.draining").Inc()
+		annotateAdmission(ev, AdmissionShedDraining, 0)
 		writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
 		return
 	}
@@ -181,25 +183,32 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 
+	queued := time.Now()
 	release, err := s.adm.Acquire(ctx)
+	wait := time.Since(queued)
 	switch {
 	case errors.Is(err, ErrShed):
+		annotateAdmission(ev, AdmissionShedQueueFull, wait)
 		writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full", s.adm.RetryAfter())
 		return
 	case errors.Is(err, ErrDraining):
+		annotateAdmission(ev, AdmissionShedDraining, wait)
 		writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
 		return
 	case err != nil: // deadline expired while queued
+		annotateAdmission(ev, AdmissionDeadlineInQueue, wait)
 		writeError(w, http.StatusTooManyRequests, "overloaded: deadline expired in admission queue", s.adm.RetryAfter())
 		return
 	}
 	defer release()
+	annotateAdmission(ev, AdmissionAdmitted, wait)
 
 	start := time.Now()
 	resps, trace, err := s.matchSet(ctx, left, s.breaker, req.Trace)
 	elapsed := time.Since(start)
 	obs.H("serve.batch.latency_ms", batchLatencyMSBuckets).Observe(float64(elapsed) / float64(time.Millisecond))
 	if err != nil {
+		annotateError(ev, err)
 		if ctx.Err() != nil {
 			obs.C("serve.timeouts").Inc()
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded", 0)
@@ -225,6 +234,18 @@ func (s *Server) handleMatchBatch(w http.ResponseWriter, r *http.Request) {
 	obs.C("serve.batch.records").Add(int64(resp.Count))
 	if resp.Degraded > 0 {
 		obs.C("serve.degraded").Add(int64(resp.Degraded))
+	}
+	if ev != nil {
+		ev.Records = resp.Count
+		ev.Breaker = resp.Breaker
+		for _, r := range resps {
+			ev.Candidates += r.Candidates
+			ev.Matches += len(r.Matches)
+		}
+		if resp.Degraded > 0 {
+			ev.Degraded = true
+			ev.DegradedReason = resps[0].DegradedReason
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

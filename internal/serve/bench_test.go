@@ -3,9 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"emgo/internal/obs/slo"
 )
 
 // benchRecords builds n wire-shape records cycling the fixture trio, so
@@ -59,6 +62,66 @@ func BenchmarkMatchSingle(b *testing.B) {
 // decode, one admission slot, and one index-probe loop per request.
 func BenchmarkMatchBatch32(b *testing.B) {
 	s, _ := newTestServer(b, Config{})
+	h := s.Handler()
+	buf, err := json.Marshal(map[string]any{"records": benchRecords(32)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := string(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/match/batch", strings.NewReader(body))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			b.Fatalf("status %d: %s", rw.Code, rw.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*32), "ns/record")
+}
+
+// observedConfig turns on the request-scoped observability layer:
+// every wide event rendered (to a discarded sink, so the benchmark
+// measures the logging work, not the disk), span trees built, and tail
+// capture armed. The *Observed benchmarks against their plain
+// counterparts are the layer's <5% overhead guard (BENCH_pr7.json).
+// Metrics-registry enablement is a separate, pre-existing cost priced
+// by internal/obs's own benchmarks (BenchmarkCounterEnabled et al).
+func observedConfig() Config {
+	return Config{AccessLog: io.Discard, AccessSampleN: 1, TailN: 16, SLOs: slo.DefaultObjectives()}
+}
+
+// BenchmarkMatchSingleObserved is BenchmarkMatchSingle with wide-event
+// logging, span capture, tail retention, and SLO tracking all on.
+func BenchmarkMatchSingleObserved(b *testing.B) {
+	s, _ := newTestServer(b, observedConfig())
+	h := s.Handler()
+	bodies := make([]string, 3)
+	for i, rec := range benchRecords(3) {
+		buf, err := json.Marshal(map[string]any{"record": rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = string(buf)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/match", strings.NewReader(bodies[i%3]))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			b.Fatalf("status %d: %s", rw.Code, rw.Body.String())
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/record")
+}
+
+// BenchmarkMatchBatch32Observed is BenchmarkMatchBatch32 under the same
+// fully-armed observability stack.
+func BenchmarkMatchBatch32Observed(b *testing.B) {
+	s, _ := newTestServer(b, observedConfig())
 	h := s.Handler()
 	buf, err := json.Marshal(map[string]any{"records": benchRecords(32)})
 	if err != nil {

@@ -221,6 +221,11 @@ type JobResults struct {
 type Job struct {
 	ID string
 
+	// origin is the request ID of the submission that created the job
+	// in this process ("" for recovered jobs) — the join key between
+	// the submit wide event and the job's execution trace.
+	origin string
+
 	spec        jobSpec
 	rows        []table.Row
 	fingerprint string
@@ -344,8 +349,10 @@ func decodeJobRecords(data []byte) (jobSpec, error) {
 // idempotent: the job ID is derived from the work's fingerprint, so
 // resubmitting identical records returns the existing job (completed
 // shards and all) instead of redoing the work. A full queue sheds with
-// ErrJobShed.
-func (jm *Jobs) Submit(records []map[string]any, shardSize int) (*Job, error) {
+// ErrJobShed. origin is the submitting request's ID ("" when unknown);
+// it is carried into the job's execution trace so asynchronous work
+// joins back to the request that caused it.
+func (jm *Jobs) Submit(records []map[string]any, shardSize int, origin string) (*Job, error) {
 	if shardSize <= 0 {
 		shardSize = jm.cfg.ShardSize
 	}
@@ -396,6 +403,7 @@ func (jm *Jobs) Submit(records []map[string]any, shardSize int) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	job.origin = origin
 	jm.mu.Lock()
 	jm.jobs[id] = job
 	jm.mu.Unlock()
@@ -654,8 +662,13 @@ func (jm *Jobs) runJob(job *Job) {
 	job.quarantined = nil
 	job.degraded = 0
 	job.mu.Unlock()
+	jobStart := time.Now()
 	ctx, span := obs.NewTrace(jm.ctx, "serve.job")
 	span.Annotate("job", job.ID)
+	if job.origin != "" {
+		span.Annotate("request_id", job.origin)
+		ctx = obs.WithRequestID(ctx, job.origin)
+	}
 	span.SetItems(job.shards)
 	defer span.End()
 
@@ -665,7 +678,6 @@ func (jm *Jobs) runJob(job *Job) {
 
 	stopped := job.interrupted.Load() || jm.stopping() || jm.ctx.Err() != nil
 	job.mu.Lock()
-	defer job.mu.Unlock()
 	switch {
 	case job.cancelled.Load():
 		job.state = JobCancelled
@@ -693,6 +705,44 @@ func (jm *Jobs) runJob(job *Job) {
 		span.SetOutcome("failed")
 		obs.C("serve.job.failed").Inc()
 	}
+	state, errMsg, degraded := job.state, job.errMsg, job.degraded
+	job.mu.Unlock()
+
+	// One wide event per job execution — the async mirror of the
+	// per-request contract, joined to the submitting request by the
+	// propagated ID. Unhealthy outcomes also land in the tail buffer so
+	// a failed overnight job is inspectable from /debug/tail.
+	span.End()
+	ev := &obs.WideEvent{
+		Time:       jobStart,
+		RequestID:  job.origin,
+		Route:      "job",
+		Outcome:    jobOutcome(state, degraded),
+		DurationMS: float64(time.Since(jobStart)) / float64(time.Millisecond),
+		Records:    len(job.rows),
+		JobID:      job.ID,
+		Err:        errMsg,
+	}
+	ev.Stages = span.StageDurations()
+	jm.srv.events.Log(ev)
+	if ev.Outcome != obs.OutcomeOK {
+		jm.srv.tailBuf.Add(ev, span)
+	}
+}
+
+// jobOutcome maps a settled job state onto the wide-event vocabulary.
+func jobOutcome(state string, degraded int) string {
+	switch state {
+	case JobFailed:
+		return obs.OutcomeError
+	case JobInterrupted:
+		return obs.OutcomeDraining
+	case JobCompleted:
+		if degraded > 0 {
+			return obs.OutcomeDegraded
+		}
+	}
+	return obs.OutcomeOK
 }
 
 // breaker returns shard idx's circuit breaker, creating it on first use.
@@ -841,6 +891,9 @@ func (jm *Jobs) execShardOnce(ctx context.Context, job *Job, idx, lo, hi int) (*
 	if err := fault.InjectIdx("serve.job.exec", idx); err != nil {
 		return nil, err
 	}
+	ctx, spShard := obs.StartSpan(ctx, "serve.job.shard")
+	spShard.Annotate("shard", strconv.Itoa(idx))
+	defer spShard.End()
 	release, err := jm.acquireSlot(ctx)
 	if err != nil {
 		return nil, err

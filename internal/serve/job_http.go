@@ -110,7 +110,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
-	job, err := jm.Submit(req.Records, req.ShardSize)
+	job, err := jm.Submit(req.Records, req.ShardSize, obs.RequestID(r.Context()))
 	switch {
 	case errors.Is(err, ErrJobShed):
 		writeError(w, http.StatusTooManyRequests, "job queue full", s.adm.RetryAfter())
@@ -119,6 +119,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
+	annotateJob(eventFrom(r.Context()), job)
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
@@ -142,7 +143,17 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job", 0)
 		return
 	}
+	annotateJob(eventFrom(r.Context()), job)
 	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// annotateJob records the job identity on the request's wide event.
+// Safe on nil event and nil job.
+func annotateJob(ev *obs.WideEvent, job *Job) {
+	if ev == nil || job == nil {
+		return
+	}
+	ev.JobID = job.ID
 }
 
 // handleJobResults serves a completed job's assembled results. An
@@ -159,6 +170,7 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job", 0)
 		return
 	}
+	annotateJob(eventFrom(r.Context()), job)
 	if st := job.State(); st != JobCompleted {
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s, not completed", st), 0)
 		return
@@ -183,5 +195,6 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job", 0)
 		return
 	}
+	annotateJob(eventFrom(r.Context()), job)
 	writeJSON(w, http.StatusOK, job.Status())
 }

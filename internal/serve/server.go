@@ -38,6 +38,8 @@ import (
 	"emgo/internal/fault"
 	"emgo/internal/ml"
 	"emgo/internal/obs"
+	"emgo/internal/obs/slo"
+	"emgo/internal/obs/tail"
 	"emgo/internal/retry"
 	"emgo/internal/rules"
 	"emgo/internal/table"
@@ -110,6 +112,23 @@ type Config struct {
 	// MountDebug mounts the obs debug mux (expvar, /metrics, pprof) on
 	// the service handler.
 	MountDebug bool
+	// AccessLog, when set, receives one JSON wide event per request.
+	// Nil disables wide-event logging (tail capture and SLO tracking
+	// stay on regardless).
+	AccessLog io.Writer
+	// AccessSampleN logs 1 in N successful requests to the access log
+	// (<= 1 logs all); errors, sheds, timeouts, and degraded responses
+	// are always logged.
+	AccessSampleN int
+	// TailN is how many slowest requests the tail buffer retains per
+	// window (default tail.DefaultSlowN); TailWindow is its rotation
+	// period (default tail.DefaultWindow).
+	TailN      int
+	TailWindow time.Duration
+	// SLOs are the service objectives evaluated into burn rates on
+	// /v1/status, /metrics, and emmonitor slo; nil selects
+	// slo.DefaultObjectives.
+	SLOs []slo.Objective
 }
 
 // Server is the online matching service.
@@ -128,6 +147,10 @@ type Server struct {
 
 	collector *drift.Collector
 	rightCols []drift.ColumnProfile
+
+	events  *obs.EventLog
+	tailBuf *tail.Buffer
+	sloTrk  *slo.Tracker
 
 	jobs *Jobs // nil when the job tier is disabled
 
@@ -188,6 +211,9 @@ func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *ta
 		breaker:     NewBreaker(cfg.Breaker),
 		adm:         NewAdmission(cfg.Admission),
 		collector:   drift.NewCollector(cfg.DriftSampleCap, cfg.DriftSeed),
+		events:      obs.NewEventLog(cfg.AccessLog, cfg.AccessSampleN),
+		tailBuf:     tail.New(tail.Config{SlowN: cfg.TailN, Window: cfg.TailWindow}),
+		sloTrk:      slo.New(slo.Config{Objectives: cfg.SLOs}),
 		started:     time.Now(),
 		drained:     make(chan struct{}),
 	}
@@ -272,22 +298,38 @@ func (s *Server) Artifact() *Artifact { return s.artifact.Load() }
 // Breaker returns the matcher circuit breaker (test/status surface).
 func (s *Server) Breaker() *Breaker { return s.breaker }
 
-// Handler builds the service's HTTP routes.
+// TailSnapshot returns the tail-capture buffer's current contents, the
+// same document /debug/tail serves; emserve dumps it on drain.
+func (s *Server) TailSnapshot() tail.Snapshot { return s.tailBuf.Snapshot() }
+
+// SLOReport evaluates the configured objectives now.
+func (s *Server) SLOReport() *slo.Report { return s.sloTrk.Evaluate() }
+
+// Handler builds the service's HTTP routes, each wrapped in the
+// request-observability middleware (request IDs, wide events, tail
+// capture); match and job routes additionally feed the SLO tracker.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/match", s.handleMatch)
-	mux.HandleFunc("POST /v1/match/batch", s.handleMatchBatch)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("POST /-/reload", s.handleReload)
-	mux.HandleFunc("POST /-/drain", s.handleDrain)
-	mux.HandleFunc("GET /-/status", s.handleStatus)
-	mux.HandleFunc("GET /-/drift", s.handleDrift)
+	handle := func(pattern string, trackSLO bool, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.observe(routeOf(pattern), trackSLO, h))
+	}
+	handle("POST /v1/match", true, s.handleMatch)
+	handle("POST /v1/match/batch", true, s.handleMatchBatch)
+	handle("POST /v1/jobs", true, s.handleJobSubmit)
+	handle("GET /v1/jobs", true, s.handleJobList)
+	handle("GET /v1/jobs/{id}", true, s.handleJobStatus)
+	handle("GET /v1/jobs/{id}/results", true, s.handleJobResults)
+	handle("DELETE /v1/jobs/{id}", true, s.handleJobCancel)
+	handle("GET /healthz", false, s.handleHealth)
+	handle("GET /readyz", false, s.handleReady)
+	handle("POST /-/reload", false, s.handleReload)
+	handle("POST /-/drain", false, s.handleDrain)
+	handle("GET /-/status", false, s.handleStatus)
+	handle("GET /v1/status", false, s.handleStatus)
+	handle("GET /-/drift", false, s.handleDrift)
+	// The tail buffer is always on; the exact pattern takes precedence
+	// over the /debug/ prefix when the debug mux is mounted too.
+	mux.Handle("GET /debug/tail", s.tailBuf.Handler())
 	if s.cfg.MountDebug {
 		dbg := obs.NewDebugMux()
 		mux.Handle("/debug/", dbg)
@@ -318,8 +360,10 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfter time.D
 // deadline / degradation machinery.
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	obs.C("serve.requests").Inc()
+	ev := eventFrom(r.Context())
 	if s.draining.Load() {
 		obs.C("serve.shed.draining").Inc()
+		annotateAdmission(ev, AdmissionShedDraining, 0)
 		writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
 		return
 	}
@@ -348,25 +392,32 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
 
+	queued := time.Now()
 	release, err := s.adm.Acquire(ctx)
+	wait := time.Since(queued)
 	switch {
 	case errors.Is(err, ErrShed):
+		annotateAdmission(ev, AdmissionShedQueueFull, wait)
 		writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full", s.adm.RetryAfter())
 		return
 	case errors.Is(err, ErrDraining):
+		annotateAdmission(ev, AdmissionShedDraining, wait)
 		writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
 		return
 	case err != nil: // deadline expired while queued
+		annotateAdmission(ev, AdmissionDeadlineInQueue, wait)
 		writeError(w, http.StatusTooManyRequests, "overloaded: deadline expired in admission queue", s.adm.RetryAfter())
 		return
 	}
 	defer release()
+	annotateAdmission(ev, AdmissionAdmitted, wait)
 
 	start := time.Now()
 	resp, err := s.matchOne(ctx, row, req.Trace)
 	elapsed := time.Since(start)
 	obs.H("serve.latency_ms", latencyMSBuckets).Observe(float64(elapsed) / float64(time.Millisecond))
 	if err != nil {
+		annotateError(ev, err)
 		if ctx.Err() != nil {
 			obs.C("serve.timeouts").Inc()
 			writeError(w, http.StatusGatewayTimeout, "deadline exceeded", 0)
@@ -381,6 +432,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		obs.C("serve.degraded").Inc()
 	}
 	obs.C("serve.matches").Add(int64(len(resp.Matches)))
+	if ev != nil {
+		ev.Records = 1
+		ev.Candidates = resp.Candidates
+		ev.Matches = len(resp.Matches)
+		ev.Degraded = resp.Degraded
+		ev.DegradedReason = resp.DegradedReason
+		ev.Breaker = resp.Breaker
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -425,7 +484,15 @@ func (s *Server) matchSet(ctx context.Context, left *table.Table, br *Breaker, w
 			err = fmt.Errorf("serve: match panicked: %v", r)
 		}
 	}()
-	ctx, root := obs.NewTrace(ctx, "serve.match")
+	// Under the HTTP middleware (or a job trace) the match pipeline is a
+	// child span of the request's tree, so tail capture sees the whole
+	// request; standalone callers still get their own root.
+	var root *obs.Span
+	if obs.SpanFromContext(ctx) != nil {
+		ctx, root = obs.StartSpan(ctx, "serve.match")
+	} else {
+		ctx, root = obs.NewTrace(ctx, "serve.match")
+	}
 	defer root.End()
 	root.SetItems(left.Len())
 	if err := fault.Inject("serve.match"); err != nil {
@@ -446,6 +513,7 @@ func (s *Server) matchSet(ctx context.Context, left *table.Table, br *Breaker, w
 	// learned matcher is down.
 	sure := block.NewCandidateSet(left, s.right)
 	sureRule := map[block.Pair]string{}
+	_, spSure := obs.StartSpan(ctx, "serve.sure_rules")
 	if s.wf.SureRules != nil && s.wf.SureRules.Len() > 0 {
 		scanned := 0
 		for i := 0; i < n; i++ {
@@ -453,6 +521,7 @@ func (s *Server) matchSet(ctx context.Context, left *table.Table, br *Breaker, w
 			for j := 0; j < s.right.Len(); j++ {
 				if scanned%256 == 0 {
 					if cerr := ctx.Err(); cerr != nil {
+						spSure.End()
 						return nil, nil, cerr
 					}
 				}
@@ -465,13 +534,17 @@ func (s *Server) matchSet(ctx context.Context, left *table.Table, br *Breaker, w
 			}
 		}
 	}
+	spSure.SetItems(sure.Len())
+	spSure.End()
 
 	// Stage 2: blocking, once for the whole set. A blocker failure (not
 	// a deadline) degrades every row to its sure-rule answer instead of
 	// failing the request.
 	degraded, reason := false, ""
 	var candidates *block.CandidateSet
-	blocked, berr := block.UnionBlockCtx(ctx, left, s.right, s.wf.Blockers...)
+	bctx, spBlock := obs.StartSpan(ctx, "serve.block")
+	blocked, berr := block.UnionBlockCtx(bctx, left, s.right, s.wf.Blockers...)
+	spBlock.End()
 	switch {
 	case berr != nil && ctx.Err() != nil:
 		return nil, nil, berr
@@ -486,13 +559,20 @@ func (s *Server) matchSet(ctx context.Context, left *table.Table, br *Breaker, w
 		}
 	}
 	perRow := candidates.PerLeftCounts()
+	spBlock.SetItems(candidates.Len())
 
 	// Stage 3: the learned matcher behind the circuit breaker, over all
 	// candidates of all rows at once.
 	learned := block.NewCandidateSet(left, s.right)
 	scores := map[block.Pair]float64{}
 	if !degraded && candidates.Len() > 0 {
-		learned, scores, reason = s.predict(ctx, left, candidates, br)
+		pctx, spPredict := obs.StartSpan(ctx, "serve.predict")
+		learned, scores, reason = s.predict(pctx, left, candidates, br)
+		spPredict.SetItems(candidates.Len())
+		if reason != "" {
+			spPredict.SetOutcome("degraded")
+		}
+		spPredict.End()
 		degraded = reason != ""
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, cerr
@@ -506,7 +586,10 @@ func (s *Server) matchSet(ctx context.Context, left *table.Table, br *Breaker, w
 	// them, as in the batch workflow).
 	kept := learned
 	if s.wf.NegativeRules != nil && s.wf.NegativeRules.Len() > 0 && learned.Len() > 0 {
+		_, spVeto := obs.StartSpan(ctx, "serve.veto")
 		kept, _ = s.wf.NegativeRules.FilterMatches(learned)
+		spVeto.SetItems(learned.Len() - kept.Len())
+		spVeto.End()
 	}
 	learnedPer := learned.PerLeftCounts()
 	keptPer := kept.PerLeftCounts()
@@ -589,14 +672,17 @@ func (s *Server) predict(ctx context.Context, left *table.Table, candidates *blo
 	start := time.Now()
 	preds, scored, err := s.predictVectors(mlCtx, left, candidates.Pairs(), art.Matcher)
 	latency := time.Since(start)
+	gen := br.Generation()
 	if err != nil {
 		if ctx.Err() != nil {
 			// The whole request deadline died: the caller turns this
 			// into 504; the slow call still counts against the breaker.
 			br.Record(err, latency)
+			s.noteBreakerTransition(ctx, br, gen)
 			return learned, scores, ReasonMatcherError
 		}
 		br.Record(err, latency)
+		s.noteBreakerTransition(ctx, br, gen)
 		obs.C("serve.ml_failures").Inc()
 		if errors.Is(err, context.DeadlineExceeded) {
 			return learned, scores, ReasonMatcherSlow
@@ -604,6 +690,7 @@ func (s *Server) predict(ctx context.Context, left *table.Table, candidates *blo
 		return learned, scores, ReasonMatcherError
 	}
 	br.Record(nil, latency)
+	s.noteBreakerTransition(ctx, br, gen)
 	for i, p := range candidates.Pairs() {
 		if preds[i] == 1 {
 			learned.Add(p)
@@ -613,6 +700,22 @@ func (s *Server) predict(ctx context.Context, left *table.Table, candidates *blo
 		}
 	}
 	return learned, scores, ""
+}
+
+// noteBreakerTransition records a breaker state change caused by this
+// request: a span event on the request's trace (joined to the request
+// ID by the tail capture) plus a transition counter. genBefore is the
+// breaker generation read before Record.
+func (s *Server) noteBreakerTransition(ctx context.Context, br *Breaker, genBefore int64) {
+	if br.Generation() == genBefore {
+		return
+	}
+	obs.C("serve.breaker.transitions").Inc()
+	detail := "state=" + br.State().String()
+	if id := obs.RequestID(ctx); id != "" {
+		detail += " request_id=" + id
+	}
+	obs.AddEvent(ctx, "breaker_transition", detail)
 }
 
 // predictVectors vectorizes, imputes, and predicts one candidate list,
@@ -728,6 +831,9 @@ type StatusData struct {
 	Draining  bool    `json:"draining"`
 	RightRows int     `json:"right_rows"`
 	Matcher   any     `json:"matcher,omitempty"`
+	// SLO is the burn-rate evaluation of the configured objectives;
+	// emmonitor slo reads this section.
+	SLO *slo.Report `json:"slo,omitempty"`
 }
 
 // handleStatus reports the operational state in one JSON document.
@@ -744,6 +850,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		Breaker:   s.breaker.State().String(),
 		Draining:  s.draining.Load(),
 		RightRows: s.right.Len(),
+		SLO:       s.sloTrk.Evaluate(),
 	}
 	if art := s.artifact.Load(); art != nil {
 		st.Matcher = map[string]any{

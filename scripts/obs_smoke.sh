@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end smoke test for the serving-observability
+# stack (see docs/OBSERVABILITY.md, "Serving observability").
+#
+# Two phases against race-built emserve instances:
+#
+#   1. healthy: start emserve with the access log, tail capture, and SLO
+#      tracking armed, plus one injected 300ms latency outlier
+#      (-inject serve.match:mode=sleep,oncall=4). Drive healthy traffic
+#      (scripts/obssmoke): request IDs must echo, every request must
+#      produce exactly one parseable JSON wide event, /debug/tail must
+#      retain the outlier with its span tree after the response was
+#      served, and `emmonitor slo` must exit 0. SIGTERM then drains the
+#      server and must write the -tail-dump snapshot.
+#
+#   2. burn: start emserve with every pipeline pass failing
+#      (-inject serve.match). Drive traffic that 500s: every failure
+#      must reach the access log (errors bypass sampling), the SLO
+#      report must flip to breached in both windows, and
+#      `emmonitor slo` must exit 1 — the CI-gate contract.
+#
+# Everything runs in a temp dir; only POSIX tools + the go toolchain are
+# required.
+set -u
+
+SCALE="${OBS_SCALE:-0.1}"
+SEED="${OBS_SEED:-5}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+say() { printf 'obs-smoke: %s\n' "$*"; }
+fail() { printf 'obs-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+
+say "building emgen, emcasestudy, emserve (-race), emmonitor, obssmoke"
+for bin in emgen emcasestudy emmonitor; do
+    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
+        echo "obs-smoke: build of $bin failed" >&2
+        exit 1
+    }
+done
+(cd "$ROOT" && go build -race -o "$TMP/emserve" ./cmd/emserve) || {
+    echo "obs-smoke: race build of emserve failed" >&2
+    exit 1
+}
+(cd "$ROOT" && go build -o "$TMP/obssmoke" ./scripts/obssmoke) || {
+    echo "obs-smoke: build of obssmoke failed" >&2
+    exit 1
+}
+
+say "generating projected slice (scale=$SCALE seed=$SEED) and spec"
+"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
+    echo "obs-smoke: emgen failed" >&2
+    exit 1
+}
+"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
+    >"$TMP/study.txt" 2>"$TMP/study.err" || {
+    echo "obs-smoke: emcasestudy failed:" >&2
+    cat "$TMP/study.err" >&2
+    exit 1
+}
+LEFT="$TMP/data/UMETRICSProjected.csv"
+RIGHT="$TMP/data/USDAProjected.csv"
+
+# start_emserve LOGFILE EXTRA_ARGS... — boots a server, waits for the
+# address file, and sets ADDR/SERVE_PID.
+start_emserve() {
+    logfile="$1"
+    shift
+    rm -f "$TMP/addr.txt"
+    "$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+        -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" "$@" 2>"$logfile" &
+    SERVE_PID=$!
+    for _ in $(seq 1 300); do
+        [ -s "$TMP/addr.txt" ] && break
+        kill -0 "$SERVE_PID" 2>/dev/null || {
+            echo "obs-smoke: emserve died during startup:" >&2
+            cat "$logfile" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    [ -s "$TMP/addr.txt" ] || {
+        echo "obs-smoke: emserve never wrote its address file" >&2
+        cat "$logfile" >&2
+        exit 1
+    }
+    ADDR="$(head -1 "$TMP/addr.txt" | tr -d '[:space:]')"
+}
+
+# ---- Phase 1: healthy traffic, latency outlier, tail capture --------
+
+say "phase 1: starting emserve with access log, tail capture, and a 300ms outlier on call 4"
+start_emserve "$TMP/serve1.err" \
+    -access-log "$TMP/events.jsonl" -access-sample 1 \
+    -tail-n 8 -tail-dump "$TMP/tail_dump.json" \
+    -slo "availability=99.9,latency=2s@95" \
+    -inject "serve.match:mode=sleep,sleep=300ms,oncall=4"
+say "emserve is listening on $ADDR"
+
+"$TMP/obssmoke" -addr "$ADDR" -right "$RIGHT" -events "$TMP/events.jsonl" \
+    -phase healthy -n 8 -slow-call 4 ||
+    fail "healthy-phase HTTP assertions failed"
+
+say "emmonitor slo against the healthy server (want exit 0)"
+"$TMP/emmonitor" slo -url "http://$ADDR" >"$TMP/slo_ok.txt" 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+    fail "emmonitor slo exited $status on a healthy server:"
+    cat "$TMP/slo_ok.txt" >&2
+fi
+grep -q "error budget holds" "$TMP/slo_ok.txt" ||
+    fail "emmonitor slo did not report a holding budget"
+
+say "SIGTERM: draining phase-1 server (must write the tail dump)"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+status=$?
+SERVE_PID=""
+[ "$status" -ne 130 ] && {
+    fail "emserve exited $status after SIGTERM, want 130:"
+    cat "$TMP/serve1.err" >&2
+}
+grep -q "tail snapshot written" "$TMP/serve1.err" ||
+    fail "drain did not write the tail dump"
+if [ -s "$TMP/tail_dump.json" ]; then
+    grep -q '"slowest"' "$TMP/tail_dump.json" ||
+        fail "tail dump has no slowest set"
+else
+    fail "tail dump file is missing or empty"
+fi
+if grep -q "WARNING: DATA RACE" "$TMP/serve1.err"; then
+    fail "the race detector fired in phase 1:"
+    cat "$TMP/serve1.err" >&2
+fi
+
+# ---- Phase 2: every request fails -> SLO breach gates ----------------
+
+say "phase 2: starting emserve with every pipeline pass failing"
+start_emserve "$TMP/serve2.err" \
+    -access-log "$TMP/events2.jsonl" -access-sample 5 \
+    -slo "availability=99.9" \
+    -inject "serve.match"
+say "emserve is listening on $ADDR"
+
+"$TMP/obssmoke" -addr "$ADDR" -right "$RIGHT" -events "$TMP/events2.jsonl" \
+    -phase burn -n 8 ||
+    fail "burn-phase HTTP assertions failed"
+
+say "emmonitor slo against the burning server (want exit 1)"
+"$TMP/emmonitor" slo -url "http://$ADDR" >"$TMP/slo_burn.txt" 2>&1
+status=$?
+if [ "$status" -ne 1 ]; then
+    fail "emmonitor slo exited $status on a burning server, want 1:"
+    cat "$TMP/slo_burn.txt" >&2
+fi
+grep -q "availability" "$TMP/slo_burn.txt" ||
+    fail "breach verdict does not name the availability objective"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
+if grep -q "WARNING: DATA RACE" "$TMP/serve2.err"; then
+    fail "the race detector fired in phase 2:"
+    cat "$TMP/serve2.err" >&2
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+    echo "obs-smoke: $FAILURES failure(s)" >&2
+    exit 1
+fi
+say "PASS (wide events -> tail capture -> SLO gate, race-clean)"

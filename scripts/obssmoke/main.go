@@ -1,0 +1,341 @@
+// Command obssmoke is the HTTP driver behind scripts/obs_smoke.sh: it
+// aims traffic at a running emserve and asserts the serving-
+// observability contract — request IDs echoed on every response, one
+// parseable JSON wide event per request in the access log, the injected
+// latency outlier captured (with its span tree) in /debug/tail, and the
+// SLO report on /v1/status flipping to breached when the error phase
+// drives 5xxs. The shell script owns process lifecycle and the
+// emmonitor slo exit-code assertions; this driver owns everything that
+// needs an HTTP client and JSON parsing.
+//
+// Usage:
+//
+//	obssmoke -addr 127.0.0.1:PORT -right USDAProjected.csv \
+//	         -events events.jsonl -phase healthy [-n 8] [-slow-call 4]
+//	obssmoke -addr 127.0.0.1:PORT -right USDAProjected.csv \
+//	         -events events.jsonl -phase burn [-n 8]
+//
+// The healthy phase expects the server armed with
+// -inject "serve.match:mode=sleep,sleep=300ms,oncall=<slow-call>"; the
+// burn phase expects -inject serve.match (every pipeline pass errors).
+//
+// Exit status: 0 when every assertion holds, 1 otherwise (each failure
+// is printed), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"emgo/internal/table"
+)
+
+var failures int
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obssmoke: FAIL: "+format+"\n", args...)
+	failures++
+}
+
+func say(format string, args ...any) {
+	fmt.Printf("obssmoke: "+format+"\n", args...)
+}
+
+// tailEntry / tailSnapshot are the slices of /debug/tail the assertions
+// read.
+type tailEntry struct {
+	Event struct {
+		RequestID  string  `json:"request_id"`
+		Outcome    string  `json:"outcome"`
+		DurationMS float64 `json:"duration_ms"`
+	} `json:"event"`
+	Trace *struct {
+		Name     string            `json:"name"`
+		Children []json.RawMessage `json:"children"`
+	} `json:"trace"`
+}
+
+type tailSnapshot struct {
+	Slowest []tailEntry `json:"slowest"`
+	Errored []tailEntry `json:"errored"`
+}
+
+// statusDoc is the slice of /v1/status the assertions read.
+type statusDoc struct {
+	SLO *struct {
+		Breached   bool `json:"breached"`
+		Objectives []struct {
+			Name      string  `json:"name"`
+			FastBurn  float64 `json:"fast_burn"`
+			SlowBurn  float64 `json:"slow_burn"`
+			SlowTotal int64   `json:"slow_total"`
+			Breached  bool    `json:"breached"`
+		} `json:"objectives"`
+	} `json:"slo"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "emserve address (host:port)")
+	rightPath := flag.String("right", "", "right-table CSV the server deployed (titles are mined for requests)")
+	events := flag.String("events", "", "path of the server's -access-log file")
+	phase := flag.String("phase", "healthy", "healthy | burn")
+	n := flag.Int("n", 8, "requests to drive")
+	slowCall := flag.Int("slow-call", 4, "1-based pipeline call the sleep fault fires on (healthy phase)")
+	flag.Parse()
+	if *addr == "" || *rightPath == "" || *events == "" {
+		fmt.Fprintln(os.Stderr, "usage: obssmoke -addr host:port -right right.csv -events events.jsonl -phase healthy|burn")
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+
+	body, err := requestBody(*rightPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke:", err)
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	switch *phase {
+	case "healthy":
+		healthyPhase(client, base, body, *events, *n, *slowCall)
+	case "burn":
+		burnPhase(client, base, body, *events, *n)
+	default:
+		fmt.Fprintln(os.Stderr, "obssmoke: unknown -phase", *phase)
+		os.Exit(2)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "obssmoke: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	say("PASS (%s phase)", *phase)
+}
+
+// healthyPhase drives ok traffic with one injected latency outlier and
+// asserts IDs, wide events, tail capture, and a holding SLO budget.
+func healthyPhase(client *http.Client, base, body, events string, n, slowCall int) {
+	ids := driveMatches(client, base, body, n, "obs", http.StatusOK)
+	slowID := fmt.Sprintf("obs-%d", slowCall)
+
+	// The tail buffer must retain the outlier — with its span tree —
+	// queryable after the response was already served.
+	var snap tailSnapshot
+	if !getJSON(client, base+"/debug/tail", &snap) {
+		return
+	}
+	if len(snap.Slowest) == 0 {
+		fail("/debug/tail slowest set is empty after %d requests", n)
+		return
+	}
+	var outlier *tailEntry
+	for i := range snap.Slowest {
+		if snap.Slowest[i].Event.RequestID == slowID {
+			outlier = &snap.Slowest[i]
+		}
+	}
+	if outlier == nil {
+		fail("injected-latency request %s missing from /debug/tail slowest set", slowID)
+	} else {
+		if outlier.Event.DurationMS < 250 {
+			fail("outlier %s duration %.1fms, want >= 250ms of injected sleep", slowID, outlier.Event.DurationMS)
+		}
+		if outlier.Trace == nil || len(outlier.Trace.Children) == 0 {
+			fail("outlier %s tail entry carries no span tree", slowID)
+		} else {
+			say("tail captured outlier %s (%.0fms, %d top-level spans)",
+				slowID, outlier.Event.DurationMS, len(outlier.Trace.Children))
+		}
+	}
+
+	// Every request produced exactly one parseable wide event.
+	docs := readEvents(events)
+	seen := map[string]int{}
+	for _, doc := range docs {
+		if id, _ := doc["request_id"].(string); id != "" {
+			seen[id]++
+		}
+	}
+	for _, id := range ids {
+		if seen[id] != 1 {
+			fail("request %s has %d wide events, want exactly 1", id, seen[id])
+		}
+	}
+	if len(docs) > 0 {
+		say("access log: %d parseable wide events, one per request", len(docs))
+	}
+	for _, doc := range docs {
+		if doc["request_id"] == slowID {
+			if stages, ok := doc["stages"].(map[string]any); !ok || stages["serve.match"] == nil {
+				fail("outlier wide event has no serve.match stage timing: %v", doc)
+			}
+		}
+	}
+
+	// Healthy traffic must not read as an SLO breach.
+	var st statusDoc
+	if getJSON(client, base+"/v1/status", &st) {
+		switch {
+		case st.SLO == nil || len(st.SLO.Objectives) == 0:
+			fail("/v1/status carries no SLO report")
+		case st.SLO.Breached:
+			fail("healthy traffic reads as an SLO breach: %+v", st.SLO)
+		default:
+			say("SLO budget holds across %d objectives", len(st.SLO.Objectives))
+		}
+	}
+}
+
+// burnPhase drives guaranteed 5xxs and asserts the SLO report flips to
+// breached and that error events always reach the log.
+func burnPhase(client *http.Client, base, body, events string, n int) {
+	driveMatches(client, base, body, n, "burn", http.StatusInternalServerError)
+
+	var st statusDoc
+	if !getJSON(client, base+"/v1/status", &st) {
+		return
+	}
+	if st.SLO == nil {
+		fail("/v1/status carries no SLO report")
+		return
+	}
+	if !st.SLO.Breached {
+		fail("100%% failures did not breach the SLO: %+v", st.SLO)
+	} else {
+		for _, o := range st.SLO.Objectives {
+			if o.Breached {
+				say("objective %s breached (fast burn %.0f, slow burn %.0f)", o.Name, o.FastBurn, o.SlowBurn)
+			}
+		}
+	}
+
+	// Errors bypass sampling: every failed request must be in the log
+	// with its error message.
+	docs := readEvents(events)
+	var errored int
+	for _, doc := range docs {
+		if doc["outcome"] == "error" {
+			errored++
+			if doc["error"] == nil {
+				fail("error wide event carries no error field: %v", doc)
+			}
+		}
+	}
+	if errored < n {
+		fail("access log has %d error events, want >= %d (errors must never be sampled away)", errored, n)
+	} else {
+		say("all %d failures logged with error detail", errored)
+	}
+
+	// The errored set of the tail buffer retains them too.
+	var snap tailSnapshot
+	if getJSON(client, base+"/debug/tail", &snap) {
+		if len(snap.Errored) == 0 {
+			fail("/debug/tail errored set is empty after %d failures", n)
+		}
+	}
+}
+
+// driveMatches sends n match requests with IDs prefix-i and asserts
+// status and ID echo. Returns the IDs sent.
+func driveMatches(client *http.Client, base, body string, n int, prefix string, wantStatus int) []string {
+	ids := make([]string, 0, n)
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		ids = append(ids, id)
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/match", strings.NewReader(body))
+		if err != nil {
+			fail("build request: %v", err)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", id)
+		resp, err := client.Do(req)
+		if err != nil {
+			fail("POST /v1/match: %v", err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			fail("request %s returned %d, want %d", id, resp.StatusCode, wantStatus)
+		}
+		if got := resp.Header.Get("X-Request-Id"); got != id {
+			fail("request %s echoed X-Request-Id %q", id, got)
+		}
+	}
+	say("drove %d requests (want status %d), IDs echoed", n, wantStatus)
+	return ids
+}
+
+// readEvents parses the access log into JSON documents; unparseable
+// lines are failures (the whole point is jq-ability).
+func readEvents(path string) []map[string]any {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("read access log: %v", err)
+		return nil
+	}
+	var docs []map[string]any
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			fail("access-log line is not JSON: %v\n%s", err, line)
+			continue
+		}
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+// requestBody mines the deployed right table for a title long enough to
+// survive blocking, so the request exercises the full pipeline.
+func requestBody(rightPath string) (string, error) {
+	right, err := table.ReadCSVFile(rightPath, nil)
+	if err != nil {
+		return "", err
+	}
+	col, err := right.Col("AwardTitle")
+	if err != nil {
+		return "", err
+	}
+	for i := 0; i < right.Len(); i++ {
+		title := right.Row(i)[col].Str()
+		if len(strings.Fields(title)) >= 4 {
+			req := map[string]any{"record": map[string]any{
+				"RecordId": "obs-0", "AwardTitle": title,
+			}}
+			data, err := json.Marshal(req)
+			return string(data), err
+		}
+	}
+	return "", fmt.Errorf("no right-table title with >= 4 words in %s", rightPath)
+}
+
+func getJSON(client *http.Client, url string, v any) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+		return false
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s returned %d: %s", url, resp.StatusCode, data)
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		fail("GET %s: response is not JSON: %v", url, err)
+		return false
+	}
+	return true
+}
