@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke obs-smoke
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke
 
 all: tier1
 
@@ -67,12 +67,22 @@ job-smoke:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# load-smoke exercises the open-loop load generator and soak harness
+# with a race-built emserve: a clean soak must pass its gate (exit 0),
+# a short capacity search must find a non-zero sustainable rate, a
+# deliberately undersized server must trip the gate (exit exactly 1),
+# and a chaos-soak must trip and re-close the breaker, SIGKILL the
+# server at a shard boundary mid-load, and resume byte-identically —
+# see scripts/load_smoke.sh and docs/SERVING.md.
+load-smoke:
+	./scripts/load_smoke.sh
+
 # Tier 2 — the hardened-runtime gate: formatting and static analysis plus
 # the full test suite under the race detector (the parallel fan-out,
 # cancellation, fault-injection, and observability paths are only
 # trustworthy race-clean), the kill/resume chaos harness, and the
 # quality-monitoring and serving smoke loops.
-tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke obs-smoke
+tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke
 
 ci: tier1 tier2
 

@@ -1,0 +1,322 @@
+// Command emload is the open-loop load generator and soak harness for
+// emserve (see docs/SERVING.md, "Capacity & soak testing").
+//
+//	emload -addr 127.0.0.1:8080 -right USDAProjected.csv \
+//	       [-mode run|soak|capacity|chaos] \
+//	       [-profile uniform|poisson|burst|ramp] [-rate 50] [-duration 30s] \
+//	       [-seed 1] [-blend single=88,batch=5,job=0,malformed=2,oversized=1,status=4] \
+//	       [-pick zipf|uniform] [-zipf-s 1.2] \
+//	       [-burst-factor 4] [-burst-every 10s] [-burst-len 2s] [-ramp-to 200] \
+//	       [-timeout 10s] [-shed-retries 0] [-max-retry-after 2s] \
+//	       [-report-every 5s] [-summary out.json] \
+//	       [-slo "availability=99.5,latency=500ms@99"] [-require-retry-after] \
+//	       [-max-unexpected 0] [-max-job-failures 0] [-check-server] \
+//	       [-start-qps 5] [-max-qps 0] [-factor 2] [-step-duration 10s] [-p99-target 500] \
+//	       [-server-bin ./emserve] [-workdir DIR] [-kill-spec after:shard_00001.json] \
+//	       [-fault-spec ml.predict:first=3,err=chaos-fault] [-min-resumed 1] \
+//	       [-shard-size 4] [-job-timeout 120s] [-- emserve base args...]
+//
+// Modes:
+//
+//	run       one load phase, summary JSON out; exit 0 unless the run
+//	          itself could not execute.
+//	soak      run + gate: client-side SLOs, zero unexpected answers,
+//	          Retry-After on every shed, async-job health, and the
+//	          server's own /v1/status burn rates. Exit 1 on any breach —
+//	          a CI gate, not a report.
+//	capacity  stepped-QPS search for the max sustainable rate at the p99
+//	          target; the staircase lands in the summary JSON (and from
+//	          there in BENCH_*.json via scripts/bench_snapshot.sh).
+//	chaos     supervised chaos-soak: boots its own emserve (-server-bin +
+//	          args after --), trips and recovers the breaker under
+//	          injected matcher faults, SIGKILLs the server at a shard
+//	          boundary mid-load via EMCKPT_KILL, restarts it, and
+//	          requires byte-identical job resume, Retry-After on sheds,
+//	          a re-closed breaker, and a leak- and race-clean drain.
+//
+// Everything is seeded and deterministic on the generator side: the
+// same flags replay the same arrival schedule bit for bit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"emgo/internal/load"
+	"emgo/internal/obs/slo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus os.Exit, the testable seam.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	mode := fs.String("mode", "run", "run | soak | capacity | chaos")
+	addr := fs.String("addr", "", "server under test (host:port or http URL); not used by -mode chaos")
+	right := fs.String("right", "", "right-table CSV the record pool is mined from")
+	summaryPath := fs.String("summary", "", "write the summary JSON here instead of stdout")
+
+	profile := fs.String("profile", load.ProfilePoisson, "arrival profile: uniform | poisson | burst | ramp")
+	rate := fs.Float64("rate", 50, "mean arrival rate (requests/second)")
+	duration := fs.Duration("duration", 30*time.Second, "load phase length")
+	seed := fs.Int64("seed", 1, "seed for every schedule draw (same seed = same schedule)")
+	blendSpec := fs.String("blend", "", "request blend, e.g. single=88,batch=5,malformed=2,oversized=1,status=4 (empty = default)")
+	pick := fs.String("pick", load.PickZipf, "record pick distribution: zipf | uniform")
+	zipfS := fs.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
+	burstFactor := fs.Float64("burst-factor", 4, "rate multiplier inside bursts (profile burst)")
+	burstEvery := fs.Duration("burst-every", 10*time.Second, "burst period (profile burst)")
+	burstLen := fs.Duration("burst-len", 2*time.Second, "burst length (profile burst)")
+	rampTo := fs.Float64("ramp-to", 0, "final rate of profile ramp (0 = 4x -rate)")
+
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request client deadline")
+	shedRetries := fs.Int("shed-retries", 0, "extra attempts for shed answers, honoring Retry-After under jittered backoff")
+	maxRetryAfter := fs.Duration("max-retry-after", 2*time.Second, "cap on how long one Retry-After hint may stall a retry")
+	batchSize := fs.Int("batch-size", 8, "records per batch request")
+	jobRecords := fs.Int("job-records", 16, "records per blend-submitted async job")
+	maxOutstanding := fs.Int("max-outstanding", 4096, "in-flight cap; arrivals past it are dropped (never delayed)")
+	reportEvery := fs.Duration("report-every", 5*time.Second, "live eps/percentile line period (0 = silent)")
+
+	sloSpec := fs.String("slo", "availability=99.5,latency=500ms@99", "client-side objectives the soak gate asserts (emserve -slo syntax)")
+	maxUnexpected := fs.Int64("max-unexpected", 0, "allowed unexpected answers (wrong status for the request kind)")
+	requireRetryAfter := fs.Bool("require-retry-after", true, "fail the gate when any shed answer lacks Retry-After")
+	maxJobFailures := fs.Int64("max-job-failures", 0, "allowed async job failures")
+	maxDropFrac := fs.Float64("max-drop-frac", 0.01, "allowed fraction of arrivals dropped at the outstanding cap")
+	checkServer := fs.Bool("check-server", true, "also assert the server's /v1/status SLO burn rates")
+
+	startQPS := fs.Float64("start-qps", 5, "capacity search: first step rate")
+	maxQPS := fs.Float64("max-qps", 0, "capacity search: rate ceiling (0 = 4096x start)")
+	factor := fs.Float64("factor", 2, "capacity search: rate multiplier between steps")
+	stepDuration := fs.Duration("step-duration", 10*time.Second, "capacity search: per-step length")
+	p99Target := fs.Float64("p99-target", 500, "capacity search: p99 bar in ms a step must hold")
+
+	serverBin := fs.String("server-bin", "", "chaos: emserve binary to supervise (base args after --)")
+	workDir := fs.String("workdir", "", "chaos: scratch dir for job dirs, logs, address files (default: a temp dir)")
+	killSpec := fs.String("kill-spec", "after:shard_00001.json", "chaos: EMCKPT_KILL spec armed on the victim server")
+	faultSpec := fs.String("fault-spec", "ml.predict:first=3,err=chaos-fault", "chaos: -inject plan armed on the victim server")
+	breakerFailures := fs.Int("breaker-failures", 2, "chaos: victim's -breaker-failures")
+	breakerCooldown := fs.Duration("breaker-cooldown", 300*time.Millisecond, "chaos: victim's -breaker-cooldown")
+	minResumed := fs.Int("min-resumed", 1, "chaos: resumed-shard floor the restarted job must report")
+	shardSize := fs.Int("shard-size", 4, "chaos: canonical job shard size")
+	chaosJobRecords := fs.Int("chaos-job-records", 24, "chaos: canonical job record count")
+	jobTimeout := fs.Duration("job-timeout", 120*time.Second, "chaos: per-await job deadline")
+
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	blend := load.DefaultBlend()
+	if *blendSpec != "" {
+		b, err := load.ParseBlend(*blendSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "emload: %v\n", err)
+			return 2
+		}
+		blend = b
+	}
+
+	var pool *load.RecordPool
+	if *right != "" {
+		p, err := load.NewRecordPool(*right)
+		if err != nil {
+			fmt.Fprintf(stderr, "emload: %v\n", err)
+			return 2
+		}
+		pool = p
+	}
+
+	sched := load.ScheduleConfig{
+		Profile:     *profile,
+		Rate:        *rate,
+		Duration:    *duration,
+		Seed:        *seed,
+		BurstFactor: *burstFactor,
+		BurstEvery:  *burstEvery,
+		BurstLen:    *burstLen,
+		RampTo:      *rampTo,
+		Pick:        *pick,
+		ZipfS:       *zipfS,
+		Blend:       blend,
+	}
+	if pool != nil {
+		sched.PickN = pool.Size()
+	}
+	clientCfg := load.ClientConfig{
+		BaseURL:       normalizeURL(*addr),
+		Timeout:       *timeout,
+		Seed:          *seed,
+		ShedRetries:   *shedRetries,
+		MaxRetryAfter: *maxRetryAfter,
+		BatchSize:     *batchSize,
+		JobRecords:    *jobRecords,
+	}
+
+	summary := &load.Summary{GeneratedBy: "emload", Mode: *mode, Target: clientCfg.BaseURL, Pass: true}
+	var code int
+	switch *mode {
+	case "run", "soak":
+		if *addr == "" {
+			fmt.Fprintln(stderr, "emload: -addr is required for -mode run/soak")
+			return 2
+		}
+		objectives, err := slo.ParseObjectives(*sloSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "emload: -slo: %v\n", err)
+			return 2
+		}
+		res, err := load.Run(ctx, load.RunConfig{
+			Schedule:       sched,
+			Client:         clientCfg,
+			Pool:           pool,
+			MaxOutstanding: *maxOutstanding,
+			ReportEvery:    *reportEvery,
+			Report:         stderr,
+		})
+		if res == nil {
+			fmt.Fprintf(stderr, "emload: %v\n", err)
+			return 2
+		}
+		summary.Phases = append(summary.Phases, load.NewPhaseSummary(*mode, sched, res))
+		if *mode == "soak" {
+			gate := load.Gate{
+				Objectives:        objectives,
+				MaxUnexpected:     *maxUnexpected,
+				RequireRetryAfter: *requireRetryAfter,
+				MaxJobFailures:    *maxJobFailures,
+				MaxDropFrac:       *maxDropFrac,
+			}
+			if *checkServer {
+				gate.CheckServer = load.NewClient(clientCfg, pool)
+			}
+			summary.Gate = gate.Evaluate(ctx, res)
+			summary.Pass = summary.Gate.Pass
+			for _, c := range summary.Gate.Checks {
+				verdict := "ok"
+				if !c.Pass {
+					verdict = "BREACH"
+				}
+				fmt.Fprintf(stderr, "emload: gate %-20s %-6s %s\n", c.Name, verdict, c.Detail)
+			}
+		}
+
+	case "capacity":
+		if *addr == "" {
+			fmt.Fprintln(stderr, "emload: -addr is required for -mode capacity")
+			return 2
+		}
+		cres, err := load.SearchCapacity(ctx, load.CapacityConfig{
+			StartQPS:       *startQPS,
+			MaxQPS:         *maxQPS,
+			Factor:         *factor,
+			StepDuration:   *stepDuration,
+			P99TargetMS:    *p99Target,
+			Schedule:       sched,
+			Client:         clientCfg,
+			Pool:           pool,
+			MaxOutstanding: *maxOutstanding,
+			ReportEvery:    *reportEvery,
+			Report:         stderr,
+		})
+		if err != nil && cres == nil {
+			fmt.Fprintf(stderr, "emload: %v\n", err)
+			return 2
+		}
+		summary.Capac = cres
+		summary.Pass = cres.MaxSustainableQPS > 0
+		fmt.Fprintf(stderr, "emload: max sustainable rate %.1f qps at p99 <= %.0fms (achieved %.1f qps, p99 %.1fms)\n",
+			cres.MaxSustainableQPS, cres.P99TargetMS, cres.AchievedAtMaxQPS, cres.P99AtMaxMS)
+
+	case "chaos":
+		if *serverBin == "" {
+			fmt.Fprintln(stderr, "emload: -server-bin is required for -mode chaos (emserve base args after --)")
+			return 2
+		}
+		wd := *workDir
+		if wd == "" {
+			tmp, err := os.MkdirTemp("", "emload-chaos-")
+			if err != nil {
+				fmt.Fprintf(stderr, "emload: %v\n", err)
+				return 2
+			}
+			defer os.RemoveAll(tmp)
+			wd = tmp
+		}
+		chres, err := load.RunChaos(ctx, load.ChaosConfig{
+			Server:          load.ServerConfig{Bin: *serverBin, Args: fs.Args(), WorkDir: wd},
+			Client:          clientCfg,
+			Pool:            pool,
+			JobRecords:      *chaosJobRecords,
+			ShardSize:       *shardSize,
+			JobTimeout:      *jobTimeout,
+			MinResumed:      *minResumed,
+			KillSpec:        *killSpec,
+			FaultSpec:       *faultSpec,
+			BreakerFailures: *breakerFailures,
+			BreakerCooldown: *breakerCooldown,
+			Rate:            *rate,
+			LoadDuration:    *duration,
+			Seed:            *seed,
+			Blend:           blend,
+			ReportEvery:     *reportEvery,
+			Report:          stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "emload: chaos: %v\n", err)
+			return 2
+		}
+		summary.Target = *serverBin
+		summary.Chaos = chres
+		summary.Phases = chres.Phases
+		summary.Pass = chres.Pass
+
+	default:
+		fmt.Fprintf(stderr, "emload: unknown mode %q (want run|soak|capacity|chaos)\n", *mode)
+		return 2
+	}
+
+	out := io.Writer(stdout)
+	if *summaryPath != "" {
+		f, err := os.Create(*summaryPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "emload: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := summary.Write(out); err != nil {
+		fmt.Fprintf(stderr, "emload: write summary: %v\n", err)
+		return 2
+	}
+	if !summary.Pass {
+		fmt.Fprintln(stderr, "emload: FAIL")
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// normalizeURL accepts host:port or a full URL.
+func normalizeURL(addr string) string {
+	if addr == "" {
+		return ""
+	}
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	return "http://" + addr
+}

@@ -13,6 +13,7 @@
 //	emserve -spec workflow.json -left left.csv -right right.csv \
 //	        [-addr 127.0.0.1:8080] [-addr-file addr.txt] [-matcher matcher.json] \
 //	        [-max-inflight 8] [-max-queue 64] [-request-timeout 5s] [-max-body 1048576] \
+//	        [-read-header-timeout 5s] [-read-timeout 30s] [-write-timeout 0] [-idle-timeout 120s] \
 //	        [-breaker-failures 5] [-breaker-cooldown 10s] [-breaker-latency 0] \
 //	        [-transforms umetrics] [-date-cols ...] [-drift-baseline baseline.json] \
 //	        [-max-batch 256] [-job-dir jobs/] [-job-workers 2] [-job-shard-size 32] \
@@ -145,6 +146,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request deadline ceiling")
 	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a drain waits for in-flight requests")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "how long a connection may dawdle over its request headers (Slowloris guard; 0 = unlimited)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "how long a connection may take to deliver a whole request (0 = unlimited)")
+	writeTimeout := fs.Duration("write-timeout", 0, "how long a response write may take (0 = unlimited; request work is already bounded by -request-timeout)")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "how long a keep-alive connection may sit idle between requests (0 = unlimited)")
 	breakerFailures := fs.Int("breaker-failures", 0, "consecutive matcher failures that trip the breaker (0 = default)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before probing (0 = default)")
 	breakerLatency := fs.Duration("breaker-latency", 0, "matcher calls slower than this count as failures (0 = off)")
@@ -313,7 +318,16 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 			return err
 		}
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Connection-level timeouts: without them one client holding its
+	// request open (Slowloris) pins a connection forever — the admission
+	// gate only protects work that reaches the handler.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	art := srv.Artifact()

@@ -1,0 +1,173 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is one request shape in the traffic blend.
+type Kind string
+
+// Request kinds. Single/Batch/JobSubmit carry records; Malformed and
+// Oversized are deliberately hostile bodies the server must refuse
+// cheaply; Status probes the operational endpoint the way a balancer
+// would.
+const (
+	KindSingle    Kind = "single"
+	KindBatch     Kind = "batch"
+	KindJob       Kind = "job"
+	KindMalformed Kind = "malformed"
+	KindOversized Kind = "oversized"
+	KindStatus    Kind = "status"
+)
+
+// kindOrder fixes the iteration order everywhere weights are walked, so
+// blends are deterministic regardless of map iteration.
+var kindOrder = []Kind{KindSingle, KindBatch, KindJob, KindMalformed, KindOversized, KindStatus}
+
+// Blend weights the request kinds. Weights are relative, not
+// percentages; the zero Blend means all single matches.
+type Blend struct {
+	Single    int
+	Batch     int
+	Job       int
+	Malformed int
+	Oversized int
+	Status    int
+}
+
+// DefaultBlend is the mixed-traffic default: mostly single matches, a
+// batch and status sprinkle, and a trickle of hostile bodies so the
+// reject path is always exercised.
+func DefaultBlend() Blend {
+	return Blend{Single: 88, Batch: 5, Malformed: 2, Oversized: 1, Status: 4}
+}
+
+// weight returns the weight for one kind.
+func (b Blend) weight(k Kind) int {
+	switch k {
+	case KindSingle:
+		return b.Single
+	case KindBatch:
+		return b.Batch
+	case KindJob:
+		return b.Job
+	case KindMalformed:
+		return b.Malformed
+	case KindOversized:
+		return b.Oversized
+	case KindStatus:
+		return b.Status
+	}
+	return 0
+}
+
+// total sums the weights.
+func (b Blend) total() int {
+	t := 0
+	for _, k := range kindOrder {
+		t += b.weight(k)
+	}
+	return t
+}
+
+// String renders the blend in ParseBlend syntax, omitting zero weights.
+func (b Blend) String() string {
+	var parts []string
+	for _, k := range kindOrder {
+		if w := b.weight(k); w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, w))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseBlend parses the -blend flag syntax: comma-separated
+// kind=weight clauses, e.g. "single=80,batch=10,malformed=5,status=5".
+// Unmentioned kinds get weight 0; at least one weight must be positive.
+func ParseBlend(s string) (Blend, error) {
+	var b Blend
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Blend{}, fmt.Errorf("load: blend %q: %q is not kind=weight", s, clause)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return Blend{}, fmt.Errorf("load: blend %q: weight %q must be a non-negative integer", s, val)
+		}
+		switch Kind(strings.TrimSpace(name)) {
+		case KindSingle:
+			b.Single = w
+		case KindBatch:
+			b.Batch = w
+		case KindJob:
+			b.Job = w
+		case KindMalformed:
+			b.Malformed = w
+		case KindOversized:
+			b.Oversized = w
+		case KindStatus:
+			b.Status = w
+		default:
+			return Blend{}, fmt.Errorf("load: blend %q: unknown kind %q", s, name)
+		}
+	}
+	if b.total() <= 0 {
+		return Blend{}, fmt.Errorf("load: blend %q has no positive weight", s)
+	}
+	return b, nil
+}
+
+// assign deterministically deals n arrivals across the blend's kinds in
+// proportion to their weights, shuffled by seed so kinds interleave
+// rather than arriving in runs.
+func (b Blend) assign(n int, seed int64) ([]Kind, error) {
+	if b.total() == 0 {
+		b = Blend{Single: 1}
+	}
+	total := b.total()
+	out := make([]Kind, 0, n)
+	// Largest-remainder apportionment: exact proportions up to rounding,
+	// so a 1% weight still appears in short runs.
+	type share struct {
+		kind Kind
+		frac float64
+	}
+	counts := map[Kind]int{}
+	assigned := 0
+	var rem []share
+	for _, k := range kindOrder {
+		w := b.weight(k)
+		if w == 0 {
+			continue
+		}
+		exact := float64(n) * float64(w) / float64(total)
+		c := int(exact)
+		counts[k] = c
+		assigned += c
+		rem = append(rem, share{kind: k, frac: exact - float64(c)})
+	}
+	sort.SliceStable(rem, func(i, j int) bool { return rem[i].frac > rem[j].frac })
+	for i := 0; assigned < n; i++ {
+		counts[rem[i%len(rem)].kind]++
+		assigned++
+	}
+	for _, k := range kindOrder {
+		for i := 0; i < counts[k]; i++ {
+			out = append(out, k)
+		}
+	}
+	// Interleave deterministically; a distinct seed offset keeps this
+	// stream independent of arrival times and record picks.
+	rng := rand.New(rand.NewSource(seed + 0x51ed2701))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}

@@ -1,0 +1,268 @@
+// Package load is the open-loop traffic generator and soak harness for
+// the serving tier: deterministic seeded arrival schedules, mixed
+// request blends against a live emserve, a Retry-After-honoring client,
+// live eps/latency reporting through internal/obs histograms, and the
+// soak / capacity-search / chaos-soak assertion modes behind
+// cmd/emload.
+//
+// Open-loop is the load-model decision everything else follows from.
+// A closed-loop generator (k workers, each sending the next request
+// when the previous answer returns) silently slows down exactly when
+// the server does, so an overloaded server measures *better*: the
+// coordinated-omission trap. Here send times are fixed by the schedule
+// before the run starts — a response arriving late never delays the
+// next arrival, and every request's latency is charged from its
+// *scheduled* send time, so queueing delay inside the generator counts
+// against the server the way a real user would experience it.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival profiles.
+const (
+	ProfileUniform = "uniform"
+	ProfilePoisson = "poisson"
+	ProfileBurst   = "burst"
+	ProfileRamp    = "ramp"
+)
+
+// Record-pick distributions.
+const (
+	PickUniform = "uniform"
+	PickZipf    = "zipf"
+)
+
+// ScheduleConfig describes one deterministic arrival schedule. The same
+// config always yields the same schedule: send times, request kinds,
+// and record indices are all drawn from rngs seeded with Seed, so a
+// soak run (or a failure it found) is replayable bit for bit.
+type ScheduleConfig struct {
+	// Profile is the inter-arrival shape: ProfileUniform (evenly spaced),
+	// ProfilePoisson (exponential gaps, the classic open-system model),
+	// ProfileBurst (uniform base with periodic bursts), or ProfileRamp
+	// (rate climbing linearly from Rate to RampTo).
+	Profile string
+	// Rate is the mean arrival rate in requests/second (> 0).
+	Rate float64
+	// Duration is how long the schedule runs (> 0).
+	Duration time.Duration
+	// Seed drives every random draw (0 picks 1, so the zero config is
+	// still deterministic).
+	Seed int64
+
+	// BurstFactor multiplies Rate inside a burst window (default 4).
+	BurstFactor float64
+	// BurstEvery is the burst period (default 10s).
+	BurstEvery time.Duration
+	// BurstLen is how long each burst lasts (default 2s).
+	BurstLen time.Duration
+
+	// RampTo is the final rate of ProfileRamp (default 4x Rate).
+	RampTo float64
+
+	// Pick selects how record indices are drawn: PickUniform or PickZipf
+	// (default PickZipf — real traffic is skewed, and a skewed key
+	// distribution is what exercises caches and hot rows).
+	Pick string
+	// PickN is the record-pool size indices are drawn from (> 0 when the
+	// blend carries record-bearing requests).
+	PickN int
+	// ZipfS is the Zipf skew exponent (> 1, default 1.2).
+	ZipfS float64
+
+	// Blend weights the request kinds; the zero Blend is all single
+	// matches.
+	Blend Blend
+}
+
+// Arrival is one scheduled request: fire at At (offset from run start),
+// with kind Kind, using record index Record (record-bearing kinds).
+type Arrival struct {
+	At     time.Duration
+	Kind   Kind
+	Record int
+}
+
+func (c ScheduleConfig) withDefaults() ScheduleConfig {
+	if c.Profile == "" {
+		c.Profile = ProfileUniform
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BurstFactor <= 1 {
+		c.BurstFactor = 4
+	}
+	if c.BurstEvery <= 0 {
+		c.BurstEvery = 10 * time.Second
+	}
+	if c.BurstLen <= 0 || c.BurstLen >= c.BurstEvery {
+		c.BurstLen = c.BurstEvery / 5
+	}
+	if c.RampTo <= 0 {
+		c.RampTo = 4 * c.Rate
+	}
+	if c.Pick == "" {
+		c.Pick = PickZipf
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	return c
+}
+
+// BuildSchedule materializes the whole open-loop schedule up front.
+// Precomputing (rather than drawing arrivals on the fly) is what makes
+// the generator coordinated-omission-free by construction: nothing the
+// server does during the run can move a send time that was fixed before
+// the run began.
+func BuildSchedule(cfg ScheduleConfig) ([]Arrival, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("load: schedule rate must be > 0, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: schedule duration must be > 0, got %v", cfg.Duration)
+	}
+	if cfg.Rate*cfg.Duration.Seconds() > 50e6 {
+		return nil, fmt.Errorf("load: schedule of %g arrivals is unreasonably large", cfg.Rate*cfg.Duration.Seconds())
+	}
+
+	var times []time.Duration
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Profile {
+	case ProfileUniform:
+		times = uniformTimes(cfg.Rate, cfg.Duration)
+	case ProfilePoisson:
+		times = poissonTimes(rng, cfg.Rate, cfg.Duration)
+	case ProfileBurst:
+		times = burstTimes(cfg)
+	case ProfileRamp:
+		times = rampTimes(cfg)
+	default:
+		return nil, fmt.Errorf("load: unknown arrival profile %q (want %s|%s|%s|%s)",
+			cfg.Profile, ProfileUniform, ProfilePoisson, ProfileBurst, ProfileRamp)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("load: schedule %gqps x %v yields no arrivals", cfg.Rate, cfg.Duration)
+	}
+
+	kinds, err := cfg.Blend.assign(len(times), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	picker, err := newPicker(cfg.Pick, cfg.Seed, cfg.PickN, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Arrival, len(times))
+	for i, at := range times {
+		out[i] = Arrival{At: at, Kind: kinds[i], Record: picker.pick()}
+	}
+	return out, nil
+}
+
+// uniformTimes spaces arrivals evenly: i/rate.
+func uniformTimes(rate float64, d time.Duration) []time.Duration {
+	n := int(rate * d.Seconds())
+	out := make([]time.Duration, 0, n)
+	gap := float64(time.Second) / rate
+	for i := 0; ; i++ {
+		at := time.Duration(float64(i) * gap)
+		if at >= d {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+// poissonTimes draws exponential inter-arrival gaps with mean 1/rate —
+// the memoryless arrivals of an open system of many independent users.
+func poissonTimes(rng *rand.Rand, rate float64, d time.Duration) []time.Duration {
+	var out []time.Duration
+	at := time.Duration(0)
+	for {
+		// ExpFloat64 has mean 1; scale to mean 1/rate seconds.
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		at += gap
+		if at >= d {
+			return out
+		}
+		out = append(out, at)
+	}
+}
+
+// burstTimes lays a uniform base rate, multiplied by BurstFactor inside
+// each [k*BurstEvery, k*BurstEvery+BurstLen) window — the thundering
+// herd the admission gate exists for.
+func burstTimes(cfg ScheduleConfig) []time.Duration {
+	var out []time.Duration
+	at := 0.0
+	dur := cfg.Duration.Seconds()
+	for at < dur {
+		out = append(out, time.Duration(at*float64(time.Second)))
+		rate := cfg.Rate
+		phase := math.Mod(at, cfg.BurstEvery.Seconds())
+		if phase < cfg.BurstLen.Seconds() {
+			rate *= cfg.BurstFactor
+		}
+		at += 1 / rate
+	}
+	return out
+}
+
+// rampTimes climbs the instantaneous rate linearly from Rate to RampTo
+// across the run — the capacity staircase compressed into one schedule.
+func rampTimes(cfg ScheduleConfig) []time.Duration {
+	var out []time.Duration
+	at := 0.0
+	dur := cfg.Duration.Seconds()
+	for at < dur {
+		out = append(out, time.Duration(at*float64(time.Second)))
+		frac := at / dur
+		rate := cfg.Rate + (cfg.RampTo-cfg.Rate)*frac
+		at += 1 / rate
+	}
+	return out
+}
+
+// picker draws record-pool indices under a distribution.
+type picker struct {
+	n    int
+	zipf *rand.Zipf // nil = uniform
+	rng  *rand.Rand
+}
+
+func newPicker(dist string, seed int64, n int, s float64) (*picker, error) {
+	if n <= 0 {
+		n = 1
+	}
+	// Offset the seed so the pick stream is independent of the arrival
+	// stream even though both derive from cfg.Seed.
+	rng := rand.New(rand.NewSource(seed + 0x9e3779b9))
+	switch dist {
+	case PickUniform:
+		return &picker{n: n, rng: rng}, nil
+	case PickZipf:
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		if z == nil {
+			return nil, fmt.Errorf("load: bad zipf parameters (s=%g n=%d)", s, n)
+		}
+		return &picker{n: n, zipf: z, rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("load: unknown pick distribution %q (want %s|%s)", dist, PickUniform, PickZipf)
+	}
+}
+
+func (p *picker) pick() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}

@@ -1,0 +1,168 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"emgo/internal/obs/slo"
+)
+
+// ServerStatus is the subset of emserve's /v1/status document the
+// harness asserts against.
+type ServerStatus struct {
+	Requests int64       `json:"requests"`
+	Degraded int64       `json:"degraded"`
+	InFlight int         `json:"inflight"`
+	Queued   int64       `json:"queued"`
+	Breaker  string      `json:"breaker"`
+	Draining bool        `json:"draining"`
+	SLO      *slo.Report `json:"slo"`
+}
+
+// JobStatus is the subset of the job poll document the harness reads.
+type JobStatus struct {
+	ID            string `json:"id"`
+	State         string `json:"state"`
+	Shards        int    `json:"shards"`
+	DoneShards    int    `json:"done_shards"`
+	ResumedShards int    `json:"resumed_shards"`
+	Error         string `json:"error"`
+}
+
+// getJSON fetches one JSON document.
+func getJSON(ctx context.Context, hc *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, truncate(data, 200))
+	}
+	return json.Unmarshal(data, v)
+}
+
+// Status fetches the server's operational status document.
+func (c *Client) Status(ctx context.Context) (*ServerStatus, error) {
+	var st ServerStatus
+	if err := getJSON(ctx, c.http, c.cfg.BaseURL+"/v1/status", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SubmitJob submits records as an async job and returns its status
+// document (202) — the submission is content-addressed, so resubmitting
+// the same records yields the same job id.
+func (c *Client) SubmitJob(ctx context.Context, records []map[string]any, shardSize int) (*JobStatus, error) {
+	doc := map[string]any{"records": records}
+	if shardSize > 0 {
+		doc["shard_size"] = shardSize
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("job submit: %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+		return nil, fmt.Errorf("job submit answer carries no id: %s", truncate(data, 200))
+	}
+	return &st, nil
+}
+
+// JobStatus polls one job.
+func (c *Client) JobStatus(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := getJSON(ctx, c.http, c.cfg.BaseURL+"/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// AwaitJob polls until the job reaches a terminal state or the deadline
+// lapses.
+func (c *Client) AwaitJob(ctx context.Context, id string, timeout time.Duration) (*JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	var last *JobStatus
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return last, err
+		}
+		st, err := c.JobStatus(ctx, id)
+		if err == nil {
+			last = st
+			switch st.State {
+			case "completed":
+				return st, nil
+			case "failed":
+				return st, fmt.Errorf("job %s failed: %s", id, st.Error)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return last, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	state := "unknown"
+	if last != nil {
+		state = last.State
+	}
+	return last, fmt.Errorf("job %s did not complete within %v (state %s)", id, timeout, state)
+}
+
+// JobResults fetches a completed job's raw result bytes — raw, so two
+// runs can be compared byte for byte.
+func (c *Client) JobResults(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("job results: %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	return data, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}

@@ -6,6 +6,10 @@
 #   scripts/bench_snapshot.sh [output.json]       (default: BENCH_baseline.json)
 #   BENCHTIME=10x scripts/bench_snapshot.sh       (quick smoke snapshot)
 #   BENCHCOUNT=5 scripts/bench_snapshot.sh        (min-of-5 per benchmark)
+#   EMLOAD_SUMMARY=cap.json scripts/bench_snapshot.sh
+#                          (fold an emload capacity/soak summary into the
+#                           snapshot under "serving_capacity", so serving
+#                           throughput lands next to the micro-benchmarks)
 #
 # BENCHCOUNT > 1 runs the whole suite that many times and snapshots the
 # per-benchmark minimum. On noisy machines (shared VMs, laptops under
@@ -89,5 +93,25 @@ END {
 }
 ' "$raw" >"$out"
 
-count="$(awk '/"count":/ {print $2}' "$out")"
+# Fold an emload summary (see cmd/emload, -mode capacity/soak) into the
+# snapshot: drop the closing brace, append the summary verbatim under
+# "serving_capacity", and close again. The summary is already JSON, so
+# the result stays parseable without needing jq.
+if [ -n "${EMLOAD_SUMMARY:-}" ]; then
+    [ -s "$EMLOAD_SUMMARY" ] || {
+        echo "bench_snapshot: EMLOAD_SUMMARY=$EMLOAD_SUMMARY is missing or empty" >&2
+        exit 1
+    }
+    merged="$(mktemp)"
+    {
+        sed '$d' "$out" | sed '$s/$/,/'
+        printf '  "serving_capacity":\n'
+        sed 's/^/  /' "$EMLOAD_SUMMARY"
+        printf '}\n'
+    } >"$merged"
+    mv "$merged" "$out"
+    echo "bench_snapshot: folded emload summary $EMLOAD_SUMMARY into $out" >&2
+fi
+
+count="$(awk '/"count":/ {gsub(/,/, "", $2); print $2; exit}' "$out")"
 echo "bench_snapshot: wrote $count benchmarks to $out" >&2

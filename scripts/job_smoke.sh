@@ -20,112 +20,34 @@
 #      goroutines", and no data-race reports.
 #
 # Everything runs in a temp dir; only POSIX tools + the go toolchain are
-# required.
+# required. Shared plumbing lives in scripts/smoke_lib.sh.
 set -u
 
 SCALE="${JOB_SCALE:-0.1}"
 SEED="${JOB_SEED:-5}"
 RECORDS="${JOB_RECORDS:-24}"
 SHARD_SIZE=4
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-TMP="$(mktemp -d)"
-SERVE_PID=""
-cleanup() {
-    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
-    rm -rf "$TMP"
-}
-trap cleanup EXIT
-FAILURES=0
-
-say() { printf 'job-smoke: %s\n' "$*"; }
-fail() { printf 'job-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init job-smoke
 
 say "building emgen, emcasestudy, emserve (-race), jobsmoke"
-for bin in emgen emcasestudy; do
-    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
-        echo "job-smoke: build of $bin failed" >&2
-        exit 1
-    }
-done
-(cd "$ROOT" && go build -race -o "$TMP/emserve" ./cmd/emserve) || {
-    echo "job-smoke: race build of emserve failed" >&2
-    exit 1
-}
-(cd "$ROOT" && go build -o "$TMP/jobsmoke" ./scripts/jobsmoke) || {
-    echo "job-smoke: build of jobsmoke failed" >&2
-    exit 1
-}
+smoke_build emgen ./cmd/emgen
+smoke_build emcasestudy ./cmd/emcasestudy
+smoke_build emserve ./cmd/emserve -race
+smoke_build jobsmoke ./scripts/jobsmoke
 
-say "generating projected slice (scale=$SCALE seed=$SEED), spec, and matcher artifact"
-"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
-    echo "job-smoke: emgen failed" >&2
-    exit 1
-}
-"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
-    >"$TMP/study.txt" 2>"$TMP/study.err" || {
-    echo "job-smoke: emcasestudy failed:" >&2
-    cat "$TMP/study.err" >&2
-    exit 1
-}
-LEFT="$TMP/data/UMETRICSProjected.csv"
-RIGHT="$TMP/data/USDAProjected.csv"
-"$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
-    -export-matcher "$TMP/matcher.json" >/dev/null 2>"$TMP/export.err" || {
-    echo "job-smoke: -export-matcher failed:" >&2
-    cat "$TMP/export.err" >&2
-    exit 1
-}
+smoke_gen_data "$SCALE" "$SEED"
+smoke_export_matcher
 
-# start_server LOGFILE JOBDIR [extra env...]: boots emserve with the job
-# tier on and waits for the address file. Sets SERVE_PID and ADDR.
+# start_server LOGFILE JOBDIR: boots emserve with the job tier on over
+# the given job dir. SMOKE_ENV (e.g. EMCKPT_KILL=...) passes through to
+# smoke_start_emserve.
 start_server() {
-    log="$1"
-    jobdir="$2"
-    shift 2
-    rm -f "$TMP/addr.txt"
-    env "$@" "$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+    _log="$1"
+    _jobdir="$2"
+    smoke_start_emserve "$_log" \
         -matcher "$TMP/matcher.json" \
-        -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" \
-        -job-dir "$jobdir" -job-shard-size "$SHARD_SIZE" -job-workers 1 \
-        2>"$log" &
-    SERVE_PID=$!
-    for _ in $(seq 1 300); do
-        [ -s "$TMP/addr.txt" ] && break
-        kill -0 "$SERVE_PID" 2>/dev/null || {
-            echo "job-smoke: emserve died during startup:" >&2
-            cat "$log" >&2
-            exit 1
-        }
-        sleep 0.1
-    done
-    [ -s "$TMP/addr.txt" ] || {
-        echo "job-smoke: emserve never wrote its address file" >&2
-        cat "$log" >&2
-        exit 1
-    }
-    ADDR="$(head -1 "$TMP/addr.txt" | tr -d '[:space:]')"
-}
-
-# drain_server LOGFILE: SIGTERMs SERVE_PID and asserts the graceful-exit
-# contract (130, zero leaks, race-clean).
-drain_server() {
-    log="$1"
-    kill -TERM "$SERVE_PID"
-    wait "$SERVE_PID"
-    status=$?
-    SERVE_PID=""
-    [ "$status" -eq 130 ] || {
-        fail "emserve exited $status after SIGTERM, want 130:"
-        cat "$log" >&2
-    }
-    grep -q "no leaked goroutines" "$log" || {
-        fail "the zero-leak self-check did not pass ($log):"
-        cat "$log" >&2
-    }
-    if grep -q "WARNING: DATA RACE" "$log"; then
-        fail "the race detector fired ($log):"
-        cat "$log" >&2
-    fi
+        -job-dir "$_jobdir" -job-shard-size "$SHARD_SIZE" -job-workers 1
 }
 
 say "reference run: clean job, no kills"
@@ -138,7 +60,7 @@ say "emserve (reference) on $ADDR"
 }
 JOB_ID="$(tail -1 "$TMP/ref_id.txt" | tr -d '[:space:]')"
 say "reference results in ref.json (job $JOB_ID)"
-drain_server "$TMP/ref.err"
+smoke_drain_server "$TMP/ref.err"
 
 # chaos_case NAME KILLSPEC MIN_RESUMED: arm EMCKPT_KILL, submit, wait
 # for the self-SIGKILL, restart over the same job dir, and require a
@@ -149,7 +71,7 @@ chaos_case() {
     min_resumed="$3"
     jobdir="$TMP/jobs_$name"
     say "chaos[$name]: kill armed at $killspec"
-    start_server "$TMP/$name.kill.err" "$jobdir" "EMCKPT_KILL=$killspec"
+    SMOKE_ENV="EMCKPT_KILL=$killspec" start_server "$TMP/$name.kill.err" "$jobdir"
     say "chaos[$name]: emserve on $ADDR"
     id="$("$TMP/jobsmoke" -addr "$ADDR" -right "$RIGHT" -records "$RECORDS" -submit-only)" || {
         fail "chaos[$name]: submission failed"
@@ -175,7 +97,7 @@ chaos_case() {
         -out "$TMP/$name.json" >/dev/null || {
         fail "chaos[$name]: resumed job did not complete"
         cat "$TMP/$name.resume.err" >&2
-        drain_server "$TMP/$name.resume.err"
+        smoke_drain_server "$TMP/$name.resume.err"
         return
     }
     if cmp -s "$TMP/ref.json" "$TMP/$name.json"; then
@@ -184,7 +106,7 @@ chaos_case() {
         fail "chaos[$name]: resumed results differ from the clean run"
         diff "$TMP/ref.json" "$TMP/$name.json" >&2 || true
     fi
-    drain_server "$TMP/$name.resume.err"
+    smoke_drain_server "$TMP/$name.resume.err"
 }
 
 # Kill exactly at a shard-commit boundary: shards 0 and 1 are durable,
@@ -194,8 +116,4 @@ chaos_case boundary "after:shard_00001.json" 2
 # file the restart must discard and recompute.
 chaos_case midwrite "mid:shard_00002.json" 2
 
-if [ "$FAILURES" -gt 0 ]; then
-    echo "job-smoke: $FAILURES failure(s)" >&2
-    exit 1
-fi
-say "PASS (clean run -> boundary kill -> mid-write kill, all resumes byte-identical, race-clean, zero leaks)"
+smoke_finish "(clean run -> boundary kill -> mid-write kill, all resumes byte-identical, race-clean, zero leaks)"

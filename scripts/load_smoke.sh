@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end smoke test for the open-loop load generator
+# and soak harness (see docs/SERVING.md, "Capacity & soak testing").
+#
+# Four phases, every server race-built:
+#
+#   1. clean soak: emload -mode soak against a healthy emserve with SLO
+#      tracking armed. The gate (client objectives, zero unexpected
+#      answers, Retry-After on every shed, server burn rates) must pass:
+#      exit 0 and "pass": true in the summary JSON,
+#   2. capacity sanity: a short stepped-QPS search against the same
+#      server must find a non-zero max sustainable rate and exit 0; the
+#      server then drains leak- and race-clean,
+#   3. gate trip: a second emserve with 300ms injected latency on every
+#      match, soaked under a 100ms p99 objective — the gate MUST breach
+#      (exit exactly 1, "pass": false). A gate that cannot fail is not
+#      a gate,
+#   4. chaos-soak: emload -mode chaos supervises its own emserve, trips
+#      and re-closes the breaker under injected matcher faults, SIGKILLs
+#      the server at a shard boundary mid-load (EMCKPT_KILL), restarts
+#      it, and requires byte-identical job resume, Retry-After on every
+#      shed, and a leak-clean drain: exit 0, "byte_identical": true.
+#
+# Everything runs in a temp dir; only POSIX tools + the go toolchain are
+# required. Shared plumbing lives in scripts/smoke_lib.sh.
+set -u
+
+SCALE="${LOAD_SCALE:-0.1}"
+SEED="${LOAD_SEED:-7}"
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init load-smoke
+
+say "building emgen, emcasestudy, emserve (-race), emload"
+smoke_build emgen ./cmd/emgen
+smoke_build emcasestudy ./cmd/emcasestudy
+smoke_build emserve ./cmd/emserve -race
+smoke_build emload ./cmd/emload
+
+smoke_gen_data "$SCALE" "$SEED"
+smoke_export_matcher
+
+# json_has FILE FRAGMENT: assert the summary JSON contains FRAGMENT.
+json_has() {
+    grep -q "$2" "$1" || fail "$1 does not contain $2"
+}
+
+# ---- Phase 1: clean soak must pass --------------------------------------
+
+say "phase 1: clean soak against a healthy server (want exit 0)"
+smoke_start_emserve "$TMP/serve_soak.err" \
+    -matcher "$TMP/matcher.json" \
+    -slo "availability=99"
+say "emserve is listening on $ADDR"
+
+"$TMP/emload" -mode soak -addr "$ADDR" -right "$RIGHT" \
+    -profile poisson -rate 40 -duration 6s -seed "$SEED" \
+    -report-every 2s -shed-retries 1 -max-retry-after 500ms \
+    -slo "availability=99,latency=2s@99" \
+    -summary "$TMP/soak.json" 2>"$TMP/soak.log"
+status=$?
+if [ "$status" -ne 0 ]; then
+    fail "clean soak exited $status, want 0:"
+    cat "$TMP/soak.log" >&2
+fi
+json_has "$TMP/soak.json" '"pass": true'
+json_has "$TMP/soak.json" '"gate"'
+grep -q "eps=" "$TMP/soak.log" || fail "soak produced no live report lines"
+
+# ---- Phase 2: capacity search finds a non-zero sustainable rate ---------
+
+say "phase 2: short capacity search (want a non-zero sustainable rate)"
+"$TMP/emload" -mode capacity -addr "$ADDR" -right "$RIGHT" \
+    -seed "$SEED" -start-qps 4 -max-qps 16 -factor 2 \
+    -step-duration 2s -p99-target 5000 -report-every 0 \
+    -summary "$TMP/capacity.json" 2>"$TMP/capacity.log"
+status=$?
+if [ "$status" -ne 0 ]; then
+    fail "capacity search exited $status, want 0:"
+    cat "$TMP/capacity.log" >&2
+fi
+json_has "$TMP/capacity.json" '"max_sustainable_qps"'
+grep -q '"max_sustainable_qps": 0,' "$TMP/capacity.json" &&
+    fail "capacity search found no sustainable rate at all"
+grep -q "max sustainable rate" "$TMP/capacity.log" ||
+    fail "capacity search printed no verdict line"
+
+say "SIGTERM: draining the phase-1/2 server"
+smoke_drain_server "$TMP/serve_soak.err"
+
+# ---- Phase 3: an undersized server must trip the gate -------------------
+
+say "phase 3: 300ms injected latency vs a 100ms p99 objective (want exit 1)"
+smoke_start_emserve "$TMP/serve_slow.err" \
+    -matcher "$TMP/matcher.json" \
+    -inject "serve.match:mode=sleep,sleep=300ms"
+say "emserve is listening on $ADDR"
+
+"$TMP/emload" -mode soak -addr "$ADDR" -right "$RIGHT" \
+    -profile uniform -rate 5 -duration 5s -seed "$SEED" -report-every 0 \
+    -slo "availability=99,latency=100ms@99" \
+    -summary "$TMP/trip.json" 2>"$TMP/trip.log"
+status=$?
+if [ "$status" -ne 1 ]; then
+    fail "overloaded soak exited $status, want exactly 1:"
+    cat "$TMP/trip.log" >&2
+fi
+json_has "$TMP/trip.json" '"pass": false'
+grep -q "gate latency.*BREACH" "$TMP/trip.log" ||
+    fail "the tripped gate did not name the latency objective"
+
+say "SIGTERM: draining the phase-3 server"
+smoke_drain_server "$TMP/serve_slow.err"
+
+# ---- Phase 4: chaos-soak ------------------------------------------------
+
+say "phase 4: chaos-soak (breaker trip/re-close, SIGKILL mid-load, byte-identical resume)"
+mkdir -p "$TMP/chaos"
+"$TMP/emload" -mode chaos -right "$RIGHT" \
+    -server-bin "$TMP/emserve" -workdir "$TMP/chaos" \
+    -rate 20 -duration 6s -seed "$SEED" -report-every 2s \
+    -summary "$TMP/chaos.json" 2>"$TMP/chaos.log" -- \
+    -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+    -matcher "$TMP/matcher.json" -job-workers 1
+status=$?
+if [ "$status" -ne 0 ]; then
+    fail "chaos-soak exited $status, want 0:"
+    cat "$TMP/chaos.log" >&2
+fi
+json_has "$TMP/chaos.json" '"pass": true'
+json_has "$TMP/chaos.json" '"byte_identical": true'
+json_has "$TMP/chaos.json" '"breaker_reclosed": true'
+json_has "$TMP/chaos.json" '"killed": true'
+json_has "$TMP/chaos.json" '"drain_clean": true'
+json_has "$TMP/chaos.json" '"shed_missing_retry_after": 0'
+for log in "$TMP"/chaos/*.err; do
+    smoke_check_race "$log"
+done
+
+smoke_finish "(clean soak -> capacity -> gate trip exit 1 -> chaos-soak, race-clean, zero leaks)"

@@ -19,41 +19,21 @@
 #      run-history directory every run appended to.
 #
 # Everything runs in a temp dir; only POSIX tools + the go toolchain are
-# required.
+# required. Shared plumbing lives in scripts/smoke_lib.sh.
 set -u
 
 SCALE="${MONITOR_SCALE:-0.1}"
 SEED="${MONITOR_SEED:-5}"
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
-FAILURES=0
-
-say() { printf 'monitor-smoke: %s\n' "$*"; }
-fail() { printf 'monitor-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init monitor-smoke
 
 say "building emgen, emcasestudy, emmatch, emmonitor"
-for bin in emgen emcasestudy emmatch emmonitor; do
-    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
-        echo "monitor-smoke: build of $bin failed" >&2
-        exit 1
-    }
-done
+smoke_build emgen ./cmd/emgen
+smoke_build emcasestudy ./cmd/emcasestudy
+smoke_build emmatch ./cmd/emmatch
+smoke_build emmonitor ./cmd/emmonitor
 
-say "generating projected slice (scale=$SCALE seed=$SEED) and deployment spec"
-"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
-    echo "monitor-smoke: emgen failed" >&2
-    exit 1
-}
-"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
-    >"$TMP/study.txt" 2>"$TMP/study.err" || {
-    echo "monitor-smoke: emcasestudy failed:" >&2
-    cat "$TMP/study.err" >&2
-    exit 1
-}
-
-LEFT="$TMP/data/UMETRICSProjected.csv"
-RIGHT="$TMP/data/USDAProjected.csv"
+smoke_gen_data "$SCALE" "$SEED"
 MATCH=("$TMP/emmatch" -spec "$TMP/spec.json" -left "$LEFT" -history "$TMP/hist")
 
 say "capture run: profiling the slice into baseline.json"
@@ -118,8 +98,4 @@ tail -1 "$TMP/hist.txt" | grep -q "fail" ||
 grep -q "quality signals" "$TMP/diff.txt" ||
     fail "diff did not surface the quality-signal changes"
 
-if [ "$FAILURES" -gt 0 ]; then
-    echo "monitor-smoke: $FAILURES failure(s)" >&2
-    exit 1
-fi
-say "PASS (capture -> clean check exit 0 -> perturbed check exit 1)"
+smoke_finish "(capture -> clean check exit 0 -> perturbed check exit 1)"

@@ -20,84 +20,27 @@
 #      `emmonitor slo` must exit 1 — the CI-gate contract.
 #
 # Everything runs in a temp dir; only POSIX tools + the go toolchain are
-# required.
+# required. Shared plumbing lives in scripts/smoke_lib.sh.
 set -u
 
 SCALE="${OBS_SCALE:-0.1}"
 SEED="${OBS_SEED:-5}"
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-TMP="$(mktemp -d)"
-SERVE_PID=""
-cleanup() {
-    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
-    rm -rf "$TMP"
-}
-trap cleanup EXIT
-FAILURES=0
-
-say() { printf 'obs-smoke: %s\n' "$*"; }
-fail() { printf 'obs-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init obs-smoke
 
 say "building emgen, emcasestudy, emserve (-race), emmonitor, obssmoke"
-for bin in emgen emcasestudy emmonitor; do
-    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
-        echo "obs-smoke: build of $bin failed" >&2
-        exit 1
-    }
-done
-(cd "$ROOT" && go build -race -o "$TMP/emserve" ./cmd/emserve) || {
-    echo "obs-smoke: race build of emserve failed" >&2
-    exit 1
-}
-(cd "$ROOT" && go build -o "$TMP/obssmoke" ./scripts/obssmoke) || {
-    echo "obs-smoke: build of obssmoke failed" >&2
-    exit 1
-}
+smoke_build emgen ./cmd/emgen
+smoke_build emcasestudy ./cmd/emcasestudy
+smoke_build emmonitor ./cmd/emmonitor
+smoke_build emserve ./cmd/emserve -race
+smoke_build obssmoke ./scripts/obssmoke
 
-say "generating projected slice (scale=$SCALE seed=$SEED) and spec"
-"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
-    echo "obs-smoke: emgen failed" >&2
-    exit 1
-}
-"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
-    >"$TMP/study.txt" 2>"$TMP/study.err" || {
-    echo "obs-smoke: emcasestudy failed:" >&2
-    cat "$TMP/study.err" >&2
-    exit 1
-}
-LEFT="$TMP/data/UMETRICSProjected.csv"
-RIGHT="$TMP/data/USDAProjected.csv"
-
-# start_emserve LOGFILE EXTRA_ARGS... — boots a server, waits for the
-# address file, and sets ADDR/SERVE_PID.
-start_emserve() {
-    logfile="$1"
-    shift
-    rm -f "$TMP/addr.txt"
-    "$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
-        -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" "$@" 2>"$logfile" &
-    SERVE_PID=$!
-    for _ in $(seq 1 300); do
-        [ -s "$TMP/addr.txt" ] && break
-        kill -0 "$SERVE_PID" 2>/dev/null || {
-            echo "obs-smoke: emserve died during startup:" >&2
-            cat "$logfile" >&2
-            exit 1
-        }
-        sleep 0.1
-    done
-    [ -s "$TMP/addr.txt" ] || {
-        echo "obs-smoke: emserve never wrote its address file" >&2
-        cat "$logfile" >&2
-        exit 1
-    }
-    ADDR="$(head -1 "$TMP/addr.txt" | tr -d '[:space:]')"
-}
+smoke_gen_data "$SCALE" "$SEED"
 
 # ---- Phase 1: healthy traffic, latency outlier, tail capture --------
 
 say "phase 1: starting emserve with access log, tail capture, and a 300ms outlier on call 4"
-start_emserve "$TMP/serve1.err" \
+smoke_start_emserve "$TMP/serve1.err" \
     -access-log "$TMP/events.jsonl" -access-sample 1 \
     -tail-n 8 -tail-dump "$TMP/tail_dump.json" \
     -slo "availability=99.9,latency=2s@95" \
@@ -119,14 +62,7 @@ grep -q "error budget holds" "$TMP/slo_ok.txt" ||
     fail "emmonitor slo did not report a holding budget"
 
 say "SIGTERM: draining phase-1 server (must write the tail dump)"
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID"
-status=$?
-SERVE_PID=""
-[ "$status" -ne 130 ] && {
-    fail "emserve exited $status after SIGTERM, want 130:"
-    cat "$TMP/serve1.err" >&2
-}
+smoke_drain_server "$TMP/serve1.err"
 grep -q "tail snapshot written" "$TMP/serve1.err" ||
     fail "drain did not write the tail dump"
 if [ -s "$TMP/tail_dump.json" ]; then
@@ -135,15 +71,11 @@ if [ -s "$TMP/tail_dump.json" ]; then
 else
     fail "tail dump file is missing or empty"
 fi
-if grep -q "WARNING: DATA RACE" "$TMP/serve1.err"; then
-    fail "the race detector fired in phase 1:"
-    cat "$TMP/serve1.err" >&2
-fi
 
 # ---- Phase 2: every request fails -> SLO breach gates ----------------
 
 say "phase 2: starting emserve with every pipeline pass failing"
-start_emserve "$TMP/serve2.err" \
+smoke_start_emserve "$TMP/serve2.err" \
     -access-log "$TMP/events2.jsonl" -access-sample 5 \
     -slo "availability=99.9" \
     -inject "serve.match"
@@ -166,13 +98,6 @@ grep -q "availability" "$TMP/slo_burn.txt" ||
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null
 SERVE_PID=""
-if grep -q "WARNING: DATA RACE" "$TMP/serve2.err"; then
-    fail "the race detector fired in phase 2:"
-    cat "$TMP/serve2.err" >&2
-fi
+smoke_check_race "$TMP/serve2.err"
 
-if [ "$FAILURES" -gt 0 ]; then
-    echo "obs-smoke: $FAILURES failure(s)" >&2
-    exit 1
-fi
-say "PASS (wide events -> tail capture -> SLO gate, race-clean)"
+smoke_finish "(wide events -> tail capture -> SLO gate, race-clean)"

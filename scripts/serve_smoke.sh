@@ -21,84 +21,28 @@
 #      "drain complete", and the zero-leak self-check line.
 #
 # Everything runs in a temp dir; only POSIX tools + the go toolchain are
-# required.
+# required. Shared plumbing lives in scripts/smoke_lib.sh.
 set -u
 
 SCALE="${SERVE_SCALE:-0.1}"
 SEED="${SERVE_SEED:-5}"
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-TMP="$(mktemp -d)"
-SERVE_PID=""
-cleanup() {
-    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
-    rm -rf "$TMP"
-}
-trap cleanup EXIT
-FAILURES=0
-
-say() { printf 'serve-smoke: %s\n' "$*"; }
-fail() { printf 'serve-smoke: FAIL: %s\n' "$*" >&2; FAILURES=$((FAILURES + 1)); }
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init serve-smoke
 
 say "building emgen, emcasestudy, emserve (-race), servesmoke"
-for bin in emgen emcasestudy; do
-    (cd "$ROOT" && go build -o "$TMP/$bin" "./cmd/$bin") || {
-        echo "serve-smoke: build of $bin failed" >&2
-        exit 1
-    }
-done
-(cd "$ROOT" && go build -race -o "$TMP/emserve" ./cmd/emserve) || {
-    echo "serve-smoke: race build of emserve failed" >&2
-    exit 1
-}
-(cd "$ROOT" && go build -o "$TMP/servesmoke" ./scripts/servesmoke) || {
-    echo "serve-smoke: build of servesmoke failed" >&2
-    exit 1
-}
+smoke_build emgen ./cmd/emgen
+smoke_build emcasestudy ./cmd/emcasestudy
+smoke_build emserve ./cmd/emserve -race
+smoke_build servesmoke ./scripts/servesmoke
 
-say "generating projected slice (scale=$SCALE seed=$SEED), spec, and matcher artifact"
-"$TMP/emgen" -scale "$SCALE" -seed "$SEED" -projected -out "$TMP/data" >/dev/null || {
-    echo "serve-smoke: emgen failed" >&2
-    exit 1
-}
-"$TMP/emcasestudy" -scale "$SCALE" -seed "$SEED" -spec "$TMP/spec.json" \
-    >"$TMP/study.txt" 2>"$TMP/study.err" || {
-    echo "serve-smoke: emcasestudy failed:" >&2
-    cat "$TMP/study.err" >&2
-    exit 1
-}
-LEFT="$TMP/data/UMETRICSProjected.csv"
-RIGHT="$TMP/data/USDAProjected.csv"
-"$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
-    -export-matcher "$TMP/matcher.json" >/dev/null 2>"$TMP/export.err" || {
-    echo "serve-smoke: -export-matcher failed:" >&2
-    cat "$TMP/export.err" >&2
-    exit 1
-}
+smoke_gen_data "$SCALE" "$SEED"
+smoke_export_matcher
 
 say "starting emserve under injected matcher faults and latency"
-"$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+smoke_start_emserve "$TMP/serve.err" \
     -matcher "$TMP/matcher.json" \
-    -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" \
     -max-inflight 1 -max-queue -1 \
-    -inject ml.predict -inject "serve.match:mode=sleep,sleep=250ms" \
-    2>"$TMP/serve.err" &
-SERVE_PID=$!
-
-for _ in $(seq 1 300); do
-    [ -s "$TMP/addr.txt" ] && break
-    kill -0 "$SERVE_PID" 2>/dev/null || {
-        echo "serve-smoke: emserve died during startup:" >&2
-        cat "$TMP/serve.err" >&2
-        exit 1
-    }
-    sleep 0.1
-done
-[ -s "$TMP/addr.txt" ] || {
-    echo "serve-smoke: emserve never wrote its address file" >&2
-    cat "$TMP/serve.err" >&2
-    exit 1
-}
-ADDR="$(head -1 "$TMP/addr.txt" | tr -d '[:space:]')"
+    -inject ml.predict -inject "serve.match:mode=sleep,sleep=250ms"
 say "emserve is listening on $ADDR"
 
 say "driving HTTP assertions (degrade, shed, reload, rollback)"
@@ -106,27 +50,8 @@ say "driving HTTP assertions (degrade, shed, reload, rollback)"
     fail "HTTP assertions failed"
 
 say "SIGTERM: draining the server"
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID"
-status=$?
-SERVE_PID=""
-if [ "$status" -ne 130 ]; then
-    fail "emserve exited $status after SIGTERM, want 130:"
-    cat "$TMP/serve.err" >&2
-fi
+smoke_drain_server "$TMP/serve.err"
 grep -q "drain complete" "$TMP/serve.err" ||
     fail "drain did not complete cleanly"
-grep -q "no leaked goroutines" "$TMP/serve.err" || {
-    fail "the zero-leak self-check did not pass:"
-    cat "$TMP/serve.err" >&2
-}
-if grep -q "WARNING: DATA RACE" "$TMP/serve.err"; then
-    fail "the race detector fired:"
-    cat "$TMP/serve.err" >&2
-fi
 
-if [ "$FAILURES" -gt 0 ]; then
-    echo "serve-smoke: $FAILURES failure(s)" >&2
-    exit 1
-fi
-say "PASS (degrade -> shed -> reload -> rollback -> drain, race-clean, zero leaks)"
+smoke_finish "(degrade -> shed -> reload -> rollback -> drain, race-clean, zero leaks)"

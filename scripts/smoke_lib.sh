@@ -1,0 +1,145 @@
+# smoke_lib.sh — shared plumbing for the end-to-end smoke scripts
+# (serve_smoke, job_smoke, obs_smoke, monitor_smoke, load_smoke).
+#
+# Source it, then call smoke_init NAME; everything else is helpers:
+#
+#   smoke_init NAME            temp dir, cleanup trap, say/fail/die,
+#                              FAILURES counter, ROOT, SERVE_PID
+#   smoke_build NAME PKG [...] go build PKG -> $TMP/NAME (extra args are
+#                              build flags, e.g. -race)
+#   smoke_gen_data SCALE SEED  emgen -projected + emcasestudy -spec;
+#                              sets LEFT/RIGHT and writes $TMP/spec.json
+#   smoke_export_matcher       emserve -export-matcher -> $TMP/matcher.json
+#   smoke_start_emserve LOG A... boot $TMP/emserve on port 0 with the
+#                              generated spec/tables plus args A..., wait
+#                              for the address file; sets ADDR/SERVE_PID.
+#                              SMOKE_ENV (word-split) prefixes the
+#                              environment, e.g. SMOKE_ENV="EMCKPT_KILL=..."
+#   smoke_drain_server LOG     SIGTERM + the graceful-drain contract:
+#                              exit 130, zero-leak self-check, race-clean
+#   smoke_check_race LOG       fail if the race detector fired in LOG
+#   smoke_finish MSG           exit 1 with a count if anything failed,
+#                              else print PASS MSG
+#
+# Scripts stay `set -u`-clean: every helper references only variables it
+# set itself.
+
+smoke_init() {
+    SMOKE_NAME="$1"
+    ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+    TMP="$(mktemp -d)"
+    SERVE_PID=""
+    FAILURES=0
+    trap smoke_cleanup EXIT
+}
+
+smoke_cleanup() {
+    [ -n "${SERVE_PID:-}" ] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+
+say() { printf '%s: %s\n' "$SMOKE_NAME" "$*"; }
+fail() {
+    printf '%s: FAIL: %s\n' "$SMOKE_NAME" "$*" >&2
+    FAILURES=$((FAILURES + 1))
+}
+die() {
+    printf '%s: %s\n' "$SMOKE_NAME" "$*" >&2
+    exit 1
+}
+
+# smoke_build NAME PKG [build flags...]: go build PKG into $TMP/NAME.
+smoke_build() {
+    _name="$1"
+    _pkg="$2"
+    shift 2
+    (cd "$ROOT" && go build "$@" -o "$TMP/$_name" "$_pkg") ||
+        die "build of $_name failed"
+}
+
+# smoke_gen_data SCALE SEED: the shared data recipe — a projected
+# UMETRICS/USDA slice plus a packaged deployment spec.
+smoke_gen_data() {
+    _scale="$1"
+    _seed="$2"
+    say "generating projected slice (scale=$_scale seed=$_seed) and spec"
+    "$TMP/emgen" -scale "$_scale" -seed "$_seed" -projected -out "$TMP/data" >/dev/null ||
+        die "emgen failed"
+    "$TMP/emcasestudy" -scale "$_scale" -seed "$_seed" -spec "$TMP/spec.json" \
+        >"$TMP/study.txt" 2>"$TMP/study.err" || {
+        cat "$TMP/study.err" >&2
+        die "emcasestudy failed"
+    }
+    LEFT="$TMP/data/UMETRICSProjected.csv"
+    RIGHT="$TMP/data/USDAProjected.csv"
+}
+
+# smoke_export_matcher: extract the spec-embedded matcher to a
+# standalone (hot-reloadable) artifact.
+smoke_export_matcher() {
+    "$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+        -export-matcher "$TMP/matcher.json" >/dev/null 2>"$TMP/export.err" || {
+        cat "$TMP/export.err" >&2
+        die "-export-matcher failed"
+    }
+}
+
+# smoke_start_emserve LOGFILE [extra args...]: boot the race-built
+# emserve on port 0 and wait for its address file. SMOKE_ENV (if set,
+# deliberately word-split) lands in the server's environment.
+smoke_start_emserve() {
+    _logfile="$1"
+    shift
+    rm -f "$TMP/addr.txt"
+    # shellcheck disable=SC2086
+    env ${SMOKE_ENV:-} "$TMP/emserve" -spec "$TMP/spec.json" -left "$LEFT" -right "$RIGHT" \
+        -addr 127.0.0.1:0 -addr-file "$TMP/addr.txt" "$@" 2>"$_logfile" &
+    SERVE_PID=$!
+    for _ in $(seq 1 300); do
+        [ -s "$TMP/addr.txt" ] && break
+        kill -0 "$SERVE_PID" 2>/dev/null || {
+            cat "$_logfile" >&2
+            die "emserve died during startup"
+        }
+        sleep 0.1
+    done
+    [ -s "$TMP/addr.txt" ] || {
+        cat "$_logfile" >&2
+        die "emserve never wrote its address file"
+    }
+    ADDR="$(head -1 "$TMP/addr.txt" | tr -d '[:space:]')"
+}
+
+# smoke_drain_server LOGFILE: SIGTERM SERVE_PID and assert the graceful
+# drain contract every serving smoke relies on.
+smoke_drain_server() {
+    _logfile="$1"
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    _status=$?
+    SERVE_PID=""
+    [ "$_status" -eq 130 ] || {
+        fail "emserve exited $_status after SIGTERM, want 130:"
+        cat "$_logfile" >&2
+    }
+    grep -q "no leaked goroutines" "$_logfile" || {
+        fail "the zero-leak self-check did not pass ($_logfile):"
+        cat "$_logfile" >&2
+    }
+    smoke_check_race "$_logfile"
+}
+
+smoke_check_race() {
+    if grep -q "WARNING: DATA RACE" "$1"; then
+        fail "the race detector fired ($1):"
+        cat "$1" >&2
+    fi
+}
+
+smoke_finish() {
+    if [ "$FAILURES" -gt 0 ]; then
+        printf '%s: %d failure(s)\n' "$SMOKE_NAME" "$FAILURES" >&2
+        exit 1
+    fi
+    say "PASS $*"
+}
