@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke prof-smoke perf-gate
 
 all: tier1
 
@@ -77,12 +77,40 @@ obs-smoke:
 load-smoke:
 	./scripts/load_smoke.sh
 
+# prof-smoke exercises continuous profiling end to end with a race-built
+# emserve: interval captures must land in the /debug/contprof ring,
+# manual triggers must schedule (and immediate repeats deduplicate),
+# fetched profiles must be valid gzip, the ring must prune to -prof-max
+# on disk, an SLO burn under -prof-on-breach must capture the fire, the
+# drain must write a final capture, and `emmonitor perf` must exit
+# exactly 1 on a deliberate 20% regression — see scripts/prof_smoke.sh
+# and docs/OBSERVABILITY.md.
+prof-smoke:
+	./scripts/prof_smoke.sh
+
+# perf-gate diffs the two newest committed BENCH_pr*.json snapshots with
+# the noise-aware regression gate: exit 1 means the latest snapshot
+# regressed past the fail thresholds against its predecessor — see
+# docs/OBSERVABILITY.md, "Continuous profiling & perf gating".
+perf-gate:
+	@set -e; \
+	snaps="$$(ls BENCH_pr*.json 2>/dev/null | sort -t r -k 2 -n | tail -2)"; \
+	count="$$(echo "$$snaps" | wc -w)"; \
+	if [ "$$count" -lt 2 ]; then \
+		echo "perf-gate: need two BENCH_pr*.json snapshots, have $$count; skipping"; \
+	else \
+		old="$$(echo $$snaps | cut -d' ' -f1)"; new="$$(echo $$snaps | cut -d' ' -f2)"; \
+		echo "perf-gate: $$old -> $$new"; \
+		$(GO) run ./cmd/emmonitor perf "$$old" "$$new"; \
+	fi
+
 # Tier 2 — the hardened-runtime gate: formatting and static analysis plus
 # the full test suite under the race detector (the parallel fan-out,
 # cancellation, fault-injection, and observability paths are only
 # trustworthy race-clean), the kill/resume chaos harness, and the
-# quality-monitoring and serving smoke loops.
-tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke
+# quality-monitoring and serving smoke loops, and the perf-regression
+# gate over the committed BENCH trajectory.
+tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke prof-smoke perf-gate
 
 ci: tier1 tier2
 

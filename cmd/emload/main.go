@@ -99,6 +99,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	factor := fs.Float64("factor", 2, "capacity search: rate multiplier between steps")
 	stepDuration := fs.Duration("step-duration", 10*time.Second, "capacity search: per-step length")
 	p99Target := fs.Float64("p99-target", 500, "capacity search: p99 bar in ms a step must hold")
+	profCapture := fs.Bool("prof-capture", false, "capacity search: trigger a server profile capture and replay one step at the settled rate (needs emserve -prof-dir)")
 
 	serverBin := fs.String("server-bin", "", "chaos: emserve binary to supervise (base args after --)")
 	workDir := fs.String("workdir", "", "chaos: scratch dir for job dirs, logs, address files (default: a temp dir)")
@@ -223,6 +224,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			Factor:         *factor,
 			StepDuration:   *stepDuration,
 			P99TargetMS:    *p99Target,
+			TriggerProfile: *profCapture,
 			Schedule:       sched,
 			Client:         clientCfg,
 			Pool:           pool,

@@ -112,6 +112,8 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 		return runHistory(args[1:], stdout, stderr)
 	case "slo":
 		return runSLO(ctx, args[1:], stdout, stderr)
+	case "perf":
+		return runPerf(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stderr)
 		return flag.ErrHelp
@@ -127,11 +129,13 @@ func usage(w io.Writer) {
   emmonitor diff runA.json runB.json
   emmonitor history -dir history/ [-n 20]
   emmonitor slo (-url http://addr | -file status.json) [-timeout 5s]
+  emmonitor perf OLD_BENCH.json NEW_BENCH.json [-warn 0.10] [-fail 0.20] [-strict]
 
 exit status:
-  0    success (check: quality holds; slo: no budget burn)
+  0    success (check: quality holds; slo: no budget burn; perf: no regression)
   1    check found a fail-threshold breach (or any warn under -strict);
-       slo found an objective burning its error budget in both windows
+       slo found an objective burning its error budget in both windows;
+       perf found a benchmark or capacity regression over the fail bar
   2    usage error, unreadable input, or internal failure
   130  interrupted by SIGINT/SIGTERM before finishing`)
 }

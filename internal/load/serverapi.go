@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"time"
 
 	"emgo/internal/obs/slo"
@@ -62,6 +63,39 @@ func (c *Client) Status(ctx context.Context) (*ServerStatus, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// TriggerProfile asks the server's continuous profiler for a capture
+// (POST /debug/contprof/trigger). It reports whether the server
+// scheduled one — false also covers "deduplicated into a capture
+// already in flight", which for a load test is success. An error means
+// the endpoint is absent (server started without -prof-dir) or
+// unreachable.
+func (c *Client) TriggerProfile(ctx context.Context, reason, detail string) (bool, error) {
+	url := c.cfg.BaseURL + "/debug/contprof/trigger?reason=" + neturl.QueryEscape(reason)
+	if detail != "" {
+		url += "&detail=" + neturl.QueryEscape(detail)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("profile trigger: %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	var ans struct {
+		Scheduled bool `json:"scheduled"`
+	}
+	if err := json.Unmarshal(data, &ans); err != nil {
+		return false, fmt.Errorf("profile trigger answer: %w", err)
+	}
+	return ans.Scheduled, nil
 }
 
 // SubmitJob submits records as an async job and returns its status

@@ -4,6 +4,8 @@ import (
 	"math"
 	"runtime"
 	"runtime/metrics"
+	"sync"
+	"time"
 )
 
 // Go runtime saturation gauges: goroutine count, heap bytes, GC pause
@@ -19,6 +21,17 @@ var runtimeSamples = []string{
 	"/gc/pauses:seconds",
 	"/sched/latencies:seconds",
 	"/sync/mutex/wait/total:seconds",
+	"/gc/heap/allocs:bytes",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// allocRateState remembers the previous scrape's cumulative allocation
+// counter so the next one can derive a rate. Guarded by its own mutex:
+// /metrics and /debug/vars can be scraped concurrently.
+var allocRateState struct {
+	mu         sync.Mutex
+	lastAt     time.Time
+	lastallocs uint64
 }
 
 // SampleRuntime refreshes the go.* gauges in the global registry: the
@@ -56,8 +69,39 @@ func SampleRuntime() {
 			if s.Value.Kind() == metrics.KindFloat64 {
 				FG("go.mutex_wait_total_s").Set(s.Value.Float64())
 			}
+		case "/gc/heap/allocs:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				sampleAllocRate(s.Value.Uint64())
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				G("go.gc_cycles_total").Set(int64(s.Value.Uint64()))
+			}
 		}
 	}
+}
+
+// sampleAllocRate publishes the cumulative allocation counter and, from
+// the second scrape on, the allocation rate derived between scrapes
+// (bytes/sec). Allocation *rate* is the number continuous profiling
+// chases — a steady heap gauge can hide a churn regression that the
+// delta-heap profile then explains — so the gauge makes "did churn
+// move" answerable from /metrics before anyone opens pprof.
+func sampleAllocRate(allocs uint64) {
+	now := time.Now()
+	G("go.alloc_bytes_total").Set(int64(allocs))
+	allocRateState.mu.Lock()
+	last, lastAt := allocRateState.lastallocs, allocRateState.lastAt
+	allocRateState.lastallocs, allocRateState.lastAt = allocs, now
+	allocRateState.mu.Unlock()
+	if lastAt.IsZero() || allocs < last {
+		return
+	}
+	dt := now.Sub(lastAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	FG("go.alloc_rate_bps").Set(float64(allocs-last) / dt)
 }
 
 // histQuantile estimates the q-th quantile of a runtime/metrics

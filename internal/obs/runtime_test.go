@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSampleRuntimeAllocSeries pins the allocation-trajectory gauges:
+// the cumulative counters land on the first scrape, and the derived
+// bytes/sec rate appears from the second scrape on, once there is an
+// interval to divide by.
+func TestSampleRuntimeAllocSeries(t *testing.T) {
+	r := Enable()
+	defer Disable()
+
+	// Reset the cross-test rate state: another test (or a previous
+	// scrape) may have seeded it.
+	allocRateState.mu.Lock()
+	allocRateState.lastAt = time.Time{}
+	allocRateState.lastallocs = 0
+	allocRateState.mu.Unlock()
+
+	SampleRuntime()
+	first := r.Snapshot()
+	if first.Gauges["go.alloc_bytes_total"] <= 0 {
+		t.Fatalf("go.alloc_bytes_total = %d after first scrape, want > 0", first.Gauges["go.alloc_bytes_total"])
+	}
+	if first.Gauges["go.gc_cycles_total"] < 0 {
+		t.Fatalf("go.gc_cycles_total = %d, want >= 0", first.Gauges["go.gc_cycles_total"])
+	}
+
+	// Allocate measurably, then scrape again: the rate must be derived
+	// over the interval and the cumulative counter must not regress.
+	sink := make([][]byte, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	time.Sleep(10 * time.Millisecond)
+	SampleRuntime()
+	second := r.Snapshot()
+	if second.Gauges["go.alloc_bytes_total"] < first.Gauges["go.alloc_bytes_total"] {
+		t.Fatalf("go.alloc_bytes_total regressed: %d -> %d",
+			first.Gauges["go.alloc_bytes_total"], second.Gauges["go.alloc_bytes_total"])
+	}
+	rate, ok := second.FloatGauges["go.alloc_rate_bps"]
+	if !ok {
+		t.Fatal("go.alloc_rate_bps absent after second scrape")
+	}
+	if rate <= 0 {
+		t.Fatalf("go.alloc_rate_bps = %v, want > 0 after allocating ~4MB", rate)
+	}
+}
+
+// TestSampleRuntimeDisabled: sampling with the registry disabled is a
+// no-op, not a panic.
+func TestSampleRuntimeDisabled(t *testing.T) {
+	Disable()
+	SampleRuntime()
+}

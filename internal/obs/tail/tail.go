@@ -44,6 +44,12 @@ type Config struct {
 	// Window is the rotation period; the buffer exposes the current and
 	// the previous window.
 	Window time.Duration
+	// OnOutlier, when set, is called (outside the buffer lock, on the
+	// request's goroutine) each time an entry displaces a retained slow
+	// entry from a full heap — a genuine latency outlier, not warm-up
+	// fill. The serving tier uses it to trigger a profile capture of
+	// the process while the slowness is still happening.
+	OnOutlier func(ev *obs.WideEvent)
 }
 
 // Entry is one captured request: its wide event plus the span tree that
@@ -153,7 +159,6 @@ func (b *Buffer) Add(ev *obs.WideEvent, span *obs.Span) {
 	entry := &Entry{Event: ev}
 
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	w := b.rotateLocked()
 	retained := errored || degraded
 	if errored {
@@ -162,13 +167,24 @@ func (b *Buffer) Add(ev *obs.WideEvent, span *obs.Span) {
 	if degraded {
 		w.degr = appendBounded(w.degr, entry, b.cfg.ErrN, &w.droppedDegr)
 	}
+	// An admission that displaces an entry from a *full* heap is a true
+	// outlier — slower than everything already retained — as opposed to
+	// warm-up fill right after start or rotation.
+	heapWasFull := len(w.slow) == b.cfg.SlowN
 	if b.pushSlowLocked(w, entry) {
 		retained = true
+	} else {
+		heapWasFull = false
 	}
 	if retained {
 		// Under b.mu so a concurrent Snapshot never observes the entry
 		// with its trace half-assigned.
 		entry.Trace = span.Snapshot()
+	}
+	b.mu.Unlock()
+
+	if heapWasFull && b.cfg.OnOutlier != nil {
+		b.cfg.OnOutlier(ev)
 	}
 }
 

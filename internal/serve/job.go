@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"emgo/internal/ckpt"
+	"emgo/internal/contprof"
 	"emgo/internal/fault"
 	"emgo/internal/obs"
 	"emgo/internal/parallel"
@@ -905,7 +906,16 @@ func (jm *Jobs) execShardOnce(ctx context.Context, job *Job, idx, lo, hi int) (*
 	if err != nil {
 		return nil, err
 	}
-	resps, _, err := jm.srv.matchSet(shardCtx, sub, job.breaker(idx), false)
+	var resps []*MatchResponse
+	if jm.srv.cfg.Profiler != nil {
+		// Label shard work so CPU captures separate batch-job cycles
+		// from interactive traffic (`go tool pprof -tags`).
+		contprof.Do(shardCtx, func(ctx context.Context) {
+			resps, _, err = jm.srv.matchSet(ctx, sub, job.breaker(idx), false)
+		}, "job", job.ID, "shard", strconv.Itoa(idx))
+	} else {
+		resps, _, err = jm.srv.matchSet(shardCtx, sub, job.breaker(idx), false)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"emgo/internal/contprof"
 	"emgo/internal/obs"
 )
 
@@ -70,6 +71,13 @@ func routeOf(pattern string) string {
 // the error budget; ops probes (health, status) get request IDs and
 // wide events but do not dilute the SLO.
 func (s *Server) observe(route string, trackSLO bool, h http.HandlerFunc) http.HandlerFunc {
+	// One label set per route, built once here at mux construction: the
+	// request path re-arms it with two pointer writes instead of paying
+	// pprof.Do's per-call label-map allocation.
+	var labels contprof.Labels
+	if s.cfg.Profiler != nil {
+		labels = contprof.NewLabels("route", route)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		id, ok := obs.SanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if !ok {
@@ -91,7 +99,12 @@ func (s *Server) observe(route string, trackSLO bool, h http.HandlerFunc) http.H
 		root.Annotate("request_id", id)
 
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r.WithContext(ctx))
+		// Label the handler's goroutine so continuous CPU captures slice
+		// by endpoint (`go tool pprof -tags`); the set is empty — and
+		// Do a plain call — when profiling is off.
+		labels.Do(ctx, func(ctx context.Context) {
+			h(sw, r.WithContext(ctx))
+		})
 		root.End()
 
 		if sw.status == 0 {

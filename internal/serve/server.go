@@ -34,6 +34,7 @@ import (
 
 	"emgo/internal/block"
 	"emgo/internal/ckpt"
+	"emgo/internal/contprof"
 	"emgo/internal/drift"
 	"emgo/internal/fault"
 	"emgo/internal/ml"
@@ -129,6 +130,15 @@ type Config struct {
 	// /v1/status, /metrics, and emmonitor slo; nil selects
 	// slo.DefaultObjectives.
 	SLOs []slo.Objective
+	// Profiler, when set, is the continuous-profiling retention ring:
+	// requests run under pprof route labels, tail-outlier admissions
+	// trigger captures, and /debug/contprof mounts on the handler. Nil
+	// disables all of it (labels included).
+	Profiler *contprof.Profiler
+	// ProfileOnBreach arms the profiler's breach probe against the SLO
+	// tracker, so a sustained burn-rate breach captures the burning
+	// process without an operator in the loop.
+	ProfileOnBreach bool
 }
 
 // Server is the online matching service.
@@ -202,6 +212,20 @@ func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *ta
 	if cfg.RightIDCol == "" {
 		cfg.RightIDCol = "RecordId"
 	}
+	tailCfg := tail.Config{SlowN: cfg.TailN, Window: cfg.TailWindow}
+	if prof := cfg.Profiler; prof != nil {
+		// A request slow enough to displace the retained slow set is
+		// worth a profile of the process while whatever slowed it down
+		// is plausibly still happening; the profiler's cooldown turns a
+		// storm of outliers into one capture.
+		tailCfg.OnOutlier = func(ev *obs.WideEvent) {
+			// TriggerFunc: displacements are common, scheduled captures
+			// rare — the detail is only formatted for the rare case.
+			prof.TriggerFunc(contprof.TriggerTailOutlier, func() string {
+				return fmt.Sprintf("route=%s duration_ms=%.1f", ev.Route, ev.DurationMS)
+			}, ev.RequestID)
+		}
+	}
 	s := &Server{
 		cfg:         cfg,
 		wf:          wf,
@@ -212,10 +236,26 @@ func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *ta
 		adm:         NewAdmission(cfg.Admission),
 		collector:   drift.NewCollector(cfg.DriftSampleCap, cfg.DriftSeed),
 		events:      obs.NewEventLog(cfg.AccessLog, cfg.AccessSampleN),
-		tailBuf:     tail.New(tail.Config{SlowN: cfg.TailN, Window: cfg.TailWindow}),
+		tailBuf:     tail.New(tailCfg),
 		sloTrk:      slo.New(slo.Config{Objectives: cfg.SLOs}),
 		started:     time.Now(),
 		drained:     make(chan struct{}),
+	}
+	if cfg.ProfileOnBreach && cfg.Profiler != nil {
+		trk := s.sloTrk
+		cfg.Profiler.SetBreachProbe(func() (bool, string) {
+			rep := trk.Evaluate()
+			if rep == nil || !rep.Breached {
+				return false, ""
+			}
+			for _, o := range rep.Objectives {
+				if o.Breached {
+					return true, fmt.Sprintf("objective=%s fast_burn=%.1f slow_burn=%.1f",
+						o.Name, o.FastBurn, o.SlowBurn)
+				}
+			}
+			return true, ""
+		})
 	}
 	if wf.Features != nil {
 		s.collector.SetFeatureNames(wf.Features.Names())
@@ -330,6 +370,10 @@ func (s *Server) Handler() http.Handler {
 	// The tail buffer is always on; the exact pattern takes precedence
 	// over the /debug/ prefix when the debug mux is mounted too.
 	mux.Handle("GET /debug/tail", s.tailBuf.Handler())
+	if s.cfg.Profiler != nil {
+		mux.Handle("/debug/contprof", s.cfg.Profiler.Handler())
+		mux.Handle("/debug/contprof/", s.cfg.Profiler.Handler())
+	}
 	if s.cfg.MountDebug {
 		dbg := obs.NewDebugMux()
 		mux.Handle("/debug/", dbg)

@@ -47,7 +47,24 @@ done
 
 goversion="$("$go_bin" version | sed 's/^go version //')"
 
-awk -v benchtime="$benchtime" -v benchcount="$benchcount" -v goversion="$goversion" '
+# Environment block: benchmark numbers only mean something relative to
+# the box that produced them, so the snapshot records enough of the
+# machine for `emmonitor perf` to refuse (or warn on) cross-environment
+# comparisons instead of mistaking a hardware change for a regression.
+goos="$("$go_bin" env GOOS)"
+goarch="$("$go_bin" env GOARCH)"
+gotool="$("$go_bin" env GOVERSION 2>/dev/null || echo unknown)"
+gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+cpu_model="$(awk -F': *' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$cpu_model" ] || cpu_model=unknown
+kernel="$(uname -sr 2>/dev/null || echo unknown)"
+# Strip characters that would break the hand-rolled JSON emitter.
+cpu_model="$(printf '%s' "$cpu_model" | tr -d '"\\')"
+kernel="$(printf '%s' "$kernel" | tr -d '"\\')"
+
+awk -v benchtime="$benchtime" -v benchcount="$benchcount" -v goversion="$goversion" \
+    -v goos="$goos" -v goarch="$goarch" -v gotool="$gotool" -v gomaxprocs="$gomaxprocs" \
+    -v cpu_model="$cpu_model" -v kernel="$kernel" '
 /^pkg: / { pkg = $2; next }
 /^Benchmark/ {
     # Benchmark<Name>-P  <iters>  <ns> ns/op  [<B> B/op  <allocs> allocs/op]
@@ -81,6 +98,14 @@ END {
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchcount\": %d,\n", benchcount + 0
+    printf "  \"environment\": {\n"
+    printf "    \"go\": \"%s\",\n", gotool
+    printf "    \"goos\": \"%s\",\n", goos
+    printf "    \"goarch\": \"%s\",\n", goarch
+    printf "    \"gomaxprocs\": %d,\n", gomaxprocs + 0
+    printf "    \"cpu_model\": \"%s\",\n", cpu_model
+    printf "    \"kernel\": \"%s\"\n", kernel
+    printf "  },\n"
     printf "  \"benchmarks\": ["
     for (i = 1; i <= n; i++) {
         if (i > 1) printf ","

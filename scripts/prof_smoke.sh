@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# prof_smoke.sh — end-to-end smoke test for continuous profiling and the
+# perf-regression gate (see docs/OBSERVABILITY.md, "Continuous profiling
+# & perf gating").
+#
+# Three phases, every server race-built:
+#
+#   1. capture ring: emserve with a sub-second -prof-interval and a tiny
+#      -prof-max. Interval captures must land in /debug/contprof, a
+#      manual trigger must schedule (and an immediate repeat
+#      deduplicate), fetched profiles must be valid gzip, unknown and
+#      traversal-shaped ids must 404, and the ring must prune to its
+#      capacity on disk while the capture sequence keeps advancing.
+#      SIGTERM then drains the server: exit 130, a final trigger=drain
+#      capture in the ring, zero leaked goroutines, race-clean.
+#
+#   2. breach trigger: emserve with -prof-on-breach, a 50ms p99 latency
+#      objective, and 300ms of injected latency on every match. Burning
+#      traffic must produce a trigger=slo_breach capture naming the
+#      objective — the profile of the fire, captured during the fire.
+#
+#   3. perf gate: `emmonitor perf` over fixture snapshots must exit 0 on
+#      identical numbers and exit exactly 1 when one benchmark's ns/op
+#      is inflated 20% — the committed-BENCH-trajectory contract. A gate
+#      that cannot fail is not a gate.
+#
+# Everything runs in a temp dir; only POSIX tools + the go toolchain are
+# required. Shared plumbing lives in scripts/smoke_lib.sh.
+set -u
+
+SCALE="${PROF_SCALE:-0.1}"
+SEED="${PROF_SEED:-11}"
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init prof-smoke
+
+say "building emgen, emcasestudy, emserve (-race), emmonitor, profsmoke"
+smoke_build emgen ./cmd/emgen
+smoke_build emcasestudy ./cmd/emcasestudy
+smoke_build emmonitor ./cmd/emmonitor
+smoke_build emserve ./cmd/emserve -race
+smoke_build profsmoke ./scripts/profsmoke
+
+smoke_gen_data "$SCALE" "$SEED"
+smoke_export_matcher
+
+SMOKE_PROF_DIRS="$TMP/prof1 $TMP/prof2"
+
+# ---- Phase 1: interval captures, trigger dedup, fetch, ring pruning -----
+
+say "phase 1: capture ring (interval 400ms, max 3)"
+smoke_start_emserve "$TMP/serve_prof.err" \
+    -matcher "$TMP/matcher.json" \
+    -prof-dir "$TMP/prof1" -prof-interval 400ms -prof-cpu 100ms -prof-max 3
+say "emserve is listening on $ADDR"
+
+"$TMP/profsmoke" -addr "$ADDR" -right "$RIGHT" \
+    -phase capture -prof-dir "$TMP/prof1" -max 3 2>&1 | tee "$TMP/profsmoke1.log"
+status=${PIPESTATUS[0]}
+[ "$status" -eq 0 ] || fail "profsmoke capture phase exited $status, want 0"
+
+say "SIGTERM: draining the phase-1 server (want a final drain capture)"
+smoke_drain_server "$TMP/serve_prof.err"
+grep -q "drain capture" "$TMP/serve_prof.err" ||
+    fail "emserve logged no drain capture on SIGTERM"
+grep -l '"trigger": "drain"' "$TMP/prof1"/*.meta.json >/dev/null 2>&1 ||
+    fail "no trigger=drain capture survived in the ring after drain"
+
+# ---- Phase 2: SLO burn must capture the fire ----------------------------
+
+say "phase 2: breach-triggered capture (50ms p99 objective, 300ms injected latency)"
+smoke_start_emserve "$TMP/serve_burn.err" \
+    -matcher "$TMP/matcher.json" \
+    -slo "latency=50ms@99" \
+    -inject "serve.match:mode=sleep,sleep=300ms" \
+    -prof-dir "$TMP/prof2" -prof-interval 1s -prof-cpu 100ms -prof-on-breach
+say "emserve is listening on $ADDR"
+
+"$TMP/profsmoke" -addr "$ADDR" -right "$RIGHT" \
+    -phase breach 2>&1 | tee "$TMP/profsmoke2.log"
+status=${PIPESTATUS[0]}
+[ "$status" -eq 0 ] || fail "profsmoke breach phase exited $status, want 0"
+
+say "SIGTERM: draining the phase-2 server"
+smoke_drain_server "$TMP/serve_burn.err"
+
+# ---- Phase 3: the perf gate must hold, then trip on a 20% inflation -----
+
+say "phase 3: emmonitor perf over fixture snapshots"
+cat >"$TMP/bench_old.json" <<'EOF'
+{
+  "generated_by": "scripts/bench_snapshot.sh",
+  "go": "go test",
+  "benchtime": "0.2s",
+  "benchcount": 3,
+  "benchmarks": [
+    {"package": "internal/match", "name": "BenchmarkMatchPair-8",
+     "iterations": 1000, "ns_per_op": 50000, "bytes_per_op": 2048, "allocs_per_op": 30},
+    {"package": "internal/serve", "name": "BenchmarkMatchSingle-8",
+     "iterations": 500, "ns_per_op": 200000, "bytes_per_op": 8192, "allocs_per_op": 120}
+  ],
+  "count": 2
+}
+EOF
+# Same numbers -> the gate holds.
+cp "$TMP/bench_old.json" "$TMP/bench_same.json"
+"$TMP/emmonitor" perf "$TMP/bench_old.json" "$TMP/bench_same.json" >"$TMP/gate_ok.txt" 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+    fail "perf gate on identical snapshots exited $status, want 0:"
+    cat "$TMP/gate_ok.txt" >&2
+fi
+grep -q "gate holds" "$TMP/gate_ok.txt" || fail "perf gate printed no verdict"
+
+# One benchmark inflated 20% -> exit exactly 1.
+sed 's/"ns_per_op": 50000/"ns_per_op": 60000/' "$TMP/bench_old.json" >"$TMP/bench_slow.json"
+"$TMP/emmonitor" perf "$TMP/bench_old.json" "$TMP/bench_slow.json" >"$TMP/gate_trip.txt" 2>&1
+status=$?
+if [ "$status" -ne 1 ]; then
+    fail "perf gate on a 20% inflation exited $status, want exactly 1:"
+    cat "$TMP/gate_trip.txt" >&2
+fi
+grep -q "FAIL.*BenchmarkMatchPair" "$TMP/gate_trip.txt" ||
+    fail "tripped gate did not name the regressed benchmark"
+
+# Unreadable input -> exit 2, not a breach verdict.
+"$TMP/emmonitor" perf "$TMP/bench_old.json" "$TMP/absent.json" >/dev/null 2>&1
+status=$?
+[ "$status" -eq 2 ] || fail "perf gate on missing input exited $status, want 2"
+
+smoke_finish "(capture ring + drain capture -> breach capture -> gate trips exit 1, race-clean, zero leaks)"

@@ -1,0 +1,381 @@
+// Command profsmoke is the HTTP driver behind scripts/prof_smoke.sh: it
+// aims traffic at a running emserve with continuous profiling armed and
+// asserts the capture contract — interval captures landing in the ring,
+// manual triggers scheduling (and deduplicating) through
+// /debug/contprof/trigger, fetched profiles being valid gzip, the ring
+// pruning to its capacity while the capture sequence keeps advancing,
+// and (breach phase) an SLO burn producing a trigger=slo_breach capture
+// while the fire is still burning. The shell script owns process
+// lifecycle, drain assertions, and the emmonitor perf exit-code checks;
+// this driver owns everything that needs an HTTP client and JSON
+// parsing.
+//
+// Usage:
+//
+//	profsmoke -addr 127.0.0.1:PORT -right USDAProjected.csv \
+//	          -prof-dir prof/ -phase capture [-max 3]
+//	profsmoke -addr 127.0.0.1:PORT -right USDAProjected.csv \
+//	          -phase breach
+//
+// The capture phase expects the server armed with a sub-second
+// -prof-interval and -prof-max <max>; the breach phase expects
+// -prof-on-breach, a tight latency SLO, and an injected sleep on every
+// match so the budget burns immediately.
+//
+// Exit status: 0 when every assertion holds, 1 otherwise (each failure
+// is printed), 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"emgo/internal/table"
+)
+
+var failures int
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "profsmoke: FAIL: "+format+"\n", args...)
+	failures++
+}
+
+func say(format string, args ...any) {
+	fmt.Printf("profsmoke: "+format+"\n", args...)
+}
+
+// capMeta is the slice of a capture's metadata sidecar the assertions
+// read.
+type capMeta struct {
+	ID        string            `json:"id"`
+	Trigger   string            `json:"trigger"`
+	Detail    string            `json:"detail"`
+	RequestID string            `json:"request_id"`
+	GoVersion string            `json:"go_version"`
+	Profiles  map[string]string `json:"profiles"`
+}
+
+type capListing struct {
+	Dir      string    `json:"dir"`
+	Captures []capMeta `json:"captures"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "emserve address (host:port)")
+	rightPath := flag.String("right", "", "right-table CSV the server deployed (titles are mined for requests)")
+	profDir := flag.String("prof-dir", "", "the server's -prof-dir (capture phase: disk-side pruning is asserted too)")
+	phase := flag.String("phase", "capture", "capture | breach")
+	maxCaptures := flag.Int("max", 3, "the server's -prof-max (capture phase)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-assertion polling deadline")
+	flag.Parse()
+	if *addr == "" || *rightPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: profsmoke -addr host:port -right right.csv -phase capture|breach [-prof-dir dir -max 3]")
+		os.Exit(2)
+	}
+	base := "http://" + *addr
+
+	body, err := requestBody(*rightPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profsmoke:", err)
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	switch *phase {
+	case "capture":
+		if *profDir == "" {
+			fmt.Fprintln(os.Stderr, "profsmoke: -phase capture needs -prof-dir")
+			os.Exit(2)
+		}
+		capturePhase(client, base, body, *profDir, *maxCaptures, *timeout)
+	case "breach":
+		breachPhase(client, base, body, *timeout)
+	default:
+		fmt.Fprintln(os.Stderr, "profsmoke: unknown -phase", *phase)
+		os.Exit(2)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "profsmoke: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	say("PASS (%s phase)", *phase)
+}
+
+// capturePhase asserts interval captures, manual trigger + dedup, gzip
+// fetches, and ring pruning on a healthy fast-interval server.
+func capturePhase(client *http.Client, base, body, profDir string, maxCaptures int, timeout time.Duration) {
+	driveMatches(client, base, body, 4)
+
+	// Interval captures land on their own.
+	listing, ok := pollListing(client, base, timeout, func(l *capListing) bool {
+		return firstByTrigger(l, "interval") != nil
+	})
+	if !ok {
+		fail("no interval capture landed within %v", timeout)
+		return
+	}
+	iv := firstByTrigger(listing, "interval")
+	say("interval capture %s in the ring (%d profiles)", iv.ID, len(iv.Profiles))
+	if iv.GoVersion == "" {
+		fail("capture %s sidecar carries no go_version", iv.ID)
+	}
+	for _, kind := range []string{"cpu", "heap", "goroutine", "mutex", "block"} {
+		if iv.Profiles[kind] == "" {
+			fail("capture %s is missing the %s profile", iv.ID, kind)
+		}
+	}
+
+	// A manual trigger schedules; an immediate repeat deduplicates into
+	// the cooldown window.
+	if scheduled, ok := postTrigger(client, base, "smoke"); ok && !scheduled {
+		fail("first manual trigger was deduplicated — ring should have been cold for reason=smoke")
+	}
+	if scheduled, ok := postTrigger(client, base, "smoke"); ok && scheduled {
+		fail("second manual trigger within the cooldown was not deduplicated")
+	}
+	listing, ok = pollListing(client, base, timeout, func(l *capListing) bool {
+		return firstByTrigger(l, "smoke") != nil
+	})
+	if !ok {
+		fail("triggered capture (reason=smoke) never landed")
+		return
+	}
+	manual := firstByTrigger(listing, "smoke")
+	say("manual trigger landed as capture %s", manual.ID)
+
+	// Fetched profiles are valid gzip (the pprof wire format).
+	for _, kind := range []string{"cpu", "heap"} {
+		data := fetchProfile(client, base, manual.ID, kind)
+		if data == nil {
+			continue
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			fail("fetched %s profile of %s is not gzip (leading bytes % x)", kind, manual.ID, data[:min(4, len(data))])
+		} else {
+			say("fetched %s profile of %s: %d bytes of gzip", kind, manual.ID, len(data))
+		}
+	}
+
+	// Unknown ids (including traversal-shaped ones) 404.
+	for _, id := range []string{"cap-999999", "../../etc/passwd"} {
+		resp, err := client.Get(base + "/debug/contprof/fetch?id=" + strings.ReplaceAll(id, "/", "%2F") + "&kind=cpu")
+		if err != nil {
+			fail("fetch %q: %v", id, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			fail("fetch of unknown id %q returned %d, want 404", id, resp.StatusCode)
+		}
+	}
+
+	// Pruning: wait until the capture sequence has minted well past the
+	// ring capacity, then assert both the listing and the on-disk
+	// sidecar count stay bounded.
+	listing, ok = pollListing(client, base, timeout, func(l *capListing) bool {
+		return maxSeq(l) >= maxCaptures+2
+	})
+	if !ok {
+		fail("capture sequence never advanced past max+2 (ring stuck?)")
+		return
+	}
+	if len(listing.Captures) > maxCaptures {
+		fail("ring holds %d captures, want <= %d", len(listing.Captures), maxCaptures)
+	}
+	sidecars, err := filepath.Glob(filepath.Join(profDir, "*.meta.json"))
+	if err != nil {
+		fail("glob %s: %v", profDir, err)
+	} else if len(sidecars) > maxCaptures {
+		fail("%d sidecars on disk, want <= %d (pruning must delete files, not just forget them)", len(sidecars), maxCaptures)
+	} else {
+		say("ring pruned: seq at %d, %d in the ring, %d sidecars on disk (cap %d)",
+			maxSeq(listing), len(listing.Captures), len(sidecars), maxCaptures)
+	}
+}
+
+// breachPhase drives slow traffic against a tight latency SLO until the
+// armed breach probe produces a trigger=slo_breach capture.
+func breachPhase(client *http.Client, base, body string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		driveMatches(client, base, body, 2)
+		listing, ok := getListing(client, base)
+		if !ok {
+			return
+		}
+		if m := firstByTrigger(listing, "slo_breach"); m != nil {
+			if m.Detail == "" {
+				fail("slo_breach capture %s carries no objective detail", m.ID)
+			} else {
+				say("SLO breach produced capture %s (%s)", m.ID, m.Detail)
+			}
+			return
+		}
+	}
+	fail("no slo_breach capture landed within %v of burning traffic", timeout)
+}
+
+// pollListing re-fetches /debug/contprof until want(listing) or the
+// deadline.
+func pollListing(client *http.Client, base string, timeout time.Duration, want func(*capListing) bool) (*capListing, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		listing, ok := getListing(client, base)
+		if !ok {
+			return nil, false
+		}
+		if want(listing) {
+			return listing, true
+		}
+		if !time.Now().Before(deadline) {
+			return listing, false
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func getListing(client *http.Client, base string) (*capListing, bool) {
+	resp, err := client.Get(base + "/debug/contprof")
+	if err != nil {
+		fail("GET /debug/contprof: %v", err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fail("GET /debug/contprof returned %d: %s", resp.StatusCode, data)
+		return nil, false
+	}
+	var listing capListing
+	if err := json.Unmarshal(data, &listing); err != nil {
+		fail("/debug/contprof listing is not JSON: %v", err)
+		return nil, false
+	}
+	if listing.Dir == "" {
+		fail("/debug/contprof listing carries no ring dir")
+	}
+	return &listing, true
+}
+
+func postTrigger(client *http.Client, base, reason string) (scheduled, ok bool) {
+	resp, err := client.Post(base+"/debug/contprof/trigger?reason="+reason, "", nil)
+	if err != nil {
+		fail("POST trigger: %v", err)
+		return false, false
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		fail("POST trigger returned %d: %s", resp.StatusCode, data)
+		return false, false
+	}
+	var ans struct {
+		Scheduled bool `json:"scheduled"`
+	}
+	if err := json.Unmarshal(data, &ans); err != nil {
+		fail("trigger answer is not JSON: %v", err)
+		return false, false
+	}
+	return ans.Scheduled, true
+}
+
+func fetchProfile(client *http.Client, base, id, kind string) []byte {
+	resp, err := client.Get(base + "/debug/contprof/fetch?id=" + id + "&kind=" + kind)
+	if err != nil {
+		fail("fetch %s/%s: %v", id, kind, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fail("fetch %s/%s returned %d: %s", id, kind, resp.StatusCode, data)
+		return nil
+	}
+	return data
+}
+
+// firstByTrigger returns the oldest capture with the given trigger, nil
+// if none.
+func firstByTrigger(l *capListing, trigger string) *capMeta {
+	for i := range l.Captures {
+		if l.Captures[i].Trigger == trigger {
+			return &l.Captures[i]
+		}
+	}
+	return nil
+}
+
+// maxSeq extracts the highest numeric capture sequence in the listing
+// (ids are cap-%06d), so pruning can be asserted as "the sequence kept
+// advancing while the ring stayed bounded".
+func maxSeq(l *capListing) int {
+	top := -1
+	for _, m := range l.Captures {
+		s, ok := strings.CutPrefix(m.ID, "cap-")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.Atoi(s); err == nil && n > top {
+			top = n
+		}
+	}
+	return top
+}
+
+// driveMatches sends n match requests so the server has labeled work in
+// flight while captures run.
+func driveMatches(client *http.Client, base, body string, n int) {
+	for i := 0; i < n; i++ {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/match", strings.NewReader(body))
+		if err != nil {
+			fail("build request: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			fail("POST /v1/match: %v", err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("match returned %d", resp.StatusCode)
+			return
+		}
+	}
+}
+
+// requestBody mines the deployed right table for a title long enough to
+// survive blocking, so requests exercise the full pipeline.
+func requestBody(rightPath string) (string, error) {
+	right, err := table.ReadCSVFile(rightPath, nil)
+	if err != nil {
+		return "", err
+	}
+	col, err := right.Col("AwardTitle")
+	if err != nil {
+		return "", err
+	}
+	for i := 0; i < right.Len(); i++ {
+		title := right.Row(i)[col].Str()
+		if len(strings.Fields(title)) >= 4 {
+			req := map[string]any{"record": map[string]any{
+				"RecordId": "prof-0", "AwardTitle": title,
+			}}
+			data, err := json.Marshal(req)
+			return string(data), err
+		}
+	}
+	return "", fmt.Errorf("no right-table title with >= 4 words in %s", rightPath)
+}

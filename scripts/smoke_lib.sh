@@ -36,6 +36,12 @@ smoke_init() {
 smoke_cleanup() {
     [ -n "${SERVE_PID:-}" ] && kill -9 "$SERVE_PID" 2>/dev/null
     rm -rf "$TMP"
+    # Profile rings a smoke pointed outside $TMP (SMOKE_PROF_DIRS,
+    # space-separated) go too: a failed run must not leave pprof dumps
+    # accreting in the work tree.
+    for _prof_dir in ${SMOKE_PROF_DIRS:-}; do
+        rm -rf "$_prof_dir"
+    done
 }
 
 say() { printf '%s: %s\n' "$SMOKE_NAME" "$*"; }
