@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke prof-smoke perf-gate
+.PHONY: all tier1 build test vet fmt-check race tier2 ci bench bench-baseline chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke prof-smoke stream-smoke perf-gate
 
 all: tier1
 
@@ -88,6 +88,17 @@ load-smoke:
 prof-smoke:
 	./scripts/prof_smoke.sh
 
+# stream-smoke exercises the resumable streaming result transport with a
+# race-built emserve: a cursor-persisted fetch is SIGKILL'd mid-stream
+# and resumed byte-identically after a restart over the same job dir, a
+# drain cuts another stream at a flush boundary and the access logs of
+# the cut and the resume must chain (stream_from = stream_end), every
+# stream outlives a hostile global -write-timeout via per-chunk
+# deadlines, and the stalled-reader/memory-bound harnesses run as go
+# tests — see scripts/stream_smoke.sh and docs/SERVING.md.
+stream-smoke:
+	./scripts/stream_smoke.sh
+
 # perf-gate diffs the two newest committed BENCH_pr*.json snapshots with
 # the noise-aware regression gate: exit 1 means the latest snapshot
 # regressed past the fail thresholds against its predecessor — see
@@ -110,7 +121,7 @@ perf-gate:
 # trustworthy race-clean), the kill/resume chaos harness, and the
 # quality-monitoring and serving smoke loops, and the perf-regression
 # gate over the committed BENCH trajectory.
-tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke prof-smoke perf-gate
+tier2: fmt-check vet race chaos monitor-smoke serve-smoke job-smoke obs-smoke load-smoke prof-smoke stream-smoke perf-gate
 
 ci: tier1 tier2
 

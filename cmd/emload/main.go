@@ -2,7 +2,7 @@
 // emserve (see docs/SERVING.md, "Capacity & soak testing").
 //
 //	emload -addr 127.0.0.1:8080 -right USDAProjected.csv \
-//	       [-mode run|soak|capacity|chaos] \
+//	       [-mode run|soak|capacity|chaos|stream] \
 //	       [-profile uniform|poisson|burst|ramp] [-rate 50] [-duration 30s] \
 //	       [-seed 1] [-blend single=88,batch=5,job=0,malformed=2,oversized=1,status=4] \
 //	       [-pick zipf|uniform] [-zipf-s 1.2] \
@@ -33,6 +33,11 @@
 //	          boundary mid-load via EMCKPT_KILL, restarts it, and
 //	          requires byte-identical job resume, Retry-After on sheds,
 //	          a re-closed breaker, and a leak- and race-clean drain.
+//	stream    resumable-results proof: submit a job, stream its results
+//	          once cleanly and once with injected disconnects every
+//	          -disconnect-every chunks (cursor persisted to
+//	          -cursor-file), and require byte-identical reassembly; the
+//	          chaos fetch's MB/s and resume count land in the summary.
 //
 // Everything is seeded and deterministic on the generator side: the
 // same flags replay the same arrival schedule bit for bit.
@@ -62,7 +67,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("emload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 
-	mode := fs.String("mode", "run", "run | soak | capacity | chaos")
+	mode := fs.String("mode", "run", "run | soak | capacity | chaos | stream")
 	addr := fs.String("addr", "", "server under test (host:port or http URL); not used by -mode chaos")
 	right := fs.String("right", "", "right-table CSV the record pool is mined from")
 	summaryPath := fs.String("summary", "", "write the summary JSON here instead of stdout")
@@ -108,9 +113,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	breakerFailures := fs.Int("breaker-failures", 2, "chaos: victim's -breaker-failures")
 	breakerCooldown := fs.Duration("breaker-cooldown", 300*time.Millisecond, "chaos: victim's -breaker-cooldown")
 	minResumed := fs.Int("min-resumed", 1, "chaos: resumed-shard floor the restarted job must report")
-	shardSize := fs.Int("shard-size", 4, "chaos: canonical job shard size")
+	shardSize := fs.Int("shard-size", 4, "chaos/stream: canonical job shard size")
 	chaosJobRecords := fs.Int("chaos-job-records", 24, "chaos: canonical job record count")
-	jobTimeout := fs.Duration("job-timeout", 120*time.Second, "chaos: per-await job deadline")
+	jobTimeout := fs.Duration("job-timeout", 120*time.Second, "chaos/stream: per-await job deadline")
+
+	disconnectEvery := fs.Int("disconnect-every", 1, "stream: drop the connection after this many committed chunks and resume (0 = no chaos)")
+	cursorPath := fs.String("cursor-file", "", "stream: persist the committed resume cursor to this file after every chunk")
 
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -240,6 +248,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		summary.Pass = cres.MaxSustainableQPS > 0
 		fmt.Fprintf(stderr, "emload: max sustainable rate %.1f qps at p99 <= %.0fms (achieved %.1f qps, p99 %.1fms)\n",
 			cres.MaxSustainableQPS, cres.P99TargetMS, cres.AchievedAtMaxQPS, cres.P99AtMaxMS)
+
+	case "stream":
+		if *addr == "" {
+			fmt.Fprintln(stderr, "emload: -addr is required for -mode stream")
+			return 2
+		}
+		sres, err := load.RunStream(ctx, load.StreamRunConfig{
+			Client:          clientCfg,
+			Pool:            pool,
+			JobRecords:      *jobRecords,
+			ShardSize:       *shardSize,
+			DisconnectEvery: *disconnectEvery,
+			CursorPath:      *cursorPath,
+			JobTimeout:      *jobTimeout,
+			Report:          stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "emload: stream: %v\n", err)
+			return 2
+		}
+		summary.Stream = sres
+		summary.Pass = sres.Pass
 
 	case "chaos":
 		if *serverBin == "" {

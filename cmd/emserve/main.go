@@ -18,6 +18,8 @@
 //	        [-transforms umetrics] [-date-cols ...] [-drift-baseline baseline.json] \
 //	        [-max-batch 256] [-job-dir jobs/] [-job-workers 2] [-job-shard-size 32] \
 //	        [-job-max-queued 8] [-job-attempts 3] \
+//	        [-stream-chunk-timeout 15s] [-max-streams 4] [-stream-flush 256] \
+//	        [-job-buffered-max 10000] \
 //	        [-access-log events.jsonl] [-access-sample 10] [-tail-n 16] \
 //	        [-slo availability=99.9,latency=250ms@99] [-tail-dump tail.json] \
 //	        [-prof-dir prof/] [-prof-interval 60s] [-prof-cpu 1s] [-prof-max 32] \
@@ -29,7 +31,14 @@
 // Endpoints (see docs/SERVING.md): POST /v1/match answers one record;
 // POST /v1/match/batch answers a bounded batch in one amortized pipeline
 // pass; POST /v1/jobs submits an async bulk job (poll GET /v1/jobs/{id},
-// fetch GET /v1/jobs/{id}/results — needs -job-dir); GET /healthz,
+// fetch GET /v1/jobs/{id}/results — needs -job-dir; add ?stream=ndjson
+// for the resumable NDJSON stream with HMAC-signed cursors, which is
+// mandatory past -job-buffered-max records). Stream chunks carry their
+// own -stream-chunk-timeout write deadlines, so a global -write-timeout
+// bounds buffered responses without cutting healthy long streams; at
+// most -max-streams streams hold shard files open at once (excess sheds
+// 429), and a drain ends active streams at a flush boundary with a
+// resumable cursor. GET /healthz,
 // /readyz and /-/status report liveness, readiness and the live
 // breaker/queue counters; POST /-/reload hot-swaps the matcher
 // artifact; POST /-/drain starts a graceful drain; GET /-/drift serves the
@@ -174,6 +183,10 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 	jobShardSize := fs.Int("job-shard-size", 0, "records per job shard (0 = default)")
 	jobMaxQueued := fs.Int("job-max-queued", 0, "jobs queued or running before submissions shed (0 = default)")
 	jobAttempts := fs.Int("job-attempts", 0, "attempts per shard before quarantine (0 = default)")
+	streamChunkTimeout := fs.Duration("stream-chunk-timeout", 0, "slow-reader budget: a results stream whose client absorbs no chunk for this long is cut at a resumable cursor (0 = default 15s)")
+	maxStreams := fs.Int("max-streams", 0, "concurrent result streams holding shard files open; excess sheds 429 (0 = default)")
+	streamFlushEvery := fs.Int("stream-flush", 0, "records per stream chunk between cursor commits (0 = default)")
+	jobBufferedMax := fs.Int("job-buffered-max", 0, "records the legacy buffered results fetch will assemble; larger jobs must use ?stream=ndjson (0 = default)")
 	noDebug := fs.Bool("no-debug", false, "do not mount /debug/ (expvar, pprof) and /metrics on the service")
 	accessLog := fs.String("access-log", "", "write one JSON wide event per request to this file (- = stderr; empty = off)")
 	accessSample := fs.Int("access-sample", 1, "log 1 in N successful requests (errors/sheds/degraded always log)")
@@ -271,6 +284,12 @@ func runCtx(ctx context.Context, args []string, stdout, stderr io.Writer) (err e
 			ShardSize:     *jobShardSize,
 			MaxQueued:     *jobMaxQueued,
 			ShardAttempts: *jobAttempts,
+		},
+		Stream: serve.StreamConfig{
+			ChunkTimeout:       *streamChunkTimeout,
+			MaxStreams:         *maxStreams,
+			FlushEvery:         *streamFlushEvery,
+			BufferedMaxRecords: *jobBufferedMax,
 		},
 	}
 	if *driftBaseline != "" {

@@ -112,6 +112,7 @@ type Summary struct {
 	Gate   *GateResult     `json:"gate,omitempty"`
 	Capac  *CapacityResult `json:"capacity,omitempty"`
 	Chaos  *ChaosResult    `json:"chaos,omitempty"`
+	Stream *StreamResult   `json:"stream,omitempty"`
 }
 
 // Write renders the summary as indented JSON.

@@ -37,6 +37,7 @@ const (
 	OutcomeTimeout    = "timeout"     // 504: request deadline exceeded
 	OutcomeError      = "error"       // 5xx other than the above
 	OutcomeBadRequest = "bad_request" // 4xx client errors
+	OutcomeStreamCut  = "stream_cut"  // result stream cut mid-flight (slow reader / disconnect)
 )
 
 // WideEvent is one request's complete record. Zero-valued fields are
@@ -78,6 +79,17 @@ type WideEvent struct {
 	// not job traffic; Shard is meaningful only on shard events).
 	JobID string `json:"job_id,omitempty"`
 	Shard int    `json:"shard,omitempty"`
+	// Streamed marks a streaming results fetch; StreamFrom/StreamEnd are
+	// its start and end positions as "shard/offset", so a multi-
+	// connection fetch is reconstructable from the access log alone (the
+	// resume's stream_from matches the prior event's stream_end).
+	Streamed   bool   `json:"streamed,omitempty"`
+	StreamFrom string `json:"stream_from,omitempty"`
+	StreamEnd  string `json:"stream_end,omitempty"`
+	// StreamChunks counts flushed chunks; StreamComplete marks a stream
+	// that reached the terminal summary line.
+	StreamChunks   int  `json:"stream_chunks,omitempty"`
+	StreamComplete bool `json:"stream_complete,omitempty"`
 	// Stages maps pipeline stage names to wall milliseconds, from the
 	// request's span tree.
 	Stages map[string]float64 `json:"stages,omitempty"`
@@ -197,6 +209,24 @@ func (e *WideEvent) appendJSON(b []byte) []byte {
 	if e.Shard > 0 {
 		b = append(b, `,"shard":`...)
 		b = strconv.AppendInt(b, int64(e.Shard), 10)
+	}
+	if e.Streamed {
+		b = append(b, `,"streamed":true`...)
+	}
+	if e.StreamFrom != "" {
+		b = append(b, `,"stream_from":`...)
+		b = appendJSONString(b, e.StreamFrom)
+	}
+	if e.StreamEnd != "" {
+		b = append(b, `,"stream_end":`...)
+		b = appendJSONString(b, e.StreamEnd)
+	}
+	if e.StreamChunks > 0 {
+		b = append(b, `,"stream_chunks":`...)
+		b = strconv.AppendInt(b, int64(e.StreamChunks), 10)
+	}
+	if e.StreamComplete {
+		b = append(b, `,"stream_complete":true`...)
 	}
 	if len(e.Stages) > 0 {
 		names := make([]string, 0, len(e.Stages))

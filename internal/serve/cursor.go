@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"emgo/internal/ckpt"
+	"emgo/internal/fault"
+)
+
+// Resume cursors: the streaming results transport hands the client an
+// opaque token at every flush boundary naming the exact durable
+// position the stream has reached — job, shard index, record offset
+// within the shard — plus the matcher checksum the results were
+// computed with. The token is HMAC-SHA256-signed with a key persisted
+// next to the job checkpoints, so cursors survive a server SIGKILL and
+// restart, but a client cannot mint, replay across jobs, or bit-twiddle
+// one into another job's shards: any irregularity fails closed as a
+// uniform 400 that reveals nothing about why.
+
+// cursorPrefix versions the wire format ("emc1.<payload>.<mac>").
+const cursorPrefix = "emc1"
+
+// streamKeyFile is the HMAC key's file name under the job root. It is a
+// plain file (not a ckpt artifact): it must survive manifest
+// fingerprint changes, and it carries no integrity requirement beyond
+// "same bytes after restart" — a torn write just invalidates old
+// cursors, which fail closed.
+const streamKeyFile = "stream.key"
+
+// Cursor is the signed payload of a resume token. The short JSON keys
+// are wire format, not style: cursors ride in query strings.
+type Cursor struct {
+	Job     string `json:"j"`
+	Shard   int    `json:"s"`
+	Offset  int    `json:"o"`
+	Matcher string `json:"m"`
+}
+
+// loadStreamKey loads (or mints and persists) the cursor-signing key
+// under dir. Unreadable or short key files are replaced: old cursors
+// then fail closed with 400 and clients restart their fetch, which is
+// the safe failure for a signing key of unknown provenance.
+func loadStreamKey(dir string) ([]byte, error) {
+	path := filepath.Join(dir, streamKeyFile)
+	if key, err := os.ReadFile(path); err == nil && len(key) == 32 {
+		return key, nil
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	if err := ckpt.AtomicWriteFile(path, key, 0o600); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// encodeCursor signs and serializes one cursor position.
+func encodeCursor(key []byte, c Cursor) string {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		// Cursor fields are a string and two ints; Marshal cannot fail.
+		panic("serve: encode cursor: " + err.Error())
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(payload)
+	enc := base64.RawURLEncoding
+	return cursorPrefix + "." + enc.EncodeToString(payload) + "." + enc.EncodeToString(mac.Sum(nil))
+}
+
+// errBadCursor is the uniform fail-closed answer for every invalid
+// cursor: same status, same message, whether the token was truncated,
+// bit-flipped, forged, or aimed at another job — an attacker learns
+// nothing from the distinction, and a fuzzer can pin the contract.
+func errBadCursor() *RequestError {
+	return &RequestError{Status: http.StatusBadRequest, Msg: "invalid cursor"}
+}
+
+// parseCursor authenticates and decodes a resume token. Every failure
+// — wrong shape, bad base64, MAC mismatch, undecodable payload, or an
+// injected serve.stream.cursor fault — returns the same 400, never a
+// panic and never a partial decode.
+func parseCursor(key []byte, raw string) (Cursor, error) {
+	if err := fault.Inject("serve.stream.cursor"); err != nil {
+		return Cursor{}, errBadCursor()
+	}
+	if len(raw) > 1024 {
+		return Cursor{}, errBadCursor()
+	}
+	parts := strings.Split(raw, ".")
+	if len(parts) != 3 || parts[0] != cursorPrefix {
+		return Cursor{}, errBadCursor()
+	}
+	enc := base64.RawURLEncoding
+	payload, err := enc.DecodeString(parts[1])
+	if err != nil {
+		return Cursor{}, errBadCursor()
+	}
+	gotMAC, err := enc.DecodeString(parts[2])
+	if err != nil {
+		return Cursor{}, errBadCursor()
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(payload)
+	if !hmac.Equal(gotMAC, mac.Sum(nil)) {
+		return Cursor{}, errBadCursor()
+	}
+	var c Cursor
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return Cursor{}, errBadCursor()
+	}
+	if c.Job == "" || c.Shard < 0 || c.Offset < 0 {
+		return Cursor{}, errBadCursor()
+	}
+	return c, nil
+}
+
+// cursorFor signs the cursor naming (shard, offset) of job as the next
+// position to stream from.
+func (jm *Jobs) cursorFor(job *Job, shard, offset int) string {
+	return encodeCursor(jm.streamKey, Cursor{
+		Job:     job.ID,
+		Shard:   shard,
+		Offset:  offset,
+		Matcher: jm.matcherChecksum(),
+	})
+}
+
+// parseCursorFor authenticates raw and binds it to job: a token signed
+// for any other job answers the same uniform 400 (a valid signature is
+// not a capability on someone else's shards), an out-of-range position
+// is 400, and a matcher checksum mismatch — the artifact was hot-
+// reloaded mid-fetch, so earlier bytes and later bytes would disagree —
+// is 409, telling the client to restart the fetch rather than resume.
+func (jm *Jobs) parseCursorFor(job *Job, raw string) (Cursor, error) {
+	c, err := parseCursor(jm.streamKey, raw)
+	if err != nil {
+		return Cursor{}, err
+	}
+	if c.Job != job.ID {
+		return Cursor{}, errBadCursor()
+	}
+	if c.Shard > job.shards || (c.Shard == job.shards && c.Offset != 0) {
+		return Cursor{}, errBadCursor()
+	}
+	if c.Shard < job.shards && c.Offset >= job.shardLen(c.Shard) {
+		return Cursor{}, errBadCursor()
+	}
+	if c.Matcher != jm.matcherChecksum() {
+		return Cursor{}, &RequestError{
+			Status: http.StatusConflict,
+			Msg:    "matcher changed since this cursor was issued; restart the fetch without a cursor",
+		}
+	}
+	return c, nil
+}

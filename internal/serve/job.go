@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -254,6 +255,20 @@ type Job struct {
 // targets these names with EMCKPT_KILL (e.g. "mid:shard_00002.json").
 func shardName(idx int) string { return fmt.Sprintf("shard_%05d.json", idx) }
 
+// shardLen is how many records shard idx carries (the last shard may
+// be short).
+func (j *Job) shardLen(idx int) int {
+	lo := idx * j.spec.ShardSize
+	hi := lo + j.spec.ShardSize
+	if hi > len(j.rows) {
+		hi = len(j.rows)
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
 // jobArtifact is the durable job-spec artifact name.
 const jobArtifact = "job.json"
 
@@ -262,6 +277,10 @@ const jobArtifact = "job.json"
 type Jobs struct {
 	cfg JobConfig
 	srv *Server
+
+	// streamKey signs resume cursors for the streaming results
+	// transport; it persists under cfg.Dir so cursors outlive restarts.
+	streamKey []byte
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -286,8 +305,12 @@ func newJobs(cfg JobConfig, srv *Server) (*Jobs, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: job dir: %w", err)
 	}
+	key, err := loadStreamKey(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: stream cursor key: %w", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	jm := &Jobs{cfg: cfg, srv: srv, ctx: ctx, cancel: cancel, jobs: make(map[string]*Job)}
+	jm := &Jobs{cfg: cfg, srv: srv, streamKey: key, ctx: ctx, cancel: cancel, jobs: make(map[string]*Job)}
 	jm.cond = sync.NewCond(&jm.mu)
 	return jm, nil
 }
@@ -977,6 +1000,11 @@ func (jm *Jobs) commitShard(ctx context.Context, job *Job, idx int, name string,
 // artifacts, verifying every checksum on the way. A corrupt shard is
 // quarantined by the store, and the job is re-queued to recompute it —
 // the caller gets a retryable error, never silently partial results.
+//
+// Deprecated for large jobs: the document scales server memory with
+// job size, so the HTTP layer caps it at Stream.BufferedMaxRecords and
+// points bigger fetches at the streaming transport (stream.go), which
+// shares readShard and therefore the same verification contract.
 func (jm *Jobs) Results(job *Job) (*JobResults, error) {
 	job.mu.Lock()
 	state := job.state
@@ -991,16 +1019,9 @@ func (jm *Jobs) Results(job *Job) (*JobResults, error) {
 		Results: make([]JobRecordResult, 0, len(job.rows)),
 	}
 	for i := 0; i < job.shards; i++ {
-		data, err := job.store.Read(shardName(i))
+		art, err := jm.readShard(job, i)
 		if err != nil {
-			jm.requeueShard(job, i)
-			return nil, fmt.Errorf("shard %d unreadable (%v); job re-queued for recompute", i, err)
-		}
-		var art shardArtifact
-		if uerr := json.Unmarshal(data, &art); uerr != nil {
-			job.store.Quarantine(shardName(i), "undecodable shard artifact")
-			jm.requeueShard(job, i)
-			return nil, fmt.Errorf("shard %d undecodable; job re-queued for recompute", i)
+			return nil, err
 		}
 		if art.Quarantined {
 			out.Quarantined = append(out.Quarantined, QuarantinedShard{Shard: i, Reason: art.Reason})
@@ -1009,6 +1030,41 @@ func (jm *Jobs) Results(job *Job) (*JobResults, error) {
 		out.Results = append(out.Results, art.Records...)
 	}
 	return out, nil
+}
+
+// readShard reads, verifies, and decodes one durable shard artifact
+// through the store's streaming reader — the shared fetch-side read
+// path of the buffered document and the streaming transport, bounded
+// by one shard's bytes. The decoded value is trusted only after the
+// reader has been drained to EOF and delivered its checksum verdict.
+// Any failure quarantines the artifact and re-queues the job, so the
+// caller's error is retryable, never silently partial.
+func (jm *Jobs) readShard(job *Job, idx int) (*shardArtifact, error) {
+	name := shardName(idx)
+	rd, err := job.store.OpenArtifact(name)
+	if err != nil {
+		jm.requeueShard(job, idx)
+		return nil, fmt.Errorf("shard %d unreadable (%v); job re-queued for recompute", idx, err)
+	}
+	defer rd.Close()
+	var art shardArtifact
+	derr := json.NewDecoder(rd).Decode(&art)
+	// Drain to EOF: the reader's verdict arrives there, and the decoder
+	// stops at the value's closing brace.
+	_, verr := io.Copy(io.Discard, rd)
+	switch {
+	case verr != nil:
+		jm.requeueShard(job, idx)
+		return nil, fmt.Errorf("shard %d unreadable (%v); job re-queued for recompute", idx, verr)
+	case derr != nil:
+		if !errors.Is(derr, ckpt.ErrCorrupt) {
+			// Bytes verified but do not decode: schema drift or a bug.
+			job.store.Quarantine(name, "undecodable shard artifact")
+		}
+		jm.requeueShard(job, idx)
+		return nil, fmt.Errorf("shard %d undecodable; job re-queued for recompute", idx)
+	}
+	return &art, nil
 }
 
 // requeueShard accounts for a shard lost after completion (corruption

@@ -156,7 +156,12 @@ func annotateJob(ev *obs.WideEvent, job *Job) {
 	ev.JobID = job.ID
 }
 
-// handleJobResults serves a completed job's assembled results. An
+// handleJobResults serves a completed job's results. Two transports
+// share the route: `?stream=ndjson` (or any `?cursor=`) streams NDJSON
+// shard by shard with resume cursors; the legacy buffered path
+// assembles the whole document, and is capped at
+// Stream.BufferedMaxRecords — above that it answers 413 pointing at
+// the streaming path, because its memory scales with job size. An
 // incomplete job answers 409 with its state; a shard found corrupt at
 // read time answers 503 (the job is already re-queued to recompute it,
 // so the fetch is retryable).
@@ -173,6 +178,37 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	annotateJob(eventFrom(r.Context()), job)
 	if st := job.State(); st != JobCompleted {
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s, not completed", st), 0)
+		return
+	}
+
+	rawCursor := r.URL.Query().Get("cursor")
+	if rawCursor != "" || r.URL.Query().Get("stream") != "" {
+		cur := Cursor{Job: job.ID, Matcher: jm.matcherChecksum()}
+		if rawCursor != "" {
+			c, err := jm.parseCursorFor(job, rawCursor)
+			if err != nil {
+				obs.C("serve.stream.bad_cursor").Inc()
+				s.writeRequestError(w, err)
+				return
+			}
+			cur = c
+			obs.C("serve.stream.resumed").Inc()
+		}
+		if s.draining.Load() {
+			// Don't start (or resume) a stream on a draining server; the
+			// client's cursor stays valid for the next instance.
+			obs.C("serve.shed.draining").Inc()
+			writeError(w, http.StatusServiceUnavailable, "draining", s.adm.RetryAfter())
+			return
+		}
+		s.streamJobResults(w, r, jm, job, cur)
+		return
+	}
+
+	if n := len(job.rows); n > s.cfg.Stream.BufferedMaxRecords {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf(
+			"job has %d records, over the buffered-fetch cap of %d; fetch with ?stream=ndjson",
+			n, s.cfg.Stream.BufferedMaxRecords), 0)
 		return
 	}
 	res, err := jm.Results(job)

@@ -57,6 +57,10 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush and SetWriteDeadline for the streaming transport.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // routeOf strips the method from a Go 1.22 mux pattern ("POST /v1/match"
 // → "/v1/match") for the wide event's route field.
 func routeOf(pattern string) string {
@@ -123,9 +127,11 @@ func (s *Server) observe(route string, trackSLO bool, h http.HandlerFunc) http.H
 
 		s.events.Log(ev)
 		s.tailBuf.Add(ev, root)
-		if trackSLO {
+		if trackSLO && !ev.Streamed {
 			// Sheds (429) are deliberate policy, not availability failures;
-			// 5xx of any kind burns the budget.
+			// 5xx of any kind burns the budget. Streamed fetches are
+			// exempt: their duration is the client's read pace, and a
+			// multi-minute healthy stream is not a latency breach.
 			s.sloTrk.Observe(ev.DurationMS, sw.status >= 500)
 		}
 	}

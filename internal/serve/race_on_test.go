@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in. Tests
+// that measure heap occupancy skip under it: instrumented allocations
+// carry shadow state that inflates HeapAlloc several-fold, so the
+// memory budgets they pin are meaningless there.
+const raceEnabled = true

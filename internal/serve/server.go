@@ -92,6 +92,9 @@ type Config struct {
 	// Jobs configures the async job tier; a zero Dir disables it (the
 	// job endpoints answer 503).
 	Jobs JobConfig
+	// Stream tunes the streaming results transport (slow-reader budget,
+	// concurrent-stream cap, flush geometry, buffered-fetch cap).
+	Stream StreamConfig
 	// DrainTimeout bounds how long Drain waits for in-flight requests
 	// (default 10s).
 	DrainTimeout time.Duration
@@ -164,6 +167,11 @@ type Server struct {
 
 	jobs *Jobs // nil when the job tier is disabled
 
+	// streamSem gates how many result streams hold shard files open at
+	// once; a drain acquires every slot to wait for active streams to
+	// reach their flush-boundary exit.
+	streamSem chan struct{}
+
 	mu       sync.Mutex
 	requests int64
 	degraded int64
@@ -212,6 +220,7 @@ func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *ta
 	if cfg.RightIDCol == "" {
 		cfg.RightIDCol = "RecordId"
 	}
+	cfg.Stream = cfg.Stream.withDefaults()
 	tailCfg := tail.Config{SlowN: cfg.TailN, Window: cfg.TailWindow}
 	if prof := cfg.Profiler; prof != nil {
 		// A request slow enough to displace the retained slow set is
@@ -240,6 +249,7 @@ func New(ctx context.Context, cfg Config, wf *workflow.Workflow, left, right *ta
 		sloTrk:      slo.New(slo.Config{Objectives: cfg.SLOs}),
 		started:     time.Now(),
 		drained:     make(chan struct{}),
+		streamSem:   make(chan struct{}, cfg.Stream.MaxStreams),
 	}
 	if cfg.ProfileOnBreach && cfg.Profiler != nil {
 		trk := s.sloTrk
@@ -952,6 +962,22 @@ func (s *Server) StartDrain() {
 		obs.C("serve.drains").Inc()
 		go func() {
 			s.adm.Drain(s.cfg.DrainTimeout)
+			// Active result streams see the drain flag at their next
+			// flush boundary and end with a resumable cursor. Owning
+			// every stream slot is the proof they have: the semaphore is
+			// the live-stream count, and unlike a WaitGroup it tolerates
+			// acquires racing the wait (late arrivals just shed).
+			streamsDone := make(chan struct{})
+			go func() {
+				for i := 0; i < cap(s.streamSem); i++ {
+					s.streamSem <- struct{}{}
+				}
+				close(streamsDone)
+			}()
+			select {
+			case <-streamsDone:
+			case <-time.After(s.cfg.DrainTimeout):
+			}
 			if s.jobs != nil {
 				s.jobs.Stop(s.cfg.DrainTimeout)
 			}

@@ -59,6 +59,9 @@ say "emserve (reference) on $ADDR"
     cat "$TMP/ref.err" >&2
 }
 JOB_ID="$(tail -1 "$TMP/ref_id.txt" | tr -d '[:space:]')"
+# Guard the reference itself: an empty ref.json would make every later
+# byte-identical cmp pass vacuously.
+wait_stream_bytes "$TMP/ref.json" 1 1
 say "reference results in ref.json (job $JOB_ID)"
 smoke_drain_server "$TMP/ref.err"
 

@@ -126,6 +126,8 @@ if [ "$status" -ne 0 ]; then
     fail "chaos-soak exited $status, want 0:"
     cat "$TMP/chaos.log" >&2
 fi
+# A crisp diagnostic beats six grep errors when the summary never landed.
+wait_stream_bytes "$TMP/chaos.json" 1 1
 json_has "$TMP/chaos.json" '"pass": true'
 json_has "$TMP/chaos.json" '"byte_identical": true'
 json_has "$TMP/chaos.json" '"breaker_reclosed": true'

@@ -18,6 +18,9 @@
 #   smoke_drain_server LOG     SIGTERM + the graceful-drain contract:
 #                              exit 130, zero-leak self-check, race-clean
 #   smoke_check_race LOG       fail if the race detector fired in LOG
+#   wait_stream_bytes F MIN [TRIES]  poll until file F holds >= MIN bytes
+#                              (0.05s ticks, default 200 tries); die on
+#                              timeout. For racing an in-flight stream.
 #   smoke_finish MSG           exit 1 with a count if anything failed,
 #                              else print PASS MSG
 #
@@ -133,6 +136,23 @@ smoke_drain_server() {
         cat "$_logfile" >&2
     }
     smoke_check_race "$_logfile"
+}
+
+# wait_stream_bytes FILE MIN [TRIES]: poll until FILE exists and holds
+# at least MIN bytes. The smokes use it to catch a background fetch
+# mid-flight — e.g. "the partial stream has committed something, now
+# kill the server" — without guessing at sleeps.
+wait_stream_bytes() {
+    _wsb_file="$1"
+    _wsb_min="$2"
+    _wsb_tries="${3:-200}"
+    while [ "$_wsb_tries" -gt 0 ]; do
+        _wsb_size=$(wc -c 2>/dev/null <"$_wsb_file" || echo 0)
+        [ "$_wsb_size" -ge "$_wsb_min" ] && return 0
+        _wsb_tries=$((_wsb_tries - 1))
+        sleep 0.05
+    done
+    die "timed out waiting for $_wsb_file to reach $_wsb_min bytes (has ${_wsb_size:-0})"
 }
 
 smoke_check_race() {

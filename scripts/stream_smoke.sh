@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# stream_smoke.sh — end-to-end chaos smoke for the resumable streaming
+# result transport (see docs/SERVING.md, "Streaming results & resume").
+#
+# The claim under test: a results stream killed at ANY point — the
+# server SIGKILL'd mid-chunk, or draining out from under a reader —
+# resumes from the client's persisted cursor and reassembles bytes
+# identical to an uninterrupted fetch. The choreography:
+#
+#   1. generate the shared data/spec/matcher recipe, boot a race-built
+#      emserve with the job tier on, -stream-flush 1 (a cursor at every
+#      line, the worst case for the commit protocol), 150ms of injected
+#      latency on every chunk flush (serve.stream.write in sleep mode,
+#      so chunks are produced in real time instead of landing whole in
+#      kernel socket buffers), and a deliberately hostile -write-timeout
+#      2s that every ~3.8s stream must survive via per-chunk deadlines,
+#   2. submit a 24-record job, stream it clean -> ref.ndjson,
+#   3. SIGKILL: a second fetch persists its cursor; once bytes have
+#      committed the server is kill -9'd mid-stream. The client must
+#      fail (not fabricate a tail), keeping its committed prefix and
+#      cursor file,
+#   4. restart over the same -job-dir (same stream.key, same matcher
+#      checksum -> the old cursor is still honored) and resume. Then
+#      part1 + part2 must equal ref.ndjson byte for byte,
+#   5. drain: another in-flight fetch is cut by SIGTERM at a flush
+#      boundary (server exits 130, leak- and race-clean, logging a
+#      streamed outcome=draining wide event); a third server resumes it
+#      to completion and the access logs alone must chain: the resume
+#      event's stream_from equals the cut event's stream_end,
+#   6. the in-process criteria that need a harness rather than a shell
+#      (stalled-reader cut within budget while other streams progress,
+#      O(chunk) server memory on a fat job) run as tagged go tests.
+#
+# Everything runs in a temp dir; only POSIX tools + the go toolchain are
+# required. Shared plumbing lives in scripts/smoke_lib.sh.
+set -u
+
+SCALE="${STREAM_SCALE:-0.1}"
+SEED="${STREAM_SEED:-9}"
+RECORDS="${STREAM_RECORDS:-24}"
+SHARD_SIZE=4
+. "$(dirname "$0")/smoke_lib.sh"
+smoke_init stream-smoke
+
+say "building emgen, emcasestudy, emserve (-race), streamsmoke"
+smoke_build emgen ./cmd/emgen
+smoke_build emcasestudy ./cmd/emcasestudy
+smoke_build emserve ./cmd/emserve -race
+smoke_build streamsmoke ./scripts/streamsmoke
+
+smoke_gen_data "$SCALE" "$SEED"
+smoke_export_matcher
+
+# start_server LOGFILE ACCESSLOG: emserve with the job tier, per-line
+# flushing, 150ms injected latency per chunk flush (the 25-chunk stream
+# takes ~3.8s to produce — killable mid-flight, and longer than the
+# global write timeout it must survive).
+start_server() {
+    smoke_start_emserve "$1" \
+        -matcher "$TMP/matcher.json" \
+        -job-dir "$TMP/jobs" -job-shard-size "$SHARD_SIZE" -job-workers 1 \
+        -stream-flush 1 -write-timeout 2s \
+        -inject "serve.stream.write:mode=sleep,sleep=150ms" \
+        -access-log "$2" -access-sample 1
+}
+
+say "server 1: submit job + clean reference stream"
+start_server "$TMP/s1.err" "$TMP/access1.jsonl"
+say "emserve (1) on $ADDR"
+"$TMP/streamsmoke" -addr "$ADDR" -right "$RIGHT" -records "$RECORDS" \
+    -shard-size "$SHARD_SIZE" -submit >"$TMP/id.txt" 2>"$TMP/submit.log" || {
+    cat "$TMP/submit.log" >&2
+    die "job submission failed"
+}
+JOB_ID="$(tail -1 "$TMP/id.txt" | tr -d '[:space:]')"
+say "job $JOB_ID completed; streaming clean reference"
+"$TMP/streamsmoke" -addr "$ADDR" -id "$JOB_ID" -out "$TMP/ref.ndjson" \
+    2>"$TMP/ref.log" || {
+    cat "$TMP/ref.log" >&2
+    die "clean reference stream failed"
+}
+wait_stream_bytes "$TMP/ref.ndjson" 1 1
+
+say "SIGKILL mid-stream: cursor-persisted fetch, kill -9 once bytes commit"
+"$TMP/streamsmoke" -addr "$ADDR" -id "$JOB_ID" -out "$TMP/part1.ndjson" \
+    -cursor-file "$TMP/cur1.txt" -max-resumes 1 \
+    2>"$TMP/part1.log" &
+CLIENT_PID=$!
+wait_stream_bytes "$TMP/part1.ndjson" 1
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
+if wait "$CLIENT_PID"; then
+    fail "client exited 0 against a SIGKILL'd server — it fabricated a complete stream"
+    cat "$TMP/part1.log" >&2
+fi
+[ -s "$TMP/cur1.txt" ] || fail "no cursor was persisted before the kill"
+[ -s "$TMP/part1.ndjson" ] || fail "no committed bytes survived the kill"
+# The committed prefix must be a literal prefix of the reference.
+head -c "$(wc -c <"$TMP/part1.ndjson")" "$TMP/ref.ndjson" |
+    cmp -s - "$TMP/part1.ndjson" ||
+    fail "part1.ndjson is not a byte prefix of the clean reference"
+
+say "server 2: restart over the same job dir, resume from cur1.txt"
+start_server "$TMP/s2.err" "$TMP/access2.jsonl"
+say "emserve (2) on $ADDR"
+# The injected 150ms/chunk pacing pushes the remaining ~20+ chunks past
+# the server's 2s -write-timeout: completing anyway proves stream routes
+# run on per-chunk deadlines, not the global write timeout.
+"$TMP/streamsmoke" -addr "$ADDR" -id "$JOB_ID" -out "$TMP/part2.ndjson" \
+    -cursor-file "$TMP/cur1.txt" 2>"$TMP/part2.log" || {
+    fail "resume after SIGKILL did not complete"
+    cat "$TMP/part2.log" >&2
+}
+if cat "$TMP/part1.ndjson" "$TMP/part2.ndjson" | cmp -s - "$TMP/ref.ndjson"; then
+    say "SIGKILL resume reassembled byte-identical results"
+else
+    fail "part1 + part2 differ from the clean reference"
+fi
+
+say "drain cut: in-flight fetch, SIGTERM at a flush boundary"
+"$TMP/streamsmoke" -addr "$ADDR" -id "$JOB_ID" -out "$TMP/partA.ndjson" \
+    -cursor-file "$TMP/cur2.txt" -max-resumes 1 \
+    2>"$TMP/partA.log" &
+CLIENT_PID=$!
+wait_stream_bytes "$TMP/partA.ndjson" 1
+smoke_drain_server "$TMP/s2.err"
+if wait "$CLIENT_PID"; then
+    fail "client exited 0 against a drained server — the cut was not surfaced"
+    cat "$TMP/partA.log" >&2
+fi
+[ -s "$TMP/cur2.txt" ] || fail "no cursor survived the drain cut"
+grep '"streamed":true' "$TMP/access2.jsonl" | grep -q '"outcome":"draining"' ||
+    fail "the drained server logged no drain-cut stream wide event"
+
+say "server 3: resume the drained stream"
+start_server "$TMP/s3.err" "$TMP/access3.jsonl"
+say "emserve (3) on $ADDR"
+"$TMP/streamsmoke" -addr "$ADDR" -id "$JOB_ID" -out "$TMP/partB.ndjson" \
+    -cursor-file "$TMP/cur2.txt" 2>"$TMP/partB.log" || {
+    fail "resume after drain did not complete"
+    cat "$TMP/partB.log" >&2
+}
+if cat "$TMP/partA.ndjson" "$TMP/partB.ndjson" | cmp -s - "$TMP/ref.ndjson"; then
+    say "drain resume reassembled byte-identical results"
+else
+    fail "partA + partB differ from the clean reference"
+fi
+
+# Access-log continuity: the story must be reconstructable from wide
+# events alone — the resume's stream_from is the cut's stream_end.
+CUT_END="$(grep '"streamed":true' "$TMP/access2.jsonl" |
+    grep '"outcome":"draining"' | tail -1 |
+    sed 's/.*"stream_end":"\([^"]*\)".*/\1/')"
+if [ -n "$CUT_END" ]; then
+    grep -q "\"stream_from\":\"$CUT_END\"" "$TMP/access3.jsonl" ||
+        fail "no resume event with stream_from $CUT_END — the access logs do not chain"
+else
+    fail "the stream_cut event carried no stream_end cursor position"
+fi
+grep -q '"stream_complete":true' "$TMP/access3.jsonl" ||
+    fail "the resumed stream never logged stream_complete"
+
+say "SIGTERM: draining the final server"
+smoke_drain_server "$TMP/s3.err"
+
+# Criteria that need in-process control (kernel-shrunk socket buffers,
+# heap accounting): the slow-reader cut and memory-bound harnesses.
+say "go test: stalled-reader cut + memory-bounded streaming"
+(cd "$ROOT" && go test -count=1 -run 'TestStreamSlowReaderCut|TestStreamMemoryBounded' \
+    ./internal/serve/) >"$TMP/gotest.log" 2>&1 || {
+    fail "slow-reader / memory-bound stream tests failed:"
+    cat "$TMP/gotest.log" >&2
+}
+
+smoke_finish "(SIGKILL resume + drain resume byte-identical, write-timeout survived, access logs chain, race-clean, zero leaks)"

@@ -1,0 +1,114 @@
+// Command streamsmoke is the HTTP driver behind scripts/stream_smoke.sh:
+// it exercises the resumable streaming results transport against a
+// running emserve, writing only cursor-committed bytes to disk so the
+// shell script can kill either end mid-stream and still compare the
+// reassembled output byte for byte. The chaos choreography (SIGKILLs,
+// restarts, file comparisons) lives in the shell script; this driver
+// owns everything that needs an HTTP client.
+//
+// Modes:
+//
+//	streamsmoke -addr H:P -right right.csv -records 24 -submit
+//	    submit a deterministic job, wait for completion, print its id
+//	streamsmoke -addr H:P -id jXXXX -out ref.ndjson
+//	    clean streaming fetch: commit-on-cursor, write committed data
+//	    lines to -out, exit 0 only if the summary line committed
+//	streamsmoke -addr H:P -id jXXXX -out part.ndjson \
+//	    -cursor-file cur.txt [-read-delay 30ms] [-max-resumes 1]
+//	    paced fetch persisting its cursor after every committed chunk;
+//	    exits 1 when the server dies mid-stream — the committed prefix
+//	    and cursor file survive for the next invocation to resume from
+//
+// Exit status: 0 on a complete stream, 1 on an incomplete or failed
+// one, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"emgo/internal/load"
+)
+
+func main() {
+	addr := flag.String("addr", "", "emserve address (host:port)")
+	rightPath := flag.String("right", "", "right-table CSV records are mined from (-submit)")
+	records := flag.Int("records", 24, "records in the submitted job")
+	shardSize := flag.Int("shard-size", 4, "shards of the submitted job")
+	submit := flag.Bool("submit", false, "submit the job, await completion, print its id")
+	id := flag.String("id", "", "job id to stream (fetch modes)")
+	out := flag.String("out", "", "write committed data lines here (fetch modes)")
+	appendOut := flag.Bool("append", false, "append to -out instead of truncating")
+	cursorFile := flag.String("cursor-file", "", "persist the committed cursor here after every chunk")
+	readDelay := flag.Duration("read-delay", 0, "sleep this long between stream lines (slow-reader pacing)")
+	maxResumes := flag.Int("max-resumes", 0, "reconnections before giving up (0 = client default)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	flag.Parse()
+
+	if *addr == "" || (!*submit && *id == "") || (*submit && *rightPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: streamsmoke -addr host:port (-submit -right right.csv | -id jobid -out file)")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	if *submit {
+		pool, err := load.NewRecordPool(*rightPath)
+		if err != nil {
+			die("record pool: %v", err)
+		}
+		c := load.NewClient(load.ClientConfig{BaseURL: "http://" + *addr}, pool)
+		defer c.CloseIdle()
+		st, err := c.SubmitJob(ctx, pool.JobRecords(*records), *shardSize)
+		if err != nil {
+			die("submit: %v", err)
+		}
+		if _, err := c.AwaitJob(ctx, st.ID, *timeout); err != nil {
+			die("await: %v", err)
+		}
+		say("job %s completed (%d records)", st.ID, *records)
+		fmt.Println(st.ID)
+		return
+	}
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "streamsmoke: fetch modes need -out")
+		os.Exit(2)
+	}
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if *appendOut {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(*out, mode, 0o644)
+	if err != nil {
+		die("%v", err)
+	}
+	defer f.Close()
+
+	c := load.NewClient(load.ClientConfig{BaseURL: "http://" + *addr}, nil)
+	defer c.CloseIdle()
+	stats, err := c.StreamJobResults(ctx, *id, f, load.StreamOptions{
+		CursorPath: *cursorFile,
+		MaxResumes: *maxResumes,
+		ReadDelay:  *readDelay,
+	})
+	if stats != nil {
+		say("streamed %d bytes, %d lines, %d chunks, %d resumes, complete=%v",
+			stats.Bytes, stats.Lines, stats.Chunks, stats.Resumes, stats.Complete)
+	}
+	if err != nil {
+		die("stream: %v", err)
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "streamsmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func say(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "streamsmoke: "+format+"\n", args...)
+}
